@@ -1,0 +1,60 @@
+"""E10 — §III.B conversion overhead.
+
+The paper reports the CSR→B2SR routine at 3–34 ms (one-time, amortised by
+repeated graph use).  Here we wall-clock our converter across tile sizes
+and matrix scales, and confirm the amortisation argument: conversion costs
+a small number of BMV-equivalents.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.report import format_table
+from repro.bitops.packing import pack_bitvector
+from repro.datasets.generators import diagonal_pattern
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.convert import b2sr_from_csr
+from repro.kernels.bmv import bmv_bin_bin_full
+
+
+@pytest.mark.parametrize("tile_dim", TILE_DIMS)
+def test_csr_to_b2sr_conversion(benchmark, tile_dim):
+    g = diagonal_pattern(8192, bandwidth=4, seed=1)
+    mat = benchmark(b2sr_from_csr, g.csr, tile_dim)
+    assert mat.nnz == g.nnz
+
+
+def test_conversion_amortisation(benchmark, results_dir):
+    """Conversion cost in units of one BMV call — the §III.B amortisation
+    argument ("a graph is often used repeatedly")."""
+    import time
+
+    g = diagonal_pattern(4096, bandwidth=4, seed=2)
+    xw = pack_bitvector(np.ones(g.n, dtype=np.float32), 32)
+
+    def measure():
+        t0 = time.perf_counter()
+        mat = b2sr_from_csr(g.csr, 32)
+        t_conv = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            bmv_bin_bin_full(mat, xw)
+        t_bmv = (time.perf_counter() - t0) / 5
+        return t_conv, t_bmv
+
+    t_conv, t_bmv = benchmark.pedantic(measure, rounds=3, iterations=1)
+    ratio = t_conv / max(t_bmv, 1e-9)
+    text = format_table(
+        ["quantity", "value"],
+        [
+            ["conversion (ms)", f"{t_conv * 1e3:.2f}"],
+            ["one BMV call (ms)", f"{t_bmv * 1e3:.2f}"],
+            ["BMV calls to amortise", f"{ratio:.1f}"],
+        ],
+        title="E10 — CSR→B2SR conversion overhead "
+              "(paper: 3–34 ms one-time cost)",
+    )
+    write_artifact(results_dir, "e10_conversion.txt", text)
+    # Shape: conversion amortises within a modest number of kernel calls.
+    assert ratio < 500

@@ -1,0 +1,75 @@
+"""E16 — Table IV beyond the evaluated five: MIS, graph coloring and
+pseudo-diameter on both backends.
+
+The paper's Table IV lists diameter, MIS and GC as supported by the
+boolean / max-times semiring schemes but does not evaluate them; this
+bench closes that gap with modeled latencies on representative matrices,
+checking correctness oracles along the way.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.algorithms.coloring import greedy_coloring, verify_coloring
+from repro.algorithms.diameter import pseudo_diameter
+from repro.algorithms.mis import maximal_independent_set, verify_mis
+from repro.analysis.report import format_table
+from repro.datasets.named import load_named
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.gpusim import GTX1080
+
+MATRICES = ("minnesota", "jagmesh2", "mycielskian9")
+
+
+def _run():
+    rows = []
+    for name in MATRICES:
+        g = load_named(name).symmetrized()
+        dense = g.csr.to_dense()
+
+        mis_b, rb = maximal_independent_set(
+            BitEngine(g, device=GTX1080), seed=3
+        )
+        assert verify_mis(dense, mis_b), name
+        _, rg = maximal_independent_set(
+            GraphBLASTEngine(g, device=GTX1080), seed=3
+        )
+
+        colors, cb = greedy_coloring(BitEngine(g, device=GTX1080), seed=3)
+        assert verify_coloring(dense, colors), name
+        _, cg = greedy_coloring(
+            GraphBLASTEngine(g, device=GTX1080), seed=3
+        )
+
+        diam, db = pseudo_diameter(BitEngine(g, device=GTX1080))
+        _, dg = pseudo_diameter(GraphBLASTEngine(g, device=GTX1080))
+
+        rows.append(
+            [
+                name,
+                f"{int(mis_b.sum())}",
+                f"{rg.algorithm_ms / rb.algorithm_ms:.0f}x",
+                f"{int(colors.max()) + 1}",
+                f"{cg.algorithm_ms / cb.algorithm_ms:.0f}x",
+                f"{diam}",
+                f"{dg.algorithm_ms / db.algorithm_ms:.0f}x",
+            ]
+        )
+    return rows
+
+
+def test_extra_algorithms(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["matrix", "|MIS|", "MIS spdup", "colors", "GC spdup",
+         "diameter≥", "diam spdup"],
+        rows,
+        title="E16 — Table IV extras (modeled algorithm speedup vs "
+              "GraphBLAST, Pascal)",
+    )
+    write_artifact(results_dir, "e16_extra_algorithms.txt", text)
+    # Shape: the bit backend wins on all three algorithms everywhere,
+    # consistent with their kernels being the same BMV schemes.
+    for row in rows:
+        for col in (2, 4, 6):
+            assert float(row[col][:-1]) >= 1.0, row

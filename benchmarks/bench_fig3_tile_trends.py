@@ -1,0 +1,57 @@
+"""E2 — Figure 3: tile-size effect trends.
+
+Figure 3a: non-empty tile ratio vs tile dimension; Figure 3b: nonzero
+occupancy inside non-empty tiles — for the five matrices the paper plots
+(G47, sphere3, cage, will199, email-Eu-core stand-ins).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.report import format_table
+from repro.datasets.named import load_named
+from repro.formats.b2sr import TILE_DIMS
+
+MATRICES = ("G47", "sphere3", "cage", "will199", "email-Eu-core")
+
+
+def _collect():
+    data = {}
+    for name in MATRICES:
+        g = load_named(name)
+        ratios, occs = [], []
+        for d in TILE_DIMS:
+            b = g.b2sr(d)
+            ratios.append(100.0 * b.nonempty_tile_ratio())
+            occs.append(100.0 * b.tile_occupancy())
+        data[name] = (ratios, occs)
+    return data
+
+
+def test_fig3_tile_trends(benchmark, results_dir):
+    data = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    head = ["matrix"] + [f"{d}x{d}" for d in TILE_DIMS]
+    ratio_rows = [
+        [name] + [f"{v:.1f}%" for v in data[name][0]] for name in MATRICES
+    ]
+    occ_rows = [
+        [name] + [f"{v:.2f}%" for v in data[name][1]] for name in MATRICES
+    ]
+    text = (
+        format_table(head, ratio_rows,
+                     title="Figure 3a — non-empty tile ratio (%)")
+        + "\n\n"
+        + format_table(head, occ_rows,
+                       title="Figure 3b — nonzero occupancy in tiles (%)")
+    )
+    write_artifact(results_dir, "fig3_tile_trends.txt", text)
+
+    for name in MATRICES:
+        ratios, occs = data[name]
+        # Fig 3a shape: ratio grows (weakly) with tile size.
+        assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:])), name
+        # Fig 3b shape: occupancy shrinks (weakly) with tile size.
+        assert all(a >= b - 1e-9 for a, b in zip(occs, occs[1:])), name
+    # Fig 3a magnitudes: small tiles sparse-ish, large tiles much fuller
+    # for at least one matrix (the paper: <30% at 4×4, >80% at 32×32).
+    assert min(data[n][0][0] for n in MATRICES) < 35.0
+    assert max(data[n][0][-1] for n in MATRICES) > 60.0

@@ -1,0 +1,62 @@
+"""E4 — Figure 5: storage efficiency over the evaluation suite.
+
+Figure 5a: histogram of compression ratios (B2SR bytes / float-CSR bytes)
+per tile size.  Figure 5b: for each tile size, how many matrices find it
+*optimal* (fewest B2SR bytes) and how many it *compresses* (ratio < 1).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.compression import (
+    compression_histogram,
+    compression_sweep,
+    optimal_counts,
+)
+from repro.analysis.report import format_histogram, format_table
+from repro.formats.b2sr import TILE_DIMS
+
+
+def test_fig5_compression(benchmark, results_dir, suite_graphs):
+    records = benchmark.pedantic(
+        compression_sweep, args=(suite_graphs,), rounds=1, iterations=1
+    )
+    total = len(records)
+    bins = np.arange(0, 210, 10, dtype=np.float64)
+    hist = compression_histogram(records, bins=bins)
+    optimal, compressed = optimal_counts(records)
+
+    parts = []
+    for d in TILE_DIMS:
+        parts.append(
+            format_histogram(
+                bins, hist[d],
+                title=f"Figure 5a — compression ratio (%) histogram, "
+                      f"B2SR-{d} ({total} matrices)",
+                width=30,
+            )
+        )
+    parts.append(
+        format_table(
+            ["tile size", "optimal", "compressed (<100%)"],
+            [[f"{d}x{d}", optimal[d], compressed[d]] for d in TILE_DIMS],
+            title="Figure 5b — optimal / compressed counts "
+                  "(paper: optimal 162/291/26/12, "
+                  "compressed 491/421/329/263 of 521)",
+        )
+    )
+    write_artifact(
+        results_dir, "fig5_compression.txt", "\n\n".join(parts)
+    )
+
+    # Shape criteria (DESIGN.md E4):
+    # (1) compressed count decreases monotonically with tile size;
+    vals = [compressed[d] for d in TILE_DIMS]
+    assert all(a >= b for a, b in zip(vals, vals[1:])), vals
+    # (2) most matrices compress at B2SR-4 (paper: 491/521 = 94%);
+    assert compressed[4] / total > 0.75
+    # (3) optimal tile size concentrates on the small tiles (4/8 hold
+    #     ~87% in the paper);
+    assert (optimal[4] + optimal[8]) / total > 0.6
+    # (4) large tiles are optimal for only a few matrices.
+    assert optimal[32] <= optimal[4]

@@ -1,0 +1,86 @@
+"""E6 — Figures 6d (Pascal) and 7d (Volta): BMM (SpGEMM) speedup over the
+cuSPARSE-equivalent CSR SpGEMM vs nnz density.
+
+The workload is ``A·A`` per matrix, the paper's SpGEMM benchmark setting.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.report import density_bucket, format_table, speedup_summary
+from repro.bench import bmm_speedup
+from repro.formats.b2sr import TILE_DIMS
+from repro.gpusim import GTX1080, TITAN_V
+
+#: SpGEMM on every suite matrix is heavy; cap the per-matrix work by
+#: skipping the densest giants in quick mode (flops explode quadratically).
+_MAX_NNZ = 400_000
+
+
+def _sweep(graphs, device):
+    out = []
+    for g in graphs:
+        if g.nnz == 0 or g.nnz > _MAX_NNZ:
+            continue
+        for d in TILE_DIMS:
+            out.append(bmm_speedup(g, d, device))
+    return out
+
+
+def _render(records, device_name, fig_name):
+    rows = []
+    for d in TILE_DIMS:
+        recs = [r for r in records if r.tile_dim == d]
+        by_decade = defaultdict(list)
+        for r in recs:
+            by_decade[density_bucket(r.density)].append(r.speedup)
+        s = speedup_summary([r.speedup for r in recs])
+        row = [f"{d}x{d}", f"{s['mean']:.1f}", f"{s['max']:.0f}",
+               f"{100 * s['win_rate']:.0f}%"]
+        for dec in ("E-07", "E-06", "E-05", "E-04", "E-03", "E-02", "E-01"):
+            vals = by_decade.get(dec)
+            row.append(
+                f"{speedup_summary(vals)['gmean']:.1f}" if vals else "-"
+            )
+        rows.append(row)
+    return format_table(
+        ["tile", "avg", "max", ">1x", "E-07", "E-06", "E-05", "E-04",
+         "E-03", "E-02", "E-01"],
+        rows,
+        title=(
+            f"{fig_name} — bmm_bin_bin_sum() speedup over cuSPARSE "
+            f"SpGEMM on {device_name}"
+        ),
+    )
+
+
+def test_fig6d_bmm_pascal(benchmark, results_dir, suite_graphs):
+    records = benchmark.pedantic(
+        _sweep, args=(suite_graphs, GTX1080), rounds=1, iterations=1
+    )
+    write_artifact(
+        results_dir, "fig6d_bmm_pascal.txt",
+        _render(records, "GTX1080 (Pascal)", "Figure 6d"),
+    )
+    s = speedup_summary([r.speedup for r in records])
+    # Shape: BMM speedups are an order of magnitude above BMV's (paper
+    # averages 10–34×, max in the thousands).
+    assert s["mean"] > 5.0
+    assert s["max"] > 50.0
+
+
+def test_fig7d_bmm_volta(benchmark, results_dir, suite_graphs):
+    p_records = _sweep(suite_graphs, GTX1080)
+    v_records = benchmark.pedantic(
+        _sweep, args=(suite_graphs, TITAN_V), rounds=1, iterations=1
+    )
+    write_artifact(
+        results_dir, "fig7d_bmm_volta.txt",
+        _render(v_records, "Titan V (Volta)", "Figure 7d"),
+    )
+    sp = speedup_summary([r.speedup for r in p_records])
+    sv = speedup_summary([r.speedup for r in v_records])
+    # Shape (§VI.D): "the performance gain is moderate compared to
+    # GTX1080" — Volta's average BMM speedup is below Pascal's.
+    assert sv["mean"] < sp["mean"]
+    assert sv["mean"] > 2.0

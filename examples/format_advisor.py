@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Format selection across matrix patterns — §III.C / §VII in action.
+
+"No sparse format fits all matrices": this example runs the Algorithm 1
+sampling profile over one representative of each Table V pattern category,
+shows the estimated-vs-true compression per tile size, and prints the
+advisor's verdict.  Watch the hypersparse random matrix get (correctly)
+told to stay in CSR.
+
+Run:  python examples/format_advisor.py
+"""
+
+from repro import recommend_format
+from repro.datasets import (
+    block_pattern,
+    diagonal_pattern,
+    dot_pattern,
+    hybrid_pattern,
+    road_pattern,
+    stripe_pattern,
+)
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.stats import stats_for_all_tile_dims
+
+
+def main() -> None:
+    candidates = [
+        diagonal_pattern(2048, bandwidth=3, seed=1),
+        block_pattern(2048, block_size=32, seed=2, intra_density=0.6),
+        stripe_pattern(2048, n_stripes=4, seed=3),
+        road_pattern(2048, seed=4),
+        hybrid_pattern(2048, seed=5),
+        dot_pattern(2048, 0.00008, seed=6),  # hypersparse scatter
+        dot_pattern(2048, 0.01, seed=7),     # denser scatter
+    ]
+
+    for g in candidates:
+        rec = recommend_format(g.csr, seed=0)
+        exact = stats_for_all_tile_dims(g.csr)
+        print(f"\n{g.name}  (category={g.category}, nnz={g.nnz})")
+        print(f"  {'tile':>6s} {'est ratio':>10s} {'true ratio':>11s}")
+        for d in TILE_DIMS:
+            est = rec.profile.est_compression[d]
+            true = exact[d].compression_ratio
+            marker = " <- recommended" if (
+                rec.use_b2sr and d == rec.tile_dim
+            ) else ""
+            print(f"  {d:4d}x{d:<2d} {est:10.3f} {true:11.3f}{marker}")
+        verdict = (
+            f"convert to B2SR-{rec.tile_dim}" if rec.use_b2sr
+            else "stay in CSR"
+        )
+        print(f"  verdict: {verdict}")
+        print(f"  reason:  {rec.reason}")
+
+
+if __name__ == "__main__":
+    main()

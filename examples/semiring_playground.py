@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Semiring playground — the Table IV algebra on one tiny graph.
+
+Shows how the *same* bit-packed adjacency matrix answers four different
+questions purely by switching the semiring of the matrix-vector product
+(§V), and that the bit backend and the CSR baseline agree exactly:
+
+* boolean        — "which vertices can I reach in one hop?"
+* arithmetic     — "how many of my in-neighbours are active?"
+* min-plus       — "what is my tentative shortest distance?"
+* max-times      — "what is the strongest incoming signal?"
+
+Run:  python examples/semiring_playground.py
+"""
+
+import numpy as np
+
+from repro import Graph
+from repro.graphblas import Descriptor, Vector, mxv
+from repro.semiring import ARITHMETIC, BOOLEAN, MAX_TIMES, MIN_PLUS
+
+
+def main() -> None:
+    # A small directed graph: a 10-cycle with two chords.
+    n = 10
+    dense = np.zeros((n, n), dtype=np.float32)
+    for i in range(n):
+        dense[i, (i + 1) % n] = 1.0
+    dense[0, 5] = 1.0
+    dense[3, 8] = 1.0
+    g = Graph.from_dense(dense, name="cycle+chords")
+    print(f"graph: {g.name}, n={g.n}, edges={g.nnz}")
+
+    # One hop from {0, 3} under each semiring.  mxv uses the transposed
+    # operand so entry i aggregates over in-neighbours.
+    frontier = Vector.indicator(n, [0, 3])
+    signal = Vector.sparse(n, [0, 3], [0.9, 0.4])
+    dist = Vector.sparse(n, [0, 3], [0.0, 0.0], fill=np.inf)
+
+    cases = [
+        ("boolean   (reach)", frontier, BOOLEAN),
+        ("arithmetic (count)", frontier, ARITHMETIC),
+        ("min-plus  (dist)", dist, MIN_PLUS),
+        ("max-times (signal)", signal, MAX_TIMES),
+    ]
+    for label, vec, semiring in cases:
+        out_bit = mxv(
+            g, vec, semiring,
+            desc=Descriptor(backend="bit", tile_dim=4, transpose_a=True),
+        )
+        out_csr = mxv(
+            g, vec, semiring,
+            desc=Descriptor(backend="csr", transpose_a=True),
+        )
+        assert np.allclose(out_bit.values, out_csr.values), label
+        shown = [
+            f"{v:.1f}" if np.isfinite(v) else "inf"
+            for v in out_bit.values
+        ]
+        print(f"  {label:20s} -> [{', '.join(shown)}]")
+
+    print("\nbit backend == csr backend for every semiring  ✓")
+
+
+if __name__ == "__main__":
+    main()

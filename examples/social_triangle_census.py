@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Triangle census of a clustered social network — the fused BMM kernel.
+
+Community-structured (block-pattern) graphs are where the paper's
+SpGEMM-based triangle counting shines (Table IX, up to 52×): dense bit
+tiles let one popc cover up to 32 wedge checks.  This example builds a
+planted-community social graph, counts triangles with the fused
+``bmm_bin_bin_sum_masked`` kernel, derives the global clustering
+coefficient, and compares both backends and devices.
+
+Run:  python examples/social_triangle_census.py
+"""
+
+import numpy as np
+
+from repro import BitEngine, GraphBLASTEngine, GTX1080, TITAN_V, triangle_count
+from repro.datasets import block_pattern
+from repro.graphblas import Descriptor, mxm_sum
+
+
+def wedges(graph) -> float:
+    """Number of 2-paths: Σ d(v)·(d(v)−1)/2 on the undirected view."""
+    deg = graph.symmetrized().out_degrees().astype(np.float64)
+    return float((deg * (deg - 1) / 2).sum())
+
+
+def main() -> None:
+    graph = block_pattern(
+        3000, block_size=30, n_blocks=90, seed=42,
+        intra_density=0.45, off_diag_blocks=12,
+    ).symmetrized()
+    print(
+        f"social network: {graph.n} people, {graph.nnz // 2} friendships "
+        f"({graph.category} pattern)"
+    )
+
+    count, bit_report = triangle_count(BitEngine(graph, device=GTX1080))
+    w = wedges(graph)
+    clustering = 3 * count / w if w else 0.0
+    print(f"triangles: {count}")
+    print(f"wedges: {w:.0f}, global clustering coefficient: {clustering:.3f}")
+
+    # The same quantity straight from the GraphBLAS layer, tile size 8.
+    sym = graph
+    L = sym.csr.extract_lower(strict=True)
+    from repro.formats.convert import transpose_csr
+
+    alt = mxm_sum(
+        L, transpose_csr(L), mask=L,
+        desc=Descriptor(backend="bit", tile_dim=8),
+    )
+    assert int(round(alt)) == count, "tile sizes must agree"
+
+    print("\nmodeled TC kernel latency (ms):")
+    for device in (GTX1080, TITAN_V):
+        _, rb = triangle_count(BitEngine(graph, device=device))
+        _, rg = triangle_count(GraphBLASTEngine(graph, device=device))
+        print(
+            f"  {device.name:8s} GraphBLAST {rg.algorithm_ms:8.3f}   "
+            f"Bit-GraphBLAS {rb.algorithm_ms:8.4f}   "
+            f"speedup {rg.algorithm_ms / rb.algorithm_ms:6.0f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on environments where pip falls back to it) use the
+classic ``setup.py develop`` path, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

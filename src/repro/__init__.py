@@ -1,0 +1,73 @@
+"""Bit-GraphBLAS reproduction.
+
+A pure-Python (NumPy) implementation of *Bit-GraphBLAS: Bit-Level
+Optimizations of Matrix-Centric Graph Processing on GPU* (IPDPS 2022):
+the B2SR bit-tile format, the BMV/BMM bit-kernel schemes, a GraphBLAS
+operation layer with five graph algorithms, the cuSPARSE/GraphBLAST-style
+baselines, and a simulated Pascal/Volta GPU substrate for
+performance-shape reproduction.
+
+Quick start::
+
+    from repro import Graph, BitEngine, bfs
+    from repro.datasets import load_named
+
+    g = load_named("minnesota")
+    depth, report = bfs(BitEngine(g), source=0)
+    print(report.algorithm_ms, report.kernel_ms)
+"""
+
+from repro.graph import Graph
+from repro.formats import (
+    B2SRMatrix,
+    CSRMatrix,
+    b2sr_from_csr,
+    csr_from_b2sr,
+)
+from repro.semiring import (
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SECOND,
+    Semiring,
+)
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.gpusim import GTX1080, TITAN_V, DeviceSpec
+from repro.profiling import recommend_format, sampling_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "CSRMatrix",
+    "B2SRMatrix",
+    "b2sr_from_csr",
+    "csr_from_b2sr",
+    "Semiring",
+    "BOOLEAN",
+    "ARITHMETIC",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MIN_SECOND",
+    "BitEngine",
+    "GraphBLASTEngine",
+    "bfs",
+    "sssp",
+    "pagerank",
+    "connected_components",
+    "triangle_count",
+    "GTX1080",
+    "TITAN_V",
+    "DeviceSpec",
+    "sampling_profile",
+    "recommend_format",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Graph algorithms on the GraphBLAS core operations (§V).
+
+The paper's five evaluation algorithms, written once against the
+:class:`repro.engines.base.Engine` interface so they run unchanged on the
+Bit-GraphBLAS backend and the GraphBLAST baseline:
+
+* :func:`bfs` — breadth-first search, boolean semiring;
+* :func:`sssp` — single-source shortest paths, tropical min-plus;
+* :func:`pagerank` — PageRank, arithmetic semiring with the out-degree
+  auxiliary vector;
+* :func:`connected_components` — FastSV-style CC, min-second;
+* :func:`triangle_count` — masked ``L·Lᵀ`` product sum.
+"""
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.sssp import sssp
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.cc import connected_components
+from repro.algorithms.tc import triangle_count
+from repro.algorithms.mis import maximal_independent_set
+from repro.algorithms.coloring import greedy_coloring
+from repro.algorithms.diameter import pseudo_diameter
+
+__all__ = [
+    "bfs",
+    "sssp",
+    "pagerank",
+    "connected_components",
+    "triangle_count",
+    "maximal_independent_set",
+    "greedy_coloring",
+    "pseudo_diameter",
+]

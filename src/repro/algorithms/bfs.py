@@ -1,0 +1,55 @@
+"""Breadth-first search (§V BFS).
+
+Boolean semiring.  Each iteration performs one masked vxm — a single
+``bmv_bin_bin_bin_masked`` launch on the bit backend, where the visited
+mask is ANDed in right before the output store (the paper explicitly avoids
+GraphBLAST's early-exit because it causes warp divergence inside a tile
+row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import Engine, EngineReport
+
+
+def bfs(
+    engine: Engine, source: int, *, max_iterations: int | None = None
+) -> tuple[np.ndarray, EngineReport]:
+    """BFS from ``source``.
+
+    Returns
+    -------
+    depth:
+        ``int64`` vector; ``depth[v]`` is the hop distance from ``source``
+        (−1 for unreachable vertices).
+    report:
+        Modeled cost report (algorithm + kernel rows of Table VII/VIII).
+    """
+    n = engine.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    if max_iterations is None:
+        max_iterations = n
+    engine.reset_stats()
+
+    depth = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    frontier = np.zeros(n, dtype=bool)
+    depth[source] = 0
+    visited[source] = True
+    frontier[source] = True
+
+    level = 0
+    while frontier.any() and level < max_iterations:
+        level += 1
+        engine.note_iteration()
+        nxt = engine.frontier_expand(frontier, visited)
+        if not nxt.any():
+            break
+        depth[nxt] = level
+        visited |= nxt
+        frontier = nxt
+
+    return depth, engine.report(extra={"levels": level})

@@ -1,0 +1,27 @@
+"""Analysis utilities: pattern classification (Table V), compression
+sweeps (Figure 5), tile trends (Figure 3) and table/figure text rendering.
+"""
+
+from repro.analysis.classify import classify_pattern
+from repro.analysis.compression import (
+    CompressionRecord,
+    compression_sweep,
+    compression_histogram,
+    optimal_counts,
+)
+from repro.analysis.report import (
+    format_table,
+    format_histogram,
+    speedup_summary,
+)
+
+__all__ = [
+    "classify_pattern",
+    "CompressionRecord",
+    "compression_sweep",
+    "compression_histogram",
+    "optimal_counts",
+    "format_table",
+    "format_histogram",
+    "speedup_summary",
+]

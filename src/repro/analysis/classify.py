@@ -1,0 +1,100 @@
+"""Nonzero-pattern classifier (Table V).
+
+Assigns a matrix to one of the paper's six categories from structural
+features: offset concentration near the diagonal (diagonal), a small number
+of dominant fixed offsets (stripe), high per-tile occupancy with clustered
+blocks (block), grid-regular degree profile (road), no structure (dot), or
+several of the above (hybrid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.convert import b2sr_from_csr
+from repro.formats.csr import CSRMatrix
+
+CATEGORIES = ("dot", "diagonal", "block", "stripe", "road", "hybrid")
+
+
+def pattern_features(csr: CSRMatrix) -> dict[str, float]:
+    """Structural feature vector used by :func:`classify_pattern`."""
+    n = max(csr.nrows, 1)
+    if csr.nnz == 0:
+        return {
+            "diag_frac": 0.0,
+            "stripe_frac": 0.0,
+            "n_stripes": 0.0,
+            "occupancy8": 0.0,
+            "degree_cv": 0.0,
+            "degree_mode_frac": 0.0,
+        }
+    rows = np.repeat(
+        np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr)
+    )
+    offsets = csr.indices - rows
+    near_band = max(2, int(0.02 * n))
+    diag_frac = float((np.abs(offsets) <= near_band).mean())
+
+    # Dominant-offset analysis: what fraction of nonzeros lie on the few
+    # most common offsets (stripes are exactly this).
+    vals, counts = np.unique(offsets, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    top = counts[order[: min(8, counts.shape[0])]]
+    stripe_frac = float(top.sum() / csr.nnz)
+    n_stripes = float((counts > 0.02 * csr.nnz).sum())
+
+    b8 = b2sr_from_csr(csr, 8)
+    occupancy8 = b8.tile_occupancy()
+
+    deg = np.diff(csr.indptr).astype(np.float64)
+    mean_deg = deg.mean() if deg.size else 0.0
+    degree_cv = float(deg.std() / mean_deg) if mean_deg > 0 else 0.0
+    dvals, dcounts = np.unique(deg, return_counts=True)
+    degree_mode_frac = float(dcounts.max() / deg.shape[0]) if deg.size else 0.0
+
+    return {
+        "diag_frac": diag_frac,
+        "stripe_frac": stripe_frac,
+        "n_stripes": n_stripes,
+        "occupancy8": occupancy8,
+        "degree_cv": degree_cv,
+        "degree_mode_frac": degree_mode_frac,
+    }
+
+
+def classify_pattern(csr: CSRMatrix) -> str:
+    """Classify a binary matrix into a Table V category."""
+    f = pattern_features(csr)
+    votes: list[str] = []
+    if f["diag_frac"] > 0.6:
+        votes.append("diagonal")
+    if (
+        f["stripe_frac"] > 0.7
+        and f["n_stripes"] <= 10
+        and f["diag_frac"] < 0.6
+    ):
+        votes.append("stripe")
+    if f["occupancy8"] > 0.25:
+        votes.append("block")
+    if (
+        f["degree_mode_frac"] > 0.55
+        and f["degree_cv"] < 0.4
+        and f["diag_frac"] < 0.6
+        and f["stripe_frac"] > 0.5
+    ):
+        votes.append("road")
+    if not votes:
+        return "dot" if f["stripe_frac"] < 0.5 else "hybrid"
+    if len(votes) == 1:
+        return votes[0]
+    # Several strong signals → the paper's hybrid class, unless one signal
+    # clearly dominates.  Road's signature (grid-regular degrees at a few
+    # fixed offsets) subsumes the stripe vote it inevitably also triggers.
+    if "road" in votes:
+        return "road"
+    if "diagonal" in votes and f["diag_frac"] > 0.85:
+        return "diagonal"
+    if "block" in votes and f["occupancy8"] > 0.45:
+        return "block"
+    return "hybrid"

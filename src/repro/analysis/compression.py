@@ -1,0 +1,92 @@
+"""Compression sweeps over matrix collections (Figures 5a/5b, §VI.B).
+
+For each matrix, convert to all four B2SR variants and record the byte
+ratios; aggregate into the histogram and optimal/compressed counts the
+paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.stats import stats_for_all_tile_dims
+from repro.graph import Graph
+
+
+@dataclass(frozen=True)
+class CompressionRecord:
+    """Per-matrix compression results across all tile sizes."""
+
+    name: str
+    category: str
+    n: int
+    nnz: int
+    density: float
+    ratios: dict[int, float]  # tile_dim -> B2SR/CSR byte ratio
+    b2sr_bytes: dict[int, float]
+
+    @property
+    def optimal_tile_dim(self) -> int:
+        """Tile size minimising absolute B2SR bytes (Figure 5b blue)."""
+        return min(TILE_DIMS, key=lambda d: self.b2sr_bytes[d])
+
+    def compressed_dims(self) -> list[int]:
+        """Tile sizes achieving ratio < 1 (Figure 5b green)."""
+        return [d for d in TILE_DIMS if self.ratios[d] < 1.0]
+
+
+def compression_sweep(graphs: Iterable[Graph]) -> list[CompressionRecord]:
+    """Run the Figure 5 sweep over a collection."""
+    records: list[CompressionRecord] = []
+    for g in graphs:
+        stats = stats_for_all_tile_dims(g.csr)
+        records.append(
+            CompressionRecord(
+                name=g.name,
+                category=g.category,
+                n=g.n,
+                nnz=g.nnz,
+                density=g.density,
+                ratios={d: s.compression_ratio for d, s in stats.items()},
+                b2sr_bytes={d: s.b2sr_bytes for d, s in stats.items()},
+            )
+        )
+    return records
+
+
+def compression_histogram(
+    records: list[CompressionRecord],
+    *,
+    bins: np.ndarray | None = None,
+) -> dict[int, np.ndarray]:
+    """Figure 5a: per-tile-size histogram of compression ratios (%).
+
+    Returns tile_dim → counts per bin; ``bins`` defaults to 10-percent
+    buckets 0–200 %.
+    """
+    if bins is None:
+        bins = np.arange(0, 210, 10, dtype=np.float64)
+    out: dict[int, np.ndarray] = {}
+    for d in TILE_DIMS:
+        vals = np.array(
+            [min(r.ratios[d] * 100.0, bins[-1] - 1e-9) for r in records]
+        )
+        out[d], _ = np.histogram(vals, bins=bins)
+    return out
+
+
+def optimal_counts(
+    records: list[CompressionRecord],
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Figure 5b: (optimal counts, compressed counts) per tile size."""
+    optimal = dict.fromkeys(TILE_DIMS, 0)
+    compressed = dict.fromkeys(TILE_DIMS, 0)
+    for r in records:
+        optimal[r.optimal_tile_dim] += 1
+        for d in r.compressed_dims():
+            compressed[d] += 1
+    return optimal, compressed

@@ -1,0 +1,92 @@
+"""Plain-text table and figure rendering for the bench harness.
+
+The benches print paper-shaped artifacts: fixed-width tables with the same
+rows/columns as Tables I/V/VII–IX, ASCII histograms for the figure
+reproductions, and per-series summary statistics (average / max speedup,
+as quoted in §VI.D's prose).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_histogram(
+    bin_edges: np.ndarray,
+    counts: np.ndarray,
+    *,
+    title: str | None = None,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """ASCII histogram: one bar per bin."""
+    counts = np.asarray(counts)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, c in enumerate(counts):
+        lo, hi = bin_edges[i], bin_edges[i + 1]
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{lo:6.0f}-{hi:<6.0f} {label}|{bar} {int(c)}")
+    return "\n".join(lines)
+
+
+def speedup_summary(speedups: Sequence[float]) -> dict[str, float]:
+    """Average (arithmetic, as the paper quotes), geometric mean, max and
+    the fraction of cases above 1×."""
+    arr = np.asarray([s for s in speedups if math.isfinite(s) and s > 0])
+    if arr.size == 0:
+        return {"mean": 0.0, "gmean": 0.0, "max": 0.0, "win_rate": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "gmean": float(np.exp(np.log(arr).mean())),
+        "max": float(arr.max()),
+        "win_rate": float((arr > 1.0).mean()),
+    }
+
+
+def density_bucket(density: float) -> str:
+    """Figure 6/7 x-axis bucket label (decade of nnz density)."""
+    if density <= 0:
+        return "E-00"
+    exp = int(np.clip(np.floor(np.log10(density)), -7, -1))
+    return f"E{exp:+03d}".replace("+", "-")

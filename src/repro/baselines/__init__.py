@@ -1,0 +1,10 @@
+"""Baseline frameworks the paper compares against.
+
+:class:`GraphBLASTEngine` (re-exported from :mod:`repro.engines`) models
+GraphBLAST [Yang et al.]; the cuSPARSE kernel baselines live in
+:mod:`repro.kernels.csr_spmv` / :mod:`repro.kernels.csr_spgemm`.
+"""
+
+from repro.engines.graphblast import GraphBLASTEngine
+
+__all__ = ["GraphBLASTEngine"]

@@ -1,0 +1,23 @@
+"""Benchmark harness helpers.
+
+Shared machinery for the ``benchmarks/`` suite: kernel-speedup measurement
+under the cost model, algorithm-table runners, and suite subsampling.
+"""
+
+from repro.bench.harness import (
+    KernelSpeedup,
+    algorithm_table_rows,
+    bmm_speedup,
+    bmv_speedup,
+    suite_subset,
+    tc_table_rows,
+)
+
+__all__ = [
+    "KernelSpeedup",
+    "bmv_speedup",
+    "bmm_speedup",
+    "algorithm_table_rows",
+    "tc_table_rows",
+    "suite_subset",
+]

@@ -1,0 +1,211 @@
+"""Benchmark harness.
+
+Turns the cost model into the paper's measurement protocol:
+
+* :func:`bmv_speedup` / :func:`bmm_speedup` — modeled kernel time of a
+  B2SR scheme vs the cuSPARSE-equivalent CSR kernel on one matrix and one
+  device (a point of Figures 6/7);
+* :func:`algorithm_table_rows` — one Table VII/VIII row: algorithm- and
+  kernel-level latency of Bit-GraphBLAS vs GraphBLAST for BFS/SSSP/PR/CC;
+* :func:`tc_table_rows` — Table IX rows (TC on both devices);
+* :func:`suite_subset` — deterministic subsampling of the 521-matrix suite
+  so CI-scale benches stay fast while full runs remain available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms import bfs, connected_components, pagerank, sssp, tc
+from repro.datasets.suite import SuiteEntry, evaluation_suite
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.stats import bandwidth_profile
+from repro.graph import Graph
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.timing import time_ms
+from repro.kernels.bmm import bmm_pair_count
+from repro.kernels.costmodel import (
+    bmm_stats,
+    bmv_stats,
+    csr_spgemm_stats,
+    csr_spmv_stats,
+)
+from repro.kernels.csr_spgemm import spgemm_flops
+
+
+@dataclass(frozen=True)
+class KernelSpeedup:
+    """One (matrix, tile_dim, scheme, device) kernel measurement."""
+
+    name: str
+    category: str
+    density: float
+    tile_dim: int
+    scheme: str
+    device: str
+    baseline_ms: float
+    b2sr_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.b2sr_ms if self.b2sr_ms > 0 else 0.0
+
+
+def bmv_speedup(
+    graph: Graph,
+    scheme: str,
+    tile_dim: int,
+    device: DeviceSpec,
+) -> KernelSpeedup:
+    """Modeled BMV-vs-cuSPARSE speedup for one matrix (Figure 6/7 point).
+
+    Device-busy comparison (CUDA-event style): launch overhead excluded on
+    both sides, matching how standalone kernel benchmarks are timed.
+    """
+    locality = float(
+        np.clip(bandwidth_profile(graph.csr)["diag_fraction"], 0, 1)
+    )
+    base = time_ms(
+        csr_spmv_stats(graph.csr, device, locality=locality).device_only(),
+        device,
+    )
+    ours = time_ms(
+        bmv_stats(
+            graph.b2sr(tile_dim), scheme, device, locality=locality
+        ).device_only(),
+        device,
+    )
+    return KernelSpeedup(
+        name=graph.name,
+        category=graph.category,
+        density=graph.density,
+        tile_dim=tile_dim,
+        scheme=scheme,
+        device=device.name,
+        baseline_ms=base,
+        b2sr_ms=ours,
+    )
+
+
+def bmm_speedup(
+    graph: Graph, tile_dim: int, device: DeviceSpec
+) -> KernelSpeedup:
+    """Modeled BMM-vs-cuSPARSE-SpGEMM speedup for ``A·A`` (Figure 6d/7d)."""
+    A = graph.b2sr(tile_dim)
+    flops = spgemm_flops(graph.csr, graph.csr)
+    base = time_ms(
+        csr_spgemm_stats(graph.csr, graph.csr, device, flops=flops),
+        device,
+    )
+    ours = time_ms(
+        bmm_stats(A, A, device, pairs=bmm_pair_count(A, A)), device
+    )
+    return KernelSpeedup(
+        name=graph.name,
+        category=graph.category,
+        density=graph.density,
+        tile_dim=tile_dim,
+        scheme="bmm_bin_bin_sum",
+        device=device.name,
+        baseline_ms=base,
+        b2sr_ms=ours,
+    )
+
+
+#: The SpMV-based algorithms of Tables VII/VIII, in column order.
+SPMV_ALGORITHMS = ("BFS", "SSSP", "PR", "CC")
+
+
+def algorithm_table_rows(
+    graph: Graph,
+    device: DeviceSpec,
+    *,
+    tile_dim: int = 32,
+    source: int = 0,
+) -> dict[str, dict[str, float]]:
+    """One matrix's Table VII/VIII row.
+
+    Returns ``{algorithm: {gblst_alg, ours_alg, gblst_kernel,
+    ours_kernel, speedup_alg, speedup_kernel}}`` (latencies in modeled ms).
+    """
+    sym = graph.symmetrized()
+    rows: dict[str, dict[str, float]] = {}
+    for alg in SPMV_ALGORITHMS:
+        g = sym if alg in ("CC",) else graph
+        bit_engine = BitEngine(g, device=device, tile_dim=tile_dim)
+        gb_engine = GraphBLASTEngine(g, device=device)
+        if alg == "BFS":
+            _, rb = bfs(bit_engine, source)
+            _, rg = bfs(gb_engine, source)
+        elif alg == "SSSP":
+            _, rb = sssp(bit_engine, source)
+            _, rg = sssp(gb_engine, source)
+        elif alg == "PR":
+            _, rb = pagerank(bit_engine)
+            _, rg = pagerank(gb_engine)
+        else:
+            _, rb = connected_components(bit_engine)
+            _, rg = connected_components(gb_engine)
+        rows[alg] = {
+            "gblst_alg": rg.algorithm_ms,
+            "ours_alg": rb.algorithm_ms,
+            "gblst_kernel": rg.kernel_ms,
+            "ours_kernel": rb.kernel_ms,
+            "speedup_alg": (
+                rg.algorithm_ms / rb.algorithm_ms
+                if rb.algorithm_ms > 0
+                else 0.0
+            ),
+            "speedup_kernel": (
+                rg.kernel_ms / rb.kernel_ms if rb.kernel_ms > 0 else 0.0
+            ),
+            "iterations": float(rb.iterations),
+        }
+    return rows
+
+
+def tc_table_rows(
+    graph: Graph, device: DeviceSpec, *, tile_dim: int = 32
+) -> dict[str, float]:
+    """One matrix's Table IX cell pair for one device."""
+    sym = graph.symmetrized()
+    bit_engine = BitEngine(sym, device=device, tile_dim=tile_dim)
+    gb_engine = GraphBLASTEngine(sym, device=device)
+    count_b, rb = tc.triangle_count(bit_engine)
+    count_g, rg = tc.triangle_count(gb_engine)
+    if count_b != count_g:
+        raise AssertionError(
+            f"backends disagree on triangles: {count_b} vs {count_g}"
+        )
+    return {
+        "triangles": float(count_b),
+        "gblst_ms": rg.algorithm_ms,
+        "ours_ms": rb.algorithm_ms,
+        "speedup": (
+            rg.algorithm_ms / rb.algorithm_ms if rb.algorithm_ms > 0 else 0.0
+        ),
+    }
+
+
+def suite_subset(
+    count: int, *, master_seed: int = 7, max_n: int = 2048
+) -> list[SuiteEntry]:
+    """A deterministic, category-stratified subset of the 521-matrix suite
+    (keeps CI benches fast; pass ``count=521`` for the full sweep)."""
+    entries = evaluation_suite(max_n=max_n)
+    if count >= len(entries):
+        return entries
+    rng = np.random.default_rng(master_seed)
+    by_cat: dict[str, list[SuiteEntry]] = {}
+    for e in entries:
+        by_cat.setdefault(e.category, []).append(e)
+    picked: list[SuiteEntry] = []
+    total = len(entries)
+    for cat, items in by_cat.items():
+        k = max(1, int(round(count * len(items) / total)))
+        idx = rng.choice(len(items), size=min(k, len(items)), replace=False)
+        picked.extend(items[i] for i in sorted(idx))
+    return picked[:count] if len(picked) > count else picked

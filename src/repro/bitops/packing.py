@@ -1,0 +1,169 @@
+"""Bit pack/unpack codecs for B2SR tiles and binarized vectors (§III.B).
+
+A *tile* is a ``d × d`` dense 0/1 submatrix (``d`` = tileDim ∈ {4, 8, 16,
+32}).  Packing turns a tile into ``d`` unsigned words of ``d`` bits each:
+
+* **row-major packing** — word ``r`` holds row ``r`` of the tile, with the
+  bit for column ``c`` at LSB position ``c``;
+* **column-major packing** — word ``c`` holds column ``c``, with the bit for
+  row ``r`` at LSB position ``r``.  This is the paper's conversion-time
+  default (Figure 2); it equals row-major packing of the transposed tile, so
+  repacking the other way transposes for free.
+
+A *binarized vector* packs ``d`` consecutive vector entries into one word per
+tile-column block, so a tile row and the matching vector word can be combined
+with ``popc(row & word)`` (Listing 1).
+
+Nibble packing (§III.B) stores two 4-bit rows per byte, halving B2SR-4's
+storage from Table I's 16× saving to the full 32×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.intrinsics import dtype_for_width, mask_for_width
+
+_VALID_DIMS = (4, 8, 16, 32)
+
+
+def _check_dim(tile_dim: int) -> None:
+    if tile_dim not in _VALID_DIMS:
+        raise ValueError(
+            f"tile_dim must be one of {_VALID_DIMS}, got {tile_dim}"
+        )
+
+
+def pack_bits_rowmajor(tiles: np.ndarray) -> np.ndarray:
+    """Pack dense 0/1 tiles row-major.
+
+    Parameters
+    ----------
+    tiles:
+        Array of shape ``(..., d, d)``; nonzero entries are treated as 1.
+
+    Returns
+    -------
+    Array of shape ``(..., d)`` with dtype from :func:`dtype_for_width`;
+    element ``[..., r]`` packs row ``r`` (column ``c`` → bit ``c``).
+    """
+    arr = np.asarray(tiles)
+    if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
+        raise ValueError(f"expected (..., d, d) tiles, got shape {arr.shape}")
+    d = arr.shape[-1]
+    _check_dim(d)
+    bits = (arr != 0).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(d, dtype=np.uint64)
+    words = (bits * weights).sum(axis=-1, dtype=np.uint64)
+    return words.astype(dtype_for_width(d))
+
+
+def pack_bits_colmajor(tiles: np.ndarray) -> np.ndarray:
+    """Pack dense 0/1 tiles column-major (Figure 2's default order).
+
+    Element ``[..., c]`` packs column ``c`` (row ``r`` → bit ``r``).
+    Equivalent to ``pack_bits_rowmajor`` of the transposed tile.
+    """
+    arr = np.asarray(tiles)
+    if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
+        raise ValueError(f"expected (..., d, d) tiles, got shape {arr.shape}")
+    return pack_bits_rowmajor(np.swapaxes(arr, -1, -2))
+
+
+def unpack_bits_rowmajor(words: np.ndarray, tile_dim: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_rowmajor`; returns uint8 0/1 tiles."""
+    _check_dim(tile_dim)
+    arr = np.asarray(words, dtype=np.uint64)
+    if arr.shape[-1] != tile_dim:
+        raise ValueError(
+            f"last axis must have length {tile_dim}, got shape {arr.shape}"
+        )
+    shifts = np.arange(tile_dim, dtype=np.uint64)
+    bits = (arr[..., None] >> shifts) & np.uint64(1)
+    return bits.astype(np.uint8)
+
+
+def unpack_bits_colmajor(words: np.ndarray, tile_dim: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_colmajor`; returns uint8 0/1 tiles."""
+    return np.swapaxes(unpack_bits_rowmajor(words, tile_dim), -1, -2)
+
+
+def transpose_packed(words: np.ndarray, tile_dim: int) -> np.ndarray:
+    """Transpose packed tiles without materialising a full dense array.
+
+    Because column-major packing of a tile equals row-major packing of its
+    transpose, B2SR supports transpose by storing the alternate layout
+    (§III.B).  This helper converts between the two layouts.
+    """
+    dense = unpack_bits_rowmajor(words, tile_dim)
+    return pack_bits_rowmajor(np.swapaxes(dense, -1, -2))
+
+
+def pack_bitvector(x: np.ndarray, tile_dim: int) -> np.ndarray:
+    """Binarize and bit-pack a vector into ``tile_dim``-bit words.
+
+    Entry ``j`` of the vector lands in word ``j // tile_dim`` at bit
+    ``j % tile_dim`` (nonzero → 1).  The vector is zero-padded to a multiple
+    of ``tile_dim``; word ``k`` therefore aligns with tile column ``k`` of a
+    B2SR matrix with the same ``tile_dim`` (Listing 1's ``Bsub``).
+    """
+    _check_dim(tile_dim)
+    v = np.asarray(x)
+    if v.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {v.shape}")
+    n = v.shape[0]
+    nwords = (n + tile_dim - 1) // tile_dim
+    bits = np.zeros(nwords * tile_dim, dtype=np.uint64)
+    bits[:n] = v != 0
+    bits = bits.reshape(nwords, tile_dim)
+    weights = np.uint64(1) << np.arange(tile_dim, dtype=np.uint64)
+    words = (bits * weights).sum(axis=1, dtype=np.uint64)
+    return words.astype(dtype_for_width(tile_dim))
+
+
+def unpack_bitvector(words: np.ndarray, tile_dim: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitvector`; returns a 0/1 uint8 vector of
+    length ``n``."""
+    _check_dim(tile_dim)
+    arr = np.asarray(words, dtype=np.uint64)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D packed words, got shape {arr.shape}")
+    if arr.shape[0] * tile_dim < n:
+        raise ValueError(
+            f"{arr.shape[0]} words of {tile_dim} bits cannot hold {n} entries"
+        )
+    shifts = np.arange(tile_dim, dtype=np.uint64)
+    bits = ((arr[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+    return bits.reshape(-1)[:n]
+
+
+def nibble_pack(rows: np.ndarray) -> np.ndarray:
+    """Pack 4-bit tile rows two-per-byte (§III.B nibble packing).
+
+    ``rows`` is a 1-D uint8 array whose elements each use only their low
+    nibble.  Rows ``2k`` and ``2k+1`` share byte ``k`` (low nibble = even
+    row).  An odd count is padded with an empty nibble.
+    """
+    arr = np.asarray(rows, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D rows, got shape {arr.shape}")
+    if np.any(arr > 0xF):
+        raise ValueError("nibble rows must fit in 4 bits")
+    n = arr.shape[0]
+    padded = np.zeros(n + (n % 2), dtype=np.uint8)
+    padded[:n] = arr
+    pairs = padded.reshape(-1, 2)
+    return (pairs[:, 0] | (pairs[:, 1] << 4)).astype(np.uint8)
+
+
+def nibble_unpack(packed: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`nibble_pack`; returns ``count`` 4-bit rows."""
+    arr = np.asarray(packed, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D packed bytes, got shape {arr.shape}")
+    if arr.shape[0] * 2 < count:
+        raise ValueError(f"{arr.shape[0]} bytes cannot hold {count} nibbles")
+    out = np.empty(arr.shape[0] * 2, dtype=np.uint8)
+    out[0::2] = arr & 0xF
+    out[1::2] = arr >> 4
+    return out[:count]

@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's day-to-day workflows
+without writing Python:
+
+* ``profile``  — run the Algorithm 1 sampling profile / format advisor on
+  a MatrixMarket file or a named/generated matrix;
+* ``stats``    — storage statistics across every B2SR variant (the Fig 5
+  per-matrix view) plus the Table V pattern class;
+* ``run``      — execute a graph algorithm on both backends and report
+  modeled latencies (a one-matrix Table VII row);
+* ``matrices`` — list the named paper-matrix stand-ins;
+* ``suite``    — describe the 521-matrix evaluation suite.
+
+Matrices are specified as ``name:<named-matrix>``, ``mtx:<path>`` or
+``gen:<category>:<n>[:seed]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.classify import classify_pattern
+from repro.analysis.report import format_table
+from repro.datasets.named import NAMED_MATRICES, load_named
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.mmio import read_matrix_market
+from repro.formats.stats import stats_for_all_tile_dims
+from repro.graph import Graph
+from repro.gpusim.device import device_by_name
+from repro.profiling import recommend_format
+
+ALGORITHMS = ("bfs", "sssp", "pagerank", "cc", "tc", "mis", "coloring",
+              "diameter")
+
+
+def load_matrix(spec: str) -> Graph:
+    """Resolve a matrix spec (``name:``, ``mtx:`` or ``gen:``)."""
+    kind, _, rest = spec.partition(":")
+    if kind == "name":
+        return load_named(rest)
+    if kind == "mtx":
+        csr = read_matrix_market(rest).binarize()
+        return Graph(csr, name=rest, category="unknown")
+    if kind == "gen":
+        from repro.datasets import generators as gen
+
+        parts = rest.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                "gen spec must be gen:<category>:<n>[:seed]"
+            )
+        category, n = parts[0], int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        builders = {
+            "dot": lambda: gen.dot_pattern(n, 0.005, seed=seed),
+            "diagonal": lambda: gen.diagonal_pattern(n, seed=seed),
+            "block": lambda: gen.block_pattern(n, seed=seed),
+            "stripe": lambda: gen.stripe_pattern(n, seed=seed),
+            "road": lambda: gen.road_pattern(n, seed=seed),
+            "hybrid": lambda: gen.hybrid_pattern(n, seed=seed),
+        }
+        if category not in builders:
+            raise ValueError(
+                f"unknown category {category!r}; valid: "
+                f"{sorted(builders)}"
+            )
+        return builders[category]()
+    raise ValueError(
+        f"matrix spec must start with name:/mtx:/gen:, got {spec!r}"
+    )
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    g = load_matrix(args.matrix)
+    rec = recommend_format(
+        g.csr, sample_rows=args.sample_rows, seed=args.seed
+    )
+    print(f"matrix: {g.name} (n={g.n}, nnz={g.nnz})")
+    rows = [
+        [f"{d}x{d}", f"{rec.profile.est_compression[d]:.3f}",
+         f"{rec.profile.est_nnz_per_bitrow[d]:.2f}"]
+        for d in TILE_DIMS
+    ]
+    print(
+        format_table(
+            ["tile", "est. B2SR/CSR bytes", "est. nnz/bit-row"], rows,
+            title=f"Algorithm 1 sampling profile "
+                  f"({rec.profile.sample_rows} rows)",
+        )
+    )
+    print(f"\nverdict: {rec.reason}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    g = load_matrix(args.matrix)
+    stats = stats_for_all_tile_dims(g.csr)
+    rows = []
+    for d in TILE_DIMS:
+        s = stats[d]
+        rows.append(
+            [
+                f"{d}x{d}", s.n_tiles,
+                f"{100 * s.nonempty_tile_ratio:.1f}%",
+                f"{100 * s.tile_occupancy:.2f}%",
+                f"{s.b2sr_bytes / 1024:.1f}",
+                f"{100 * s.compression_ratio:.1f}%",
+            ]
+        )
+    print(f"matrix: {g.name} (n={g.n}, nnz={g.nnz})")
+    print(f"pattern class: {classify_pattern(g.csr)}")
+    print(
+        format_table(
+            ["tile", "tiles", "non-empty", "occupancy", "B2SR KB",
+             "vs CSR"],
+            rows,
+            title=f"storage (float CSR = "
+                  f"{stats[4].csr_bytes / 1024:.1f} KB)",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.algorithms import (
+        bfs, connected_components, greedy_coloring,
+        maximal_independent_set, pagerank, pseudo_diameter, sssp,
+        triangle_count,
+    )
+    from repro.engines import BitEngine, GraphBLASTEngine
+
+    g = load_matrix(args.matrix)
+    if args.algorithm in ("cc", "tc", "mis", "coloring"):
+        g = g.symmetrized()
+    device = device_by_name(args.device)
+
+    def execute(engine):
+        if args.algorithm == "bfs":
+            out, rep = bfs(engine, args.source)
+            summary = f"reached {(out >= 0).sum()} vertices"
+        elif args.algorithm == "sssp":
+            out, rep = sssp(engine, args.source)
+            summary = f"{np.isfinite(out).sum()} reachable"
+        elif args.algorithm == "pagerank":
+            out, rep = pagerank(engine)
+            summary = f"top vertex {int(np.argmax(out))}"
+        elif args.algorithm == "cc":
+            out, rep = connected_components(engine)
+            summary = f"{len(np.unique(out))} components"
+        elif args.algorithm == "tc":
+            out, rep = triangle_count(engine)
+            summary = f"{out} triangles"
+        elif args.algorithm == "mis":
+            out, rep = maximal_independent_set(engine, seed=args.seed)
+            summary = f"|MIS| = {int(out.sum())}"
+        elif args.algorithm == "coloring":
+            out, rep = greedy_coloring(engine, seed=args.seed)
+            summary = f"{int(out.max()) + 1} colors"
+        else:
+            out, rep = pseudo_diameter(engine, source=args.source)
+            summary = f"diameter >= {out}"
+        return summary, rep
+
+    bit_summary, bit_rep = execute(
+        BitEngine(g, device=device, tile_dim=args.tile_dim)
+    )
+    gb_summary, gb_rep = execute(GraphBLASTEngine(g, device=device))
+    if bit_summary != gb_summary:
+        print(
+            f"warning: backend summaries differ: {bit_summary!r} vs "
+            f"{gb_summary!r}",
+            file=sys.stderr,
+        )
+    print(f"matrix: {g.name} (n={g.n}, nnz={g.nnz})  device: {device.name}")
+    print(f"result: {bit_summary}")
+    rows = [
+        ["Bit-GraphBLAS", f"{bit_rep.algorithm_ms:.4f}",
+         f"{bit_rep.kernel_ms:.4f}", bit_rep.iterations],
+        ["GraphBLAST", f"{gb_rep.algorithm_ms:.4f}",
+         f"{gb_rep.kernel_ms:.4f}", gb_rep.iterations],
+        ["speedup",
+         f"{gb_rep.algorithm_ms / max(bit_rep.algorithm_ms, 1e-12):.1f}x",
+         f"{gb_rep.kernel_ms / max(bit_rep.kernel_ms, 1e-12):.1f}x", ""],
+    ]
+    print(
+        format_table(
+            ["backend", "algorithm ms", "kernel ms", "iterations"], rows,
+            title=f"{args.algorithm} (modeled)",
+        )
+    )
+    return 0
+
+
+def cmd_matrices(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(NAMED_MATRICES):
+        if args.build:
+            g = load_named(name)
+            rows.append([name, g.n, g.nnz, g.category])
+        else:
+            rows.append([name, "-", "-", "-"])
+    print(
+        format_table(
+            ["name", "n", "nnz", "category"], rows,
+            title="named paper-matrix stand-ins",
+        )
+    )
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.datasets.suite import CATEGORY_WEIGHTS, evaluation_suite
+
+    entries = evaluation_suite()
+    counts: dict[str, int] = {}
+    for e in entries:
+        counts[e.category] = counts.get(e.category, 0) + 1
+    rows = [
+        [cat, counts.get(cat, 0), f"{100 * w:.1f}%"]
+        for cat, w in CATEGORY_WEIGHTS.items()
+    ]
+    print(
+        format_table(
+            ["category", "matrices", "target share"], rows,
+            title=f"evaluation suite: {len(entries)} matrices "
+                  f"(sizes {min(e.n for e in entries)}–"
+                  f"{max(e.n for e in entries)})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Bit-GraphBLAS reproduction CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("profile", help="Algorithm 1 sampling profile")
+    sp.add_argument("matrix")
+    sp.add_argument("--sample-rows", type=int, default=None)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=cmd_profile)
+
+    sp = sub.add_parser("stats", help="B2SR storage statistics")
+    sp.add_argument("matrix")
+    sp.set_defaults(func=cmd_stats)
+
+    sp = sub.add_parser("run", help="run an algorithm on both backends")
+    sp.add_argument("algorithm", choices=ALGORITHMS)
+    sp.add_argument("matrix")
+    sp.add_argument("--source", type=int, default=0)
+    sp.add_argument("--tile-dim", type=int, default=32,
+                    choices=list(TILE_DIMS))
+    sp.add_argument("--device", default="pascal")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=cmd_run)
+
+    sp = sub.add_parser("matrices", help="list named stand-ins")
+    sp.add_argument("--build", action="store_true",
+                    help="materialise each matrix for sizes")
+    sp.set_defaults(func=cmd_matrices)
+
+    sp = sub.add_parser("suite", help="describe the evaluation suite")
+    sp.set_defaults(func=cmd_suite)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

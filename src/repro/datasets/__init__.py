@@ -1,0 +1,53 @@
+"""Dataset substrate.
+
+The paper evaluates on the 521 binary square matrices of the SuiteSparse
+collection, classified into six nonzero-pattern categories (Table V).
+Without the collection itself, this package provides:
+
+* :mod:`repro.datasets.generators` — parametric generators for each
+  pattern category (dot, diagonal, block, stripe, road, hybrid) plus exact
+  graph constructions (Mycielskian, de Bruijn, Delaunay, meshes, grids);
+* :mod:`repro.datasets.named` — laptop-scale stand-ins for every matrix
+  the paper names in its tables and figures;
+* :mod:`repro.datasets.suite` — a deterministic 521-matrix evaluation
+  suite with Table V's category proportions and the collection's density
+  span.
+"""
+
+from repro.datasets.generators import (
+    block_pattern,
+    diagonal_pattern,
+    dot_pattern,
+    hybrid_pattern,
+    road_pattern,
+    stripe_pattern,
+    delaunay_graph,
+    de_bruijn_graph,
+    grid_graph,
+    kronecker_graph,
+    mesh_graph,
+    mycielskian_graph,
+    rmat_graph,
+)
+from repro.datasets.named import NAMED_MATRICES, load_named
+from repro.datasets.suite import SuiteEntry, evaluation_suite
+
+__all__ = [
+    "dot_pattern",
+    "diagonal_pattern",
+    "block_pattern",
+    "stripe_pattern",
+    "road_pattern",
+    "hybrid_pattern",
+    "mycielskian_graph",
+    "de_bruijn_graph",
+    "delaunay_graph",
+    "grid_graph",
+    "mesh_graph",
+    "rmat_graph",
+    "kronecker_graph",
+    "NAMED_MATRICES",
+    "load_named",
+    "SuiteEntry",
+    "evaluation_suite",
+]

@@ -1,0 +1,199 @@
+"""Named-matrix stand-ins.
+
+Every matrix the paper names in Figures 3, 6, 7 and Tables VII–IX, mapped
+to a deterministic laptop-scale construction with the same structural
+family (and, where the construction is a published definition —
+Mycielskian, de Bruijn — the exact graph at reduced order).
+
+===================  ==========  ==============================================
+paper matrix         category    stand-in
+===================  ==========  ==============================================
+delaunay_n14         stripe*     Delaunay triangulation (paper lists it with
+                                 its stripe-pattern group in §VI.E)
+se                   stripe      shifted stripes
+debr                 stripe      de Bruijn graph B(2, 12)
+ash292               diagonal    banded least-squares-like pattern
+netz4504_dual        diagonal    mesh dual
+minnesota            diagonal    road grid
+jagmesh6, jagmesh2   diagonal    triangulated mesh
+uk                   diagonal    road grid (larger)
+whitaker3_dual       diagonal    mesh dual (larger)
+rajat07              diagonal    circuit: tridiagonal + dense border rows
+3dtube               diagonal    wide-band 3-D mesh
+Erdos02              block       R-MAT hub graph
+mycielskian8..13     block       exact Mycielskian construction
+EX3, net25           block       clustered blocks
+ins2                 block       dense-arrow pattern (the max-speedup case)
+sstmodel             diagonal    banded structural model
+lock2232             diagonal    banded FE matrix
+ramage02             block       dense-band FE matrix
+s4dkt3m2, opt1,
+trdheim              diagonal    banded FE meshes
+vsp_*                hybrid      partitioned hybrid patterns
+G47                  dot         uniform random
+sphere3              diagonal    sphere mesh band
+cage                 diagonal    narrow band (DNA electrophoresis chain)
+will199              hybrid      band + scattered
+email-Eu-core        dot         dense-ish random block
+===================  ==========  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.generators import (
+    block_pattern,
+    degree_sorted,
+    de_bruijn_graph,
+    delaunay_graph,
+    diagonal_pattern,
+    dot_pattern,
+    grid_graph,
+    hybrid_pattern,
+    mesh_graph,
+    mycielskian_graph,
+    rmat_graph,
+    stripe_pattern,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.convert import csr_from_coo
+from repro.graph import Graph
+
+
+def _arrow_graph(n: int, band: int, n_dense: int, seed: int) -> Graph:
+    """Banded matrix plus a few dense rows/columns (the ``ins2``/circuit
+    shape: cuSPARSE SpGEMM's worst case, B2SR's best)."""
+    rng = np.random.default_rng(seed)
+    g = diagonal_pattern(n, bandwidth=band, seed=seed, fill=0.95)
+    rows = [
+        np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.csr.indptr)),
+        ]
+    cols = [g.csr.indices]
+    dense_ids = rng.choice(n, size=n_dense, replace=False).astype(np.int64)
+    for v in dense_ids:
+        others = np.arange(n, dtype=np.int64)
+        rows.append(np.full(n, v, dtype=np.int64))
+        cols.append(others)
+        rows.append(others)
+        cols.append(np.full(n, v, dtype=np.int64))
+    coo = COOMatrix(
+        n, n, np.concatenate(rows), np.concatenate(cols)
+    ).deduplicate()
+    return Graph(csr_from_coo(coo), name=f"arrow_n{n}", category="block")
+
+
+def _registry() -> dict[str, Callable[[], Graph]]:
+    return {
+        # --- Figure 3 matrices -------------------------------------------
+        "G47": lambda: dot_pattern(1000, 0.01, seed=101, name="G47"),
+        "sphere3": lambda: diagonal_pattern(
+            1024, bandwidth=4, seed=102, name="sphere3"
+        ),
+        "cage": lambda: diagonal_pattern(
+            366, bandwidth=2, seed=103, fill=1.0, name="cage"
+        ),
+        "will199": lambda: hybrid_pattern(199, seed=104, name="will199"),
+        "email-Eu-core": lambda: degree_sorted(
+            rmat_graph(10, edge_factor=16, seed=105, name="email-Eu-core")
+        ),
+        # --- Tables VII/VIII: stripe group -------------------------------
+        "delaunay_n14": lambda: delaunay_graph(
+            4096, seed=1, name="delaunay_n14"
+        ),
+        "se": lambda: stripe_pattern(
+            4096, n_stripes=5, seed=2, name="se"
+        ),
+        "debr": lambda: de_bruijn_graph(2, 12, name="debr"),
+        # --- diagonal group ----------------------------------------------
+        "ash292": lambda: diagonal_pattern(
+            292, bandwidth=3, seed=3, name="ash292"
+        ),
+        "netz4504_dual": lambda: mesh_graph(
+            26, seed=4, dual=True, name="netz4504_dual"
+        ),
+        "minnesota": lambda: grid_graph(50, name="minnesota"),
+        "jagmesh6": lambda: mesh_graph(32, seed=6, name="jagmesh6"),
+        "jagmesh2": lambda: mesh_graph(24, seed=7, name="jagmesh2"),
+        "uk": lambda: grid_graph(62, name="uk"),
+        "whitaker3_dual": lambda: mesh_graph(
+            64, seed=8, dual=True, name="whitaker3_dual"
+        ),
+        "rajat07": lambda: _arrow_graph(4000, 1, 2, seed=9),
+        "3dtube": lambda: diagonal_pattern(
+            4096, bandwidth=14, seed=10, fill=0.85, name="3dtube"
+        ),
+        # --- block group --------------------------------------------------
+        "Erdos02": lambda: degree_sorted(
+            rmat_graph(
+                12, edge_factor=4, seed=11,
+                a=0.70, b=0.115, c=0.115, name="Erdos02",
+            )
+        ),
+        "mycielskian8": lambda: mycielskian_graph(8),
+        "mycielskian9": lambda: mycielskian_graph(9),
+        "mycielskian10": lambda: mycielskian_graph(10),
+        "mycielskian12": lambda: mycielskian_graph(12),
+        "mycielskian13": lambda: mycielskian_graph(13),
+        "EX3": lambda: block_pattern(
+            1821, block_size=24, n_blocks=60, seed=12,
+            intra_density=0.7, name="EX3",
+        ),
+        "net25": lambda: block_pattern(
+            2048, block_size=16, n_blocks=100, seed=13,
+            intra_density=0.5, off_diag_blocks=20, name="net25",
+        ),
+        "ins2": lambda: _arrow_graph(2048, 2, 8, seed=14),
+        # --- Table IX extras ----------------------------------------------
+        "sstmodel": lambda: diagonal_pattern(
+            3345, bandwidth=4, seed=15, name="sstmodel"
+        ),
+        "lock2232": lambda: diagonal_pattern(
+            2232, bandwidth=6, seed=16, name="lock2232"
+        ),
+        "ramage02": lambda: block_pattern(
+            1476, block_size=32, n_blocks=46, seed=17,
+            intra_density=0.8, off_diag_blocks=12, name="ramage02",
+        ),
+        "s4dkt3m2": lambda: diagonal_pattern(
+            4096, bandwidth=8, seed=18, name="s4dkt3m2"
+        ),
+        "opt1": lambda: diagonal_pattern(
+            3840, bandwidth=10, seed=19, name="opt1"
+        ),
+        "trdheim": lambda: diagonal_pattern(
+            3602, bandwidth=12, seed=20, name="trdheim"
+        ),
+        "vsp_c-60_data_cti_cs4": lambda: hybrid_pattern(
+            4096, seed=21, name="vsp_c-60_data_cti_cs4"
+        ),
+        "vsp_south31_slptsk": lambda: hybrid_pattern(
+            3072, seed=22, name="vsp_south31_slptsk"
+        ),
+        "vsp_c-30_data_data": lambda: hybrid_pattern(
+            2048, seed=23, name="vsp_c-30_data_data"
+        ),
+    }
+
+
+#: Name → builder for every matrix named in the paper's evaluation.
+NAMED_MATRICES: dict[str, Callable[[], Graph]] = _registry()
+
+_cache: dict[str, Graph] = {}
+
+
+def load_named(name: str, *, cached: bool = True) -> Graph:
+    """Build (or fetch from cache) a named stand-in matrix."""
+    if name not in NAMED_MATRICES:
+        raise KeyError(
+            f"unknown matrix {name!r}; available: "
+            f"{sorted(NAMED_MATRICES)}"
+        )
+    if cached and name in _cache:
+        return _cache[name]
+    g = NAMED_MATRICES[name]()
+    if cached:
+        _cache[name] = g
+    return g

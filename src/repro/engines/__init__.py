@@ -1,0 +1,16 @@
+"""Execution engines.
+
+An *engine* binds a :class:`repro.graph.Graph` to a backend (Bit-GraphBLAS
+B2SR kernels, or the GraphBLAST-style CSR baseline) and a simulated device,
+executes the GraphBLAS operations functionally, and accumulates the modeled
+:class:`repro.gpusim.counters.KernelStats` for both the *kernel* (mxv/mxm
+only) and the *algorithm* (everything, including per-iteration elementwise
+kernels and frontier management) — the two rows of the paper's Tables
+VII/VIII.
+"""
+
+from repro.engines.base import Engine, EngineReport
+from repro.engines.bit import BitEngine
+from repro.engines.graphblast import GraphBLASTEngine
+
+__all__ = ["Engine", "EngineReport", "BitEngine", "GraphBLASTEngine"]

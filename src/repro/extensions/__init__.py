@@ -1,0 +1,17 @@
+"""Extensions beyond the paper's evaluated scope.
+
+§VII sets as future work the support of *heterogeneous* (weighted) graphs
+whose weights fit a short bit-width, "similar to the recent effort
+decomposing a quantized-neural-network into several concurrent
+binary-neural-networks".  :mod:`repro.extensions.bitplanes` implements
+exactly that: a k-bit integer weight matrix stored as k B2SR bit planes,
+with SpMV as a weighted sum of BMV calls.
+"""
+
+from repro.extensions.bitplanes import (
+    BitPlaneMatrix,
+    bitplane_from_csr,
+    bitplane_spmv,
+)
+
+__all__ = ["BitPlaneMatrix", "bitplane_from_csr", "bitplane_spmv"]

@@ -1,0 +1,47 @@
+"""Sparse matrix storage formats.
+
+From-scratch substrates (COO, CSR, CSC, BSR) plus the paper's contribution,
+the two-level **Bit-Block Compressed Sparse Row (B2SR)** format (§III), and
+the conversions between them.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.bsr import BSRMatrix
+from repro.formats.b2sr import B2SRMatrix, TILE_DIMS, bytes_per_tile
+from repro.formats.convert import (
+    bsr_from_csr,
+    b2sr_from_csr,
+    b2sr_from_dense,
+    csc_from_csr,
+    csr_from_b2sr,
+    csr_from_coo,
+    csr_from_csc,
+    csr_from_dense,
+)
+from repro.formats.stats import FormatStats, b2sr_stats, csr_storage_bytes
+from repro.formats.mmio import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "BSRMatrix",
+    "B2SRMatrix",
+    "TILE_DIMS",
+    "bytes_per_tile",
+    "csr_from_coo",
+    "csr_from_dense",
+    "csc_from_csr",
+    "csr_from_csc",
+    "bsr_from_csr",
+    "b2sr_from_csr",
+    "b2sr_from_dense",
+    "csr_from_b2sr",
+    "FormatStats",
+    "b2sr_stats",
+    "csr_storage_bytes",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,106 @@
+"""Block Compressed Sparse Row (BSR) — B2SR's design ancestor (§III).
+
+BSR stores non-empty ``d × d`` blocks as *dense float* submatrices under a
+CSR-like block index.  B2SR keeps BSR's upper level but replaces each float
+block with a packed bit tile.  We implement BSR both as a conversion
+way-point (the paper uses ``cusparseScsr2bsr`` the same way, §III.B) and as
+an ablation baseline: BSR shows what blocking alone buys without bit packing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BSRMatrix:
+    """BSR sparse matrix with dense float32 blocks.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        *Element* dimensions of the matrix (not padded).
+    block_dim:
+        Edge length ``d`` of the square blocks.
+    indptr:
+        ``int64`` length ``n_block_rows + 1`` — block-row extents.
+    indices:
+        ``int64`` block-column indices per stored block, sorted within each
+        block row.
+    blocks:
+        ``float32`` array of shape ``(n_blocks, d, d)``.
+    """
+
+    nrows: int
+    ncols: int
+    block_dim: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    blocks: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.blocks = np.asarray(self.blocks, dtype=np.float32)
+        d = self.block_dim
+        if d <= 0:
+            raise ValueError(f"block_dim must be positive, got {d}")
+        if self.indptr.shape != (self.n_block_rows + 1,):
+            raise ValueError(
+                f"indptr length must be n_block_rows+1={self.n_block_rows + 1}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing from 0")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr[-1] must equal number of blocks")
+        if self.blocks.shape != (self.indices.shape[0], d, d):
+            raise ValueError(
+                f"blocks must have shape (n_blocks, {d}, {d}), "
+                f"got {self.blocks.shape}"
+            )
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_block_cols
+        ):
+            raise ValueError("block column index out of range")
+
+    @property
+    def n_block_rows(self) -> int:
+        """``ceil(nrows / d)`` — the paper's ``nTileRow`` (§III.A)."""
+        return (self.nrows + self.block_dim - 1) // self.block_dim
+
+    @property
+    def n_block_cols(self) -> int:
+        return (self.ncols + self.block_dim - 1) // self.block_dim
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def storage_bytes(self) -> int:
+        """Bytes of the three arrays with cuSPARSE-convention widths
+        (int32 index arrays, float32 blocks)."""
+        d = self.block_dim
+        return (
+            4 * (self.n_block_rows + 1)
+            + 4 * self.n_blocks
+            + 4 * self.n_blocks * d * d
+        )
+
+    def to_dense(self) -> np.ndarray:
+        d = self.block_dim
+        padded = np.zeros(
+            (self.n_block_rows * d, self.n_block_cols * d), dtype=np.float32
+        )
+        for br in range(self.n_block_rows):
+            for k in range(self.indptr[br], self.indptr[br + 1]):
+                bc = self.indices[k]
+                padded[br * d:(br + 1) * d, bc * d:(bc + 1) * d] = (
+                    self.blocks[k]
+                )
+        return padded[: self.nrows, : self.ncols]

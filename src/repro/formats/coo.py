@@ -1,0 +1,166 @@
+"""Coordinate (COO) sparse matrix — the interchange substrate.
+
+COO is the natural output of graph generators (edge lists) and the input to
+the CSR builder.  Duplicate handling and canonical ordering live here so the
+compressed formats can assume clean input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class COOMatrix:
+    """Coordinate-format sparse matrix.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    rows, cols:
+        ``int64`` arrays of equal length giving nonzero coordinates.
+    vals:
+        ``float32`` array of nonzero values.  For a binary adjacency matrix
+        every value is 1.0 (the paper's homogeneous-graph setting).
+    """
+
+    nrows: int
+    ncols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        if self.vals is None:
+            self.vals = np.ones(self.rows.shape[0], dtype=np.float32)
+        else:
+            self.vals = np.asarray(self.vals, dtype=np.float32)
+        if not (self.rows.shape == self.cols.shape == self.vals.shape):
+            raise ValueError(
+                "rows, cols and vals must have identical shapes, got "
+                f"{self.rows.shape}, {self.cols.shape}, {self.vals.shape}"
+            )
+        if self.rows.ndim != 1:
+            raise ValueError("coordinate arrays must be 1-D")
+        if self.nrows < 0 or self.ncols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= self.nrows:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.ncols:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (after :meth:`deduplicate`, the number of
+        structural nonzeros)."""
+        return int(self.rows.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def density(self) -> float:
+        """Nonzero density ``nnz / (nrows*ncols)`` — the x-axis of the
+        paper's Figures 6 and 7."""
+        total = self.nrows * self.ncols
+        return self.nnz / total if total else 0.0
+
+    def deduplicate(self, combine: str = "last") -> "COOMatrix":
+        """Return a canonical copy: sorted by (row, col), duplicates merged.
+
+        ``combine`` is ``"last"`` (keep the final value, GraphBLAS build
+        semantics), ``"sum"`` or ``"max"``.  Binary matrices are unaffected
+        by the choice.
+        """
+        if combine not in ("last", "sum", "max"):
+            raise ValueError(f"unknown combine mode {combine!r}")
+        if self.nnz == 0:
+            return COOMatrix(
+                self.nrows,
+                self.ncols,
+                self.rows.copy(),
+                self.cols.copy(),
+                self.vals.copy(),
+            )
+        order = np.lexsort((self.cols, self.rows))
+        r, c, v = self.rows[order], self.cols[order], self.vals[order]
+        keys = r * self.ncols + c
+        uniq, first_idx = np.unique(keys, return_index=True)
+        if combine == "last":
+            last_idx = np.r_[first_idx[1:], keys.shape[0]] - 1
+            vv = v[last_idx]
+        elif combine == "sum":
+            vv = np.add.reduceat(v, first_idx)
+        else:
+            vv = np.maximum.reduceat(v, first_idx)
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            (uniq // self.ncols).astype(np.int64),
+            (uniq % self.ncols).astype(np.int64),
+            vv.astype(np.float32),
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """Swap rows and columns."""
+        return COOMatrix(
+            self.ncols, self.nrows, self.cols.copy(), self.rows.copy(),
+            self.vals.copy(),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float32`` array (tests / tiny inputs)."""
+        out = np.zeros((self.nrows, self.ncols), dtype=np.float32)
+        # Duplicates resolve to "last" to match deduplicate()'s default.
+        out[self.rows, self.cols] = self.vals
+        return out
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense array; nonzero entries become stored values."""
+        arr = np.asarray(dense)
+        if arr.ndim != 2:
+            raise ValueError(f"expected 2-D array, got shape {arr.shape}")
+        rows, cols = np.nonzero(arr)
+        return cls(
+            arr.shape[0],
+            arr.shape[1],
+            rows.astype(np.int64),
+            cols.astype(np.int64),
+            arr[rows, cols].astype(np.float32),
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: np.ndarray,
+        *,
+        symmetrize: bool = False,
+        drop_self_loops: bool = False,
+    ) -> "COOMatrix":
+        """Build a binary adjacency matrix from an ``(m, 2)`` edge array.
+
+        ``symmetrize`` mirrors each edge (undirected graph); the result is
+        deduplicated and canonically ordered.
+        """
+        e = np.asarray(edges, dtype=np.int64)
+        if e.size == 0:
+            e = e.reshape(0, 2)
+        if e.ndim != 2 or e.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {e.shape}")
+        src, dst = e[:, 0], e[:, 1]
+        if symmetrize:
+            src, dst = np.r_[src, dst], np.r_[dst, src]
+        if drop_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        coo = cls(n, n, src, dst)
+        return coo.deduplicate()

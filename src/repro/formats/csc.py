@@ -1,0 +1,80 @@
+"""Compressed Sparse Column (CSC).
+
+B2SR's transpose support (§III.A merit 1) works by converting the top-level
+tile index from CSR to CSC — the same trick at element granularity lives
+here, mirroring cuSPARSE's ``cusparseScsr2csc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSCMatrix:
+    """CSC sparse matrix: column-compressed twin of
+    :class:`repro.formats.csr.CSRMatrix`.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    indptr:
+        ``int64`` length ``ncols + 1``; column ``j`` occupies
+        ``indptr[j]:indptr[j+1]``.
+    indices:
+        ``int64`` row indices, sorted within each column.
+    data:
+        ``float32`` values.
+    """
+
+    nrows: int
+    ncols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float32)
+        if self.indptr.shape != (self.ncols + 1,):
+            raise ValueError(
+                f"indptr must have length ncols+1={self.ncols + 1}, "
+                f"got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing from 0")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have matching shapes")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.nrows
+        ):
+            raise ValueError("row index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of column ``j``."""
+        if not 0 <= j < self.ncols:
+            raise IndexError(f"column {j} out of range for {self.ncols}")
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.nrows, self.ncols), dtype=np.float32)
+        col_of = np.repeat(
+            np.arange(self.ncols, dtype=np.int64), np.diff(self.indptr)
+        )
+        out[self.indices, col_of] = self.data
+        return out

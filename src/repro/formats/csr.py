@@ -1,0 +1,164 @@
+"""Compressed Sparse Row (CSR) — the baseline substrate.
+
+This is the format the paper's baselines (cuSPARSE, GraphBLAST) store their
+adjacency matrices in: 32-bit float values plus 32-bit column indices, row
+extents compressed into ``indptr``.  All baseline kernels
+(:mod:`repro.kernels.csr_spmv`, :mod:`repro.kernels.csr_spgemm`) and the
+CSR→B2SR converter consume this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """CSR sparse matrix with float32 values.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        Matrix dimensions.
+    indptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` occupies the slice
+        ``indptr[i]:indptr[i+1]`` of ``indices``/``data``.
+    indices:
+        ``int64`` column indices, sorted within each row.
+    data:
+        ``float32`` values.
+    """
+
+    nrows: int
+    ncols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float32)
+        if self.indptr.shape != (self.nrows + 1,):
+            raise ValueError(
+                f"indptr must have length nrows+1={self.nrows + 1}, "
+                f"got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have matching shapes")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.ncols
+        ):
+            raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def density(self) -> float:
+        total = self.nrows * self.ncols
+        return self.nnz / total if total else 0.0
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row nonzero counts (load-balance statistics)."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` (views, not copies)."""
+        if not 0 <= i < self.nrows:
+            raise IndexError(f"row {i} out of range for {self.nrows} rows")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def sort_indices(self) -> "CSRMatrix":
+        """Return a copy with column indices sorted within each row."""
+        indices = self.indices.copy()
+        data = self.data.copy()
+        lengths = np.diff(self.indptr)
+        # Sort all rows at once: key = row_id * ncols + col.
+        row_of = np.repeat(np.arange(self.nrows, dtype=np.int64), lengths)
+        order = np.lexsort((indices, row_of))
+        return CSRMatrix(
+            self.nrows, self.ncols, self.indptr.copy(),
+            indices[order], data[order],
+        )
+
+    def binarize(self) -> "CSRMatrix":
+        """Replace every stored value with 1.0 (homogeneous-graph view)."""
+        return CSRMatrix(
+            self.nrows, self.ncols, self.indptr.copy(), self.indices.copy(),
+            np.ones_like(self.data),
+        )
+
+    def is_binary(self) -> bool:
+        """True when every stored value equals 1.0 — the precondition for
+        converting to B2SR (§VII: Bit-GraphBLAS targets homogeneous graphs).
+        """
+        return bool(np.all(self.data == 1.0))
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.nrows, self.ncols), dtype=np.float32)
+        row_of = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+        out[row_of, self.indices] = self.data
+        return out
+
+    def extract_lower(self, strict: bool = True) -> "CSRMatrix":
+        """Lower-triangular part (``L`` in the paper's TC formulation §V).
+
+        ``strict`` drops the diagonal as well, which is what triangle
+        counting wants (self-loops are not triangle edges).
+        """
+        row_of = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+        keep = (
+            self.indices < row_of if strict else self.indices <= row_of
+        )
+        new_indices = self.indices[keep]
+        new_data = self.data[keep]
+        counts = np.bincount(row_of[keep], minlength=self.nrows)
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(self.nrows, self.ncols, indptr, new_indices, new_data)
+
+    def scale_columns(self, scale: np.ndarray) -> "CSRMatrix":
+        """Multiply column ``j`` by ``scale[j]`` — builds the column-
+        stochastic matrix PageRank needs (§V)."""
+        s = np.asarray(scale, dtype=np.float32)
+        if s.shape != (self.ncols,):
+            raise ValueError(
+                f"scale must have shape ({self.ncols},), got {s.shape}"
+            )
+        return CSRMatrix(
+            self.nrows, self.ncols, self.indptr.copy(), self.indices.copy(),
+            self.data * s[self.indices],
+        )
+
+    def out_degrees(self) -> np.ndarray:
+        """Structural out-degree of each vertex (row nonzero count)."""
+        return np.diff(self.indptr).astype(np.int64)
+
+    @classmethod
+    def empty(cls, nrows: int, ncols: int) -> "CSRMatrix":
+        return cls(
+            nrows,
+            ncols,
+            np.zeros(nrows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+        )

@@ -1,0 +1,45 @@
+"""Simulated GPU substrate.
+
+The paper evaluates on an NVIDIA GTX 1080 (Pascal) and a Titan V (Volta).
+This package stands in for that hardware with three cooperating pieces:
+
+* :mod:`repro.gpusim.device` — device models parameterised by the paper's
+  Table VI (SMs, memory bandwidth, L1/L2 sizes) plus public clock specs;
+* :mod:`repro.gpusim.counters` / :mod:`repro.gpusim.timing` — an analytic
+  cost model: kernels report the memory transactions and warp instructions
+  they would issue, and the device model converts those to milliseconds;
+* :mod:`repro.gpusim.warp` / :mod:`repro.gpusim.memory` /
+  :mod:`repro.gpusim.kernel` — a SIMT warp-level executor (32-lane warps,
+  ballot/shuffle, atomics, transaction-counting global memory) on which the
+  paper's Listings 1–2 are run verbatim for validation.
+"""
+
+from repro.gpusim.device import (
+    GTX1080,
+    TITAN_V,
+    DEVICES,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.timing import time_ms
+from repro.gpusim.cache import hit_fraction, gather_hit_fraction
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import WarpContext
+from repro.gpusim.kernel import KernelLaunch, launch_kernel
+
+__all__ = [
+    "DeviceSpec",
+    "GTX1080",
+    "TITAN_V",
+    "DEVICES",
+    "device_by_name",
+    "KernelStats",
+    "time_ms",
+    "hit_fraction",
+    "gather_hit_fraction",
+    "GlobalMemory",
+    "WarpContext",
+    "KernelLaunch",
+    "launch_kernel",
+]

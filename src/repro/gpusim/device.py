@@ -1,0 +1,148 @@
+"""GPU device models (paper Table VI).
+
+Cache/memory figures come straight from Table VI; clocks and per-SM issue
+widths are the public specifications of the two cards.  The
+``sync_intrinsic_penalty`` captures the effect the paper reports in §VI.E:
+Volta's explicit-synchronisation warp intrinsics (``__shfl_sync``,
+``__ballot_sync``) are slightly slower than Pascal's implicit-synchronous
+``__shfl``/``__ballot``, which is why Bit-GraphBLAS sometimes runs *slower*
+on the newer GPU while the cuSPARSE baseline runs faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name, arch:
+        Marketing name and architecture ("Pascal", "Volta").
+    sms:
+        Number of streaming multiprocessors.
+    clock_ghz:
+        Boost clock in GHz.
+    mem_bw_gbs:
+        Peak DRAM bandwidth, GB/s (Table VI "Memory Bandwidth").
+    dram_gb:
+        DRAM capacity, GB.
+    l1_kb:
+        L1 cache per SM, KB.
+    l2_kb:
+        Shared L2 cache, KB.
+    shared_kb_per_sm / shared_kb_per_block:
+        Shared-memory capacities, KB.
+    issue_warps_per_sm:
+        Warp instructions issued per cycle per SM (scheduler count).
+    launch_overhead_us:
+        Fixed host-side cost per kernel launch, microseconds.  This is the
+        term that makes many-iteration algorithms (BFS on high-diameter
+        graphs) launch-bound — the effect behind the paper's 433× BFS
+        speedups.
+    sync_intrinsic_penalty:
+        Multiplier on warp-shuffle/vote instruction cost (1.0 on Pascal,
+        >1 on Volta per §VI.E).
+    atomic_cycles:
+        Average cycles a global atomic costs the issuing warp
+        (they pipeline through L2, so the effective cost is small).
+    dram_efficiency:
+        Achievable fraction of peak bandwidth for coalesced streams.
+    """
+
+    name: str
+    arch: str
+    sms: int
+    clock_ghz: float
+    mem_bw_gbs: float
+    dram_gb: float
+    l1_kb: int
+    l2_kb: int
+    shared_kb_per_sm: int
+    shared_kb_per_block: int
+    issue_warps_per_sm: int = 4
+    launch_overhead_us: float = 4.0
+    sync_intrinsic_penalty: float = 1.0
+    atomic_cycles: float = 2.0
+    dram_efficiency: float = 0.75
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kb * 1024
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    @property
+    def warp_issue_rate_ghz(self) -> float:
+        """Aggregate warp-instruction issue rate (billions/s)."""
+        return self.sms * self.issue_warps_per_sm * self.clock_ghz
+
+    @property
+    def effective_bw_bytes_per_us(self) -> float:
+        """Sustained DRAM bandwidth in bytes per microsecond."""
+        return self.mem_bw_gbs * self.dram_efficiency * 1e3
+
+    @property
+    def l2_bw_bytes_per_us(self) -> float:
+        """L2 bandwidth (modelled as 3× DRAM, typical for these parts)."""
+        return 3.0 * self.effective_bw_bytes_per_us
+
+
+#: GTX 1080 — Table VI row 1.
+GTX1080 = DeviceSpec(
+    name="GTX1080",
+    arch="Pascal",
+    sms=20,
+    clock_ghz=1.607,
+    mem_bw_gbs=320.0,
+    dram_gb=8.0,
+    l1_kb=48,
+    l2_kb=2048,
+    shared_kb_per_sm=64,
+    shared_kb_per_block=48,
+    issue_warps_per_sm=4,
+    launch_overhead_us=0.8,
+    sync_intrinsic_penalty=1.0,
+)
+
+#: Titan V — Table VI row 2.
+TITAN_V = DeviceSpec(
+    name="TitanV",
+    arch="Volta",
+    sms=80,
+    clock_ghz=1.455,
+    mem_bw_gbs=653.0,
+    dram_gb=12.0,
+    l1_kb=96,
+    l2_kb=4608,
+    shared_kb_per_sm=96,
+    shared_kb_per_block=96,
+    issue_warps_per_sm=4,
+    launch_overhead_us=0.7,
+    # §VI.E: _sync intrinsics cost extra on Volta's independent-thread-
+    # scheduling model.
+    sync_intrinsic_penalty=1.35,
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    "pascal": GTX1080,
+    "gtx1080": GTX1080,
+    "volta": TITAN_V,
+    "titanv": TITAN_V,
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device by architecture or card name (case-insensitive)."""
+    key = name.lower().replace(" ", "").replace("_", "")
+    try:
+        return DEVICES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; valid: {sorted(set(DEVICES))}"
+        ) from None

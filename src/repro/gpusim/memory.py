@@ -1,0 +1,162 @@
+"""Transaction-counting global memory for the SIMT executor.
+
+Buffers are NumPy arrays registered under a name; loads and stores go
+through warp-wide gather/scatter calls that count coalesced 32-byte sector
+transactions exactly as the hardware's load/store units would, and
+optionally drive a :class:`repro.gpusim.cache.SetAssociativeCache` to
+measure hit rates (§VI.C's profiler metrics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.cache import (
+    SECTOR_BYTES,
+    SetAssociativeCache,
+    coalesced_transactions,
+)
+from repro.gpusim.counters import Counters
+
+
+class GlobalMemory:
+    """A named-buffer global memory with transaction accounting.
+
+    Each registered buffer gets a disjoint base address (aligned to 256 B,
+    like ``cudaMalloc``), so cache behaviour across buffers is realistic.
+    """
+
+    def __init__(
+        self,
+        counters: Counters | None = None,
+        l1_cache: SetAssociativeCache | None = None,
+        l2_cache: SetAssociativeCache | None = None,
+    ) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self.l1 = l1_cache
+        self.l2 = l2_cache
+        self._buffers: dict[str, np.ndarray] = {}
+        self._base: dict[str, int] = {}
+        self._next_base = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def register(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register (and keep a reference to) a device buffer."""
+        if name in self._buffers:
+            raise ValueError(f"buffer {name!r} already registered")
+        arr = np.ascontiguousarray(array)
+        self._buffers[name] = arr
+        self._base[name] = self._next_base
+        nbytes = int(arr.nbytes)
+        self._next_base += ((nbytes + 255) // 256) * 256 + 256
+        return arr
+
+    def buffer(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown buffer {name!r}; registered: "
+                f"{sorted(self._buffers)}"
+            ) from None
+
+    def _addresses(self, name: str, index: np.ndarray) -> np.ndarray:
+        arr = self.buffer(name)
+        return self._base[name] + np.asarray(index, dtype=np.int64) * (
+            arr.itemsize
+        )
+
+    def _touch_cache(self, addrs: np.ndarray) -> None:
+        if self.l1 is None:
+            return
+        for a in np.unique(addrs // SECTOR_BYTES) * SECTOR_BYTES:
+            if not self.l1.access(int(a)) and self.l2 is not None:
+                self.l2.access(int(a))
+
+    # ------------------------------------------------------------------
+    # Warp-wide accesses (one call = one warp memory instruction)
+    # ------------------------------------------------------------------
+    def load(
+        self, name: str, index: np.ndarray, active: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Warp gather: ``buffer[index]`` per lane; counts one coalesced
+        transaction group.  ``active`` masks off inactive lanes (their
+        result is 0 and they generate no traffic)."""
+        arr = self.buffer(name)
+        idx = np.asarray(index, dtype=np.int64)
+        if active is None:
+            active = np.ones(idx.shape, dtype=bool)
+        act_idx = idx[active]
+        out = np.zeros(idx.shape, dtype=arr.dtype)
+        if act_idx.size:
+            out[active] = arr[act_idx]
+            addrs = self._addresses(name, act_idx)
+            n = coalesced_transactions(addrs, arr.itemsize)
+            self.counters.global_load_transactions += n
+            self.counters.global_load_bytes += n * SECTOR_BYTES
+            self._touch_cache(addrs)
+        self.counters.instructions += 1
+        return out
+
+    def store(
+        self,
+        name: str,
+        index: np.ndarray,
+        values: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> None:
+        """Warp scatter with the same accounting as :meth:`load`."""
+        arr = self.buffer(name)
+        idx = np.asarray(index, dtype=np.int64)
+        vals = np.asarray(values)
+        if active is None:
+            active = np.ones(idx.shape, dtype=bool)
+        act_idx = idx[active]
+        if act_idx.size:
+            arr[act_idx] = vals[active].astype(arr.dtype)
+            addrs = self._addresses(name, act_idx)
+            n = coalesced_transactions(addrs, arr.itemsize)
+            self.counters.global_store_transactions += n
+            self.counters.global_store_bytes += n * SECTOR_BYTES
+            self._touch_cache(addrs)
+        self.counters.instructions += 1
+
+    def atomic_add(
+        self,
+        name: str,
+        index: np.ndarray,
+        values: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> None:
+        """Warp-wide ``atomicAdd``; colliding lanes serialise correctly."""
+        self._atomic(name, index, values, active, np.add)
+
+    def atomic_min(
+        self,
+        name: str,
+        index: np.ndarray,
+        values: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> None:
+        """Warp-wide ``atomicMin`` (used by SSSP/CC on small tiles, §V)."""
+        self._atomic(name, index, values, active, np.minimum)
+
+    def _atomic(self, name, index, values, active, ufunc) -> None:
+        arr = self.buffer(name)
+        idx = np.asarray(index, dtype=np.int64)
+        vals = np.asarray(values)
+        if active is None:
+            active = np.ones(idx.shape, dtype=bool)
+        act_idx = idx[active]
+        if act_idx.size:
+            ufunc.at(arr, act_idx, vals[active].astype(arr.dtype))
+            addrs = self._addresses(name, act_idx)
+            n = coalesced_transactions(addrs, arr.itemsize)
+            self.counters.global_load_transactions += n
+            self.counters.global_store_transactions += n
+            self.counters.global_load_bytes += n * SECTOR_BYTES
+            self.counters.global_store_bytes += n * SECTOR_BYTES
+            self.counters.atomics += int(act_idx.size)
+        self.counters.instructions += 1

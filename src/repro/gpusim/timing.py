@@ -1,0 +1,80 @@
+"""Counters → milliseconds.
+
+The execution-time model is the standard bulk-synchronous GPU roofline:
+
+``time = launches × overhead + max(memory_time, compute_time) + atomic_time``
+
+* memory time charges DRAM bytes at the device's sustained bandwidth and
+  L2-served bytes at the (3×) L2 bandwidth;
+* compute time charges warp instructions at the aggregate issue rate, with
+  `_sync` warp intrinsics multiplied by the Volta penalty (§VI.E);
+* atomics serialise partially and are charged separately.
+
+The model is deliberately simple — the paper's headline effects (bit packing
+divides memory traffic by up to 32×, popc does 32 MACs per instruction,
+launch overhead dominates many-iteration algorithms) are all first-order
+terms here.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import DeviceSpec
+
+
+def memory_time_us(stats: KernelStats, device: DeviceSpec) -> float:
+    """Microseconds spent moving data."""
+    dram = stats.dram_bytes / device.effective_bw_bytes_per_us
+    l2 = stats.l2_bytes / device.l2_bw_bytes_per_us
+    return dram + l2
+
+
+def compute_time_us(stats: KernelStats, device: DeviceSpec) -> float:
+    """Microseconds spent issuing warp instructions: the throughput cost
+    at the device's aggregate issue rate, floored by the latency bound of
+    the longest warp (few-warp kernels cannot use every SM)."""
+    penalty_extra = stats.sync_intrinsics * (
+        device.sync_intrinsic_penalty - 1.0
+    )
+    insts = stats.warp_instructions + penalty_extra
+    # warp_issue_rate_ghz is 1e9 instructions/s == 1e3 instructions/us.
+    throughput = insts / (device.warp_issue_rate_ghz * 1e3)
+    return max(throughput, stats.min_compute_us)
+
+
+def atomic_time_us(stats: KernelStats, device: DeviceSpec) -> float:
+    """Microseconds of serialised atomic traffic.
+
+    Atomics to distinct addresses pipeline well; we charge each atomic the
+    device's per-atomic cycle cost spread over all SMs, which matches the
+    "atomicMin/atomicAdd are a minor but visible term" role they play in
+    the paper's small-tile kernels (§V).
+    """
+    cycles = stats.atomics * device.atomic_cycles
+    return cycles / (device.sms * device.clock_ghz * 1e3)
+
+
+def time_us(stats: KernelStats, device: DeviceSpec) -> float:
+    """Total modeled kernel time in microseconds."""
+    overhead = stats.launches * device.launch_overhead_us + stats.host_us
+    busy = max(
+        memory_time_us(stats, device), compute_time_us(stats, device)
+    )
+    return overhead + busy + atomic_time_us(stats, device)
+
+
+def device_time_us(stats: KernelStats, device: DeviceSpec) -> float:
+    """Device-busy microseconds: launch and host overheads excluded (the
+    CUDA-event view of a kernel body)."""
+    return time_us(stats.device_only(), device)
+
+
+def device_time_ms(stats: KernelStats, device: DeviceSpec) -> float:
+    """Device-busy milliseconds."""
+    return device_time_us(stats, device) / 1e3
+
+
+def time_ms(stats: KernelStats, device: DeviceSpec) -> float:
+    """Total modeled kernel time in milliseconds (the unit of every paper
+    table)."""
+    return time_us(stats, device) / 1e3

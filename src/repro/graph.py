@@ -1,0 +1,168 @@
+"""The :class:`Graph` container — a matrix-centric graph.
+
+Bundles a binary adjacency matrix with every representation the two
+backends need, built lazily and cached: CSR, its transpose, and the four
+B2SR variants of both.  Algorithms and engines take a ``Graph`` so that the
+one-time format-conversion cost (§III.B: "a graph is often used
+repeatedly … such a one-time cost can be greatly amortized") is paid once
+per representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.b2sr import B2SRMatrix, TILE_DIMS
+from repro.formats.convert import (
+    b2sr_from_csr,
+    csr_from_coo,
+    transpose_csr,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass
+class Graph:
+    """A graph as a binary adjacency matrix, with cached representations.
+
+    ``adjacency[i, j] = 1`` means an edge ``i → j``; undirected graphs
+    store both directions.  ``name`` and ``category`` carry dataset
+    metadata (the Table V pattern class).
+    """
+
+    csr: CSRMatrix
+    name: str = "graph"
+    category: str = "unknown"
+    _csr_t: CSRMatrix | None = field(default=None, repr=False)
+    _b2sr: dict[int, B2SRMatrix] = field(default_factory=dict, repr=False)
+    _b2sr_t: dict[int, B2SRMatrix] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.csr.nrows != self.csr.ncols:
+            raise ValueError(
+                "adjacency matrices are square (§III.A); got "
+                f"{self.csr.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.csr.nrows
+
+    @property
+    def nnz(self) -> int:
+        """Number of directed edges (stored nonzeros)."""
+        return self.csr.nnz
+
+    @property
+    def density(self) -> float:
+        return self.csr.density
+
+    def is_symmetric(self) -> bool:
+        """True when the adjacency equals its transpose (undirected)."""
+        t = self.csr_t
+        return (
+            np.array_equal(self.csr.indptr, t.indptr)
+            and np.array_equal(self.csr.indices, t.indices)
+        )
+
+    # ------------------------------------------------------------------
+    # Cached representations
+    # ------------------------------------------------------------------
+    @property
+    def csr_t(self) -> CSRMatrix:
+        """Transposed CSR (the pull-direction operand)."""
+        if self._csr_t is None:
+            self._csr_t = transpose_csr(self.csr)
+        return self._csr_t
+
+    def b2sr(self, tile_dim: int) -> B2SRMatrix:
+        """B2SR form of the adjacency at ``tile_dim`` (cached)."""
+        if tile_dim not in TILE_DIMS:
+            raise ValueError(f"tile_dim must be one of {TILE_DIMS}")
+        if tile_dim not in self._b2sr:
+            self._b2sr[tile_dim] = b2sr_from_csr(self.csr, tile_dim)
+        return self._b2sr[tile_dim]
+
+    def b2sr_t(self, tile_dim: int) -> B2SRMatrix:
+        """B2SR form of the transpose (cached)."""
+        if tile_dim not in TILE_DIMS:
+            raise ValueError(f"tile_dim must be one of {TILE_DIMS}")
+        if tile_dim not in self._b2sr_t:
+            self._b2sr_t[tile_dim] = b2sr_from_csr(self.csr_t, tile_dim)
+        return self._b2sr_t[tile_dim]
+
+    def out_degrees(self) -> np.ndarray:
+        return self.csr.out_degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        return self.csr_t.out_degrees()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: np.ndarray,
+        *,
+        name: str = "graph",
+        category: str = "unknown",
+        symmetrize: bool = False,
+        drop_self_loops: bool = False,
+    ) -> "Graph":
+        """Build from an ``(m, 2)`` edge array (binary adjacency)."""
+        coo = COOMatrix.from_edges(
+            n, edges, symmetrize=symmetrize, drop_self_loops=drop_self_loops
+        )
+        return cls(csr_from_coo(coo), name=name, category=category)
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, *, name: str = "graph",
+        category: str = "unknown",
+    ) -> "Graph":
+        from repro.formats.convert import csr_from_dense
+
+        return cls(
+            csr_from_dense(dense).binarize(), name=name, category=category
+        )
+
+    def symmetrized(self) -> "Graph":
+        """Union with the transpose (the undirected view algorithms like CC
+        and TC need)."""
+        if self.is_symmetric():
+            return self
+        t = self.csr_t
+        rows = np.r_[
+            np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.csr.indptr)
+            ),
+            np.repeat(np.arange(self.n, dtype=np.int64), np.diff(t.indptr)),
+        ]
+        cols = np.r_[self.csr.indices, t.indices]
+        coo = COOMatrix(self.n, self.n, rows, cols).deduplicate()
+        return Graph(
+            csr_from_coo(coo),
+            name=f"{self.name}_sym",
+            category=self.category,
+        )
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` DiGraph (test oracle)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.n))
+        rows = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.csr.indptr)
+        )
+        g.add_edges_from(zip(rows.tolist(), self.csr.indices.tolist()))
+        return g

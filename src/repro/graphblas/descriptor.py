@@ -1,0 +1,54 @@
+"""Operation descriptors.
+
+A GraphBLAS descriptor modifies how an operation runs without changing its
+mathematical definition: output masking (with optional complement), input
+transposition, and — specific to this reproduction — which backend executes
+the kernel and at what tile size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.b2sr import TILE_DIMS
+
+#: Valid execution backends: the paper's bit-level kernels vs the CSR
+#: (cuSPARSE/GraphBLAST-style) baseline.
+BACKENDS = ("bit", "csr")
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Execution options for a GraphBLAS operation.
+
+    Attributes
+    ----------
+    complement_mask:
+        Interpret the mask as its structural complement (BFS passes the
+        visited set this way, §V).
+    transpose_a:
+        Use the transposed matrix operand (pull vs push direction).
+    backend:
+        ``"bit"`` → B2SR kernels; ``"csr"`` → CSR baseline kernels.
+    tile_dim:
+        B2SR tile size; ignored by the CSR backend.
+    """
+
+    complement_mask: bool = False
+    transpose_a: bool = False
+    backend: str = "bit"
+    tile_dim: int = 32
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.tile_dim not in TILE_DIMS:
+            raise ValueError(
+                f"tile_dim must be one of {TILE_DIMS}, got {self.tile_dim}"
+            )
+
+
+#: Default descriptor: bit backend, 32×32 tiles, no mask games.
+DEFAULT = Descriptor()

@@ -1,0 +1,112 @@
+"""GraphBLAS vectors.
+
+A :class:`Vector` stores dense float32 values (the paper keeps frontier
+vectors dense, §V: "The vectors representing the frontier nodes are all in
+dense format") together with a lazily cached bit-packed view per tile size,
+so binary-semiring operations can hand the packed words straight to the
+BMV kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.packing import pack_bitvector
+from repro.formats.b2sr import TILE_DIMS
+
+
+class Vector:
+    """Dense float32 vector with packed binary views.
+
+    Mutating the values through :meth:`assign` / :meth:`__setitem__`
+    invalidates the packed caches automatically.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = np.asarray(values, dtype=np.float32).copy()
+        if self._values.ndim != 1:
+            raise ValueError(
+                f"expected a 1-D vector, got shape {self._values.shape}"
+            )
+        self._packed: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def dense(cls, n: int, fill: float = 0.0) -> "Vector":
+        return cls(np.full(n, fill, dtype=np.float32))
+
+    @classmethod
+    def sparse(cls, n: int, indices, values=None, fill: float = 0.0) -> "Vector":
+        """Build from (indices, values) pairs over a ``fill`` background."""
+        out = np.full(n, fill, dtype=np.float32)
+        idx = np.asarray(indices, dtype=np.int64)
+        if values is None:
+            out[idx] = 1.0
+        else:
+            out[idx] = np.asarray(values, dtype=np.float32)
+        return cls(out)
+
+    @classmethod
+    def indicator(cls, n: int, indices) -> "Vector":
+        """0/1 vector with ones at ``indices`` (a frontier)."""
+        return cls.sparse(n, indices)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._values.shape[0])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The dense float32 payload (a view; do not mutate in place)."""
+        return self._values
+
+    def __getitem__(self, i):
+        return self._values[i]
+
+    def __setitem__(self, i, v) -> None:
+        self._values[i] = v
+        self._packed.clear()
+
+    def assign(self, values: np.ndarray) -> None:
+        """Replace the payload (shape-checked)."""
+        arr = np.asarray(values, dtype=np.float32)
+        if arr.shape != self._values.shape:
+            raise ValueError(
+                f"shape mismatch: {arr.shape} vs {self._values.shape}"
+            )
+        self._values = arr.copy()
+        self._packed.clear()
+
+    # ------------------------------------------------------------------
+    # Binary views
+    # ------------------------------------------------------------------
+    def packed(self, tile_dim: int) -> np.ndarray:
+        """Bit-packed (nonzero → 1) view at ``tile_dim`` (cached)."""
+        if tile_dim not in TILE_DIMS:
+            raise ValueError(f"tile_dim must be one of {TILE_DIMS}")
+        if tile_dim not in self._packed:
+            self._packed[tile_dim] = pack_bitvector(self._values, tile_dim)
+        return self._packed[tile_dim]
+
+    def nonzero_indices(self) -> np.ndarray:
+        """Indices of structurally present (nonzero) entries."""
+        return np.nonzero(self._values)[0].astype(np.int64)
+
+    @property
+    def nvals(self) -> int:
+        """Number of nonzero entries (GraphBLAS ``nvals``)."""
+        return int(np.count_nonzero(self._values))
+
+    def to_bool(self) -> np.ndarray:
+        return self._values != 0
+
+    def copy(self) -> "Vector":
+        return Vector(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vector(n={self.n}, nvals={self.nvals})"

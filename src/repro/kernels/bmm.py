@@ -1,0 +1,219 @@
+"""Binarized Matrix-Matrix (BMM) kernel schemes — paper Table III, §IV.
+
+``bmm_bin_bin_sum`` follows Listing 2: both input matrices are B2SR; tile
+pairs ``A(I,T) × B(T,J)`` are joined on the shared tile index ``T`` (A's
+tile column against B's tile row), each pair's bit-tile product is formed
+with AND + popc, and everything is reduced into a single full-precision
+scalar — the sum of all entries of the integer product ``A·B``.
+
+``bmm_bin_bin_sum_masked`` restricts the sum to positions where a B2SR mask
+has set bits: ``Σ_{(i,j): M_ij=1} (A·B)_ij``.  With ``A = L``, ``B = Lᵀ``
+and ``M = L`` this is exactly the paper's triangle-counting kernel (§V TC),
+fused with the reduction so no product matrix is ever materialised.
+
+``bmm_bin_bin_b2sr`` (an extension the paper leaves implicit) produces the
+*structural* product ``C = A ∨.∧ B`` back in B2SR, enabling multi-hop
+reachability entirely in the bit domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.packing import pack_bits_rowmajor, unpack_bits_rowmajor
+from repro.formats.b2sr import B2SRMatrix
+
+#: Tile pairs processed per chunk in masked/structural modes (bounds the
+#: dense scratch to chunk × d² per operand).
+_CHUNK_PAIRS = 4096
+
+
+def _tile_pairs(
+    A: B2SRMatrix, B: B2SRMatrix
+) -> tuple[np.ndarray, np.ndarray]:
+    """Join A tiles with B tiles on A.tile_col == B.tile_row.
+
+    Returns ``(a_idx, b_idx)`` — parallel arrays of stored-tile indices, one
+    entry per multiplied pair (the iteration space of Listing 2's two
+    nested loops).
+    """
+    if A.ncols != B.nrows:
+        raise ValueError(
+            f"inner dimensions must match: A is {A.shape}, B is {B.shape}"
+        )
+    if A.tile_dim != B.tile_dim:
+        raise ValueError(
+            f"tile dims must match: {A.tile_dim} vs {B.tile_dim}"
+        )
+    if A.n_tiles == 0 or B.n_tiles == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    b_row_len = np.diff(B.indptr)
+    lens = b_row_len[A.indices]
+    total = int(lens.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    a_idx = np.repeat(np.arange(A.n_tiles, dtype=np.int64), lens)
+    starts = B.indptr[A.indices]
+    # Offset-within-run trick: arange minus each run's start position.
+    run_starts = np.r_[0, np.cumsum(lens)[:-1]]
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, lens)
+    b_idx = np.repeat(starts, lens) + within
+    return a_idx, b_idx
+
+
+def bmm_pair_count(A: B2SRMatrix, B: B2SRMatrix) -> int:
+    """Number of bit-tile pairs the BMM kernel multiplies — the cost
+    model's work metric."""
+    if A.n_tiles == 0 or B.n_tiles == 0:
+        return 0
+    return int(np.diff(B.indptr)[A.indices].sum())
+
+
+def bmm_bin_bin_sum(A: B2SRMatrix, B: B2SRMatrix) -> float:
+    """Sum of all entries of the integer product ``A·B``.
+
+    Computed without unpacking: for one tile pair,
+    ``Σ_{r,j} (A_tile·B_tile)[r,j] = Σ_c colsum_A[c]·rowsum_B[c]``, so only
+    per-tile popcounts are needed — the functional analogue of Listing 2's
+    popc accumulation.
+    """
+    a_idx, b_idx = _tile_pairs(A, B)
+    if a_idx.size == 0:
+        return 0.0
+    d = A.tile_dim
+    # Column sums of each A tile: popcount of the column-major packing.
+    a_colsums = np.bitwise_count(A.colmajor_tiles()).astype(np.float64)
+    # Row sums of each B tile: popcount of the row-major packing.
+    b_rowsums = np.bitwise_count(B.tiles).astype(np.float64)
+    return float(
+        np.einsum("pc,pc->", a_colsums[a_idx], b_rowsums[b_idx])
+    )
+
+
+def bmm_bin_bin_sum_masked(
+    A: B2SRMatrix,
+    B: B2SRMatrix,
+    mask: B2SRMatrix,
+    *,
+    complement: bool = False,
+) -> float:
+    """Masked product sum: ``Σ_{(i,j)} M_ij · (A·B)_ij``.
+
+    ``mask`` must share A's row space and B's column space (and the common
+    tile_dim).  With ``complement=True`` positions *not* in the mask are
+    summed instead.
+
+    Triangle counting (§V): ``bmm_bin_bin_sum_masked(L, L.transpose(), L)``
+    counts each triangle exactly once when ``L`` is the strictly-lower
+    triangle of an undirected adjacency matrix.
+    """
+    if mask.shape != (A.nrows, B.ncols) or mask.tile_dim != A.tile_dim:
+        raise ValueError(
+            f"mask must be {(A.nrows, B.ncols)} with tile_dim "
+            f"{A.tile_dim}, got {mask.shape} / {mask.tile_dim}"
+        )
+    a_idx, b_idx = _tile_pairs(A, B)
+    if a_idx.size == 0:
+        if not complement:
+            return 0.0
+        # Complemented mask over an all-zero product is still zero.
+        return 0.0
+    d = A.tile_dim
+
+    # Output-tile coordinates of each pair, for mask lookup.
+    out_rows = A.tile_row_of()[a_idx]
+    out_cols = B.indices[b_idx]
+    n_tile_cols = mask.n_tile_cols
+    pair_keys = out_rows * n_tile_cols + out_cols
+
+    mask_keys = mask.tile_row_of() * n_tile_cols + mask.indices
+    if mask_keys.shape[0] == 0:
+        pos_clipped = np.zeros(pair_keys.shape[0], dtype=np.int64)
+        found = np.zeros(pair_keys.shape[0], dtype=bool)
+    else:
+        # mask_keys is sorted (CSR order): searchsorted gives the lookup.
+        pos = np.searchsorted(mask_keys, pair_keys)
+        pos_clipped = np.minimum(pos, mask_keys.shape[0] - 1)
+        found = mask_keys[pos_clipped] == pair_keys
+
+    total = 0.0
+    if complement:
+        # Positions outside the mask: full pair sums minus the masked part.
+        a_colsums = np.bitwise_count(A.colmajor_tiles()).astype(np.float64)
+        b_rowsums = np.bitwise_count(B.tiles).astype(np.float64)
+        total += float(
+            np.einsum("pc,pc->", a_colsums[a_idx], b_rowsums[b_idx])
+        )
+
+    sel = np.nonzero(found)[0]
+    sign = -1.0 if complement else 1.0
+    # Per pair, entry (r, k) of the tile product is popc(Arow_r & Bcol_k)
+    # with B column-major packed (Listing 2's contraction); the masked sum
+    # needs only the entries whose mask bit is set.
+    b_cm = B.colmajor_tiles()
+    for lo in range(0, sel.shape[0], _CHUNK_PAIRS):
+        chunk = sel[lo : lo + _CHUNK_PAIRS]
+        a_rows = A.tiles[a_idx[chunk]].astype(np.uint64)  # (p, d)
+        b_cols = b_cm[b_idx[chunk]].astype(np.uint64)  # (p, d)
+        counts = np.bitwise_count(
+            a_rows[:, :, None] & b_cols[:, None, :]
+        )  # (p, d, d): counts[p, r, k] = (A·B) tile entry
+        m_bits = unpack_bits_rowmajor(mask.tiles[pos_clipped[chunk]], d)
+        total += sign * float(
+            (counts.astype(np.int64) * m_bits).sum()
+        )
+    return total
+
+
+def bmm_bin_bin_b2sr(A: B2SRMatrix, B: B2SRMatrix) -> B2SRMatrix:
+    """Structural (boolean) product ``C = A ∨.∧ B`` in B2SR.
+
+    An extension beyond the paper's fused-sum kernel: keeps multi-hop
+    reachability entirely bit-packed.  Pairs sharing an output tile are
+    OR-merged.
+    """
+    a_idx, b_idx = _tile_pairs(A, B)
+    d = A.tile_dim
+    if a_idx.size == 0:
+        return B2SRMatrix.empty(A.nrows, B.ncols, d)
+    out_rows = A.tile_row_of()[a_idx]
+    out_cols = B.indices[b_idx]
+
+    tiles_parts = []
+    b_cm = B.colmajor_tiles()
+    for lo in range(0, a_idx.shape[0], _CHUNK_PAIRS):
+        hi = min(lo + _CHUNK_PAIRS, a_idx.shape[0])
+        a_rows = A.tiles[a_idx[lo:hi]].astype(np.uint64)
+        b_cols = b_cm[b_idx[lo:hi]].astype(np.uint64)
+        prod = a_rows[:, :, None] & b_cols[:, None, :]
+        tiles_parts.append((prod != 0).astype(np.uint8))
+    dense_tiles = np.concatenate(tiles_parts, axis=0)
+    keep = dense_tiles.any(axis=(1, 2))
+    return B2SRMatrix.from_tiles(
+        A.nrows, B.ncols, d,
+        out_rows[keep], out_cols[keep], dense_tiles[keep],
+    )
+
+
+def bmm_reference(dense_a: np.ndarray, dense_b: np.ndarray) -> float:
+    """Dense oracle for ``bmm_bin_bin_sum``: ``Σ (A·B)`` over 0/1 inputs."""
+    a = (np.asarray(dense_a) != 0).astype(np.float64)
+    b = (np.asarray(dense_b) != 0).astype(np.float64)
+    return float((a @ b).sum())
+
+
+def bmm_reference_masked(
+    dense_a: np.ndarray,
+    dense_b: np.ndarray,
+    dense_mask: np.ndarray,
+    complement: bool = False,
+) -> float:
+    """Dense oracle for the masked scheme."""
+    a = (np.asarray(dense_a) != 0).astype(np.float64)
+    b = (np.asarray(dense_b) != 0).astype(np.float64)
+    m = (np.asarray(dense_mask) != 0).astype(np.float64)
+    if complement:
+        m = 1.0 - m
+    return float(((a @ b) * m).sum())

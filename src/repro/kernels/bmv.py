@@ -1,0 +1,230 @@
+"""Binarized Matrix-Vector (BMV) kernel schemes — paper Table II, §IV.
+
+Six schemes, named after their operand precisions
+(matrix / input vector / output vector):
+
+=============================  ======  =======  =======
+scheme                         A       x        y
+=============================  ======  =======  =======
+``bmv_bin_bin_bin``            1-bit   1-bit    1-bit
+``bmv_bin_bin_full``           1-bit   1-bit    32-bit
+``bmv_bin_full_full``          1-bit   32-bit   32-bit
+(+ ``_masked`` variants)
+=============================  ======  =======  =======
+
+Semantics follow Listing 1: for each non-empty bit tile the packed vector
+word of the tile's column block is fetched, and each tile row contributes
+``popc(row & word)`` (binary schemes) or a semiring reduction over the set
+bits (full-precision scheme).  Masking is applied right before the output
+store — *not* via early exit, which the paper rejects because of warp
+divergence (§V BFS).
+
+All functions are vectorized over tiles; the only Python-level loop is the
+chunking of `bmv_bin_full_full` to bound the dense-unpack scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops.packing import pack_bitvector, unpack_bits_rowmajor
+from repro.formats.b2sr import B2SRMatrix
+from repro.semiring import ARITHMETIC, Semiring
+
+#: Tiles unpacked per chunk in the full-precision scheme (bounds scratch to
+#: chunk × d² bytes).
+_CHUNK_TILES = 8192
+
+
+def _check_vec_words(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+    xw = np.asarray(x_words)
+    if xw.ndim != 1 or xw.shape[0] < A.n_tile_cols:
+        raise ValueError(
+            f"packed vector must hold {A.n_tile_cols} words of "
+            f"{A.tile_dim} bits, got shape {xw.shape}"
+        )
+    return xw.astype(A.tiles.dtype, copy=False)
+
+
+def _row_targets(A: B2SRMatrix) -> np.ndarray:
+    """Global output row of each (tile, in-tile-row) pair: shape
+    ``(n_tiles, d)``."""
+    d = A.tile_dim
+    trows = A.tile_row_of()
+    return trows[:, None] * d + np.arange(d, dtype=np.int64)[None, :]
+
+
+def _resolve_mask(
+    mask: np.ndarray, n: int, complement: bool
+) -> np.ndarray:
+    m = np.asarray(mask)
+    if m.shape != (n,):
+        raise ValueError(f"mask must have shape ({n},), got {m.shape}")
+    valid = m != 0
+    return ~valid if complement else valid
+
+
+# ---------------------------------------------------------------------------
+# Binary output
+# ---------------------------------------------------------------------------
+def bmv_bin_bin_bin(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+    """Boolean SpMV: ``y = A ∨.∧ x`` with all operands bit-packed.
+
+    Parameters
+    ----------
+    A:
+        B2SR matrix.
+    x_words:
+        Vector packed with :func:`repro.bitops.packing.pack_bitvector` at
+        ``A.tile_dim`` (word ``k`` ↔ tile column ``k``).
+
+    Returns
+    -------
+    Packed output words (``n_tile_rows`` words of ``tile_dim`` bits).
+    """
+    xw = _check_vec_words(A, x_words)
+    d = A.tile_dim
+    y_bits = np.zeros(A.n_tile_rows * d, dtype=bool)
+    if A.n_tiles:
+        gathered = xw[A.indices]
+        hits = (A.tiles & gathered[:, None]) != 0
+        np.logical_or.at(y_bits, _row_targets(A), hits)
+    return pack_bitvector(y_bits[: A.nrows], d)
+
+
+def bmv_bin_bin_bin_masked(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    mask: np.ndarray,
+    *,
+    complement: bool = False,
+) -> np.ndarray:
+    """Masked boolean SpMV (BFS's kernel, §V).
+
+    ``mask`` is a length-``nrows`` 0/1 vector of positions allowed to be
+    written; with ``complement=True`` the negation is used — BFS passes the
+    visited vector with ``complement=True`` ("bit-wise AND with the negation
+    of visited").
+    """
+    valid = _resolve_mask(mask, A.nrows, complement)
+    d = A.tile_dim
+    y_bits = np.zeros(A.n_tile_rows * d, dtype=bool)
+    if A.n_tiles:
+        xw = _check_vec_words(A, x_words)
+        gathered = xw[A.indices]
+        hits = (A.tiles & gathered[:, None]) != 0
+        np.logical_or.at(y_bits, _row_targets(A), hits)
+    out = y_bits[: A.nrows] & valid
+    return pack_bitvector(out, d)
+
+
+# ---------------------------------------------------------------------------
+# Full-precision output, binary inputs
+# ---------------------------------------------------------------------------
+def bmv_bin_bin_full(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+    """Counting SpMV: ``y_i = popc(A_i & x)`` — Listing 1 verbatim.
+
+    Returns a float32 vector of per-row overlap counts (the bit-dot-product
+    of each matrix row with the binarized vector).
+    """
+    xw = _check_vec_words(A, x_words)
+    d = A.tile_dim
+    y = np.zeros(A.n_tile_rows * d, dtype=np.float32)
+    if A.n_tiles:
+        gathered = xw[A.indices]
+        counts = np.bitwise_count(A.tiles & gathered[:, None]).astype(
+            np.float32
+        )
+        np.add.at(y, _row_targets(A), counts)
+    return y[: A.nrows]
+
+
+def bmv_bin_bin_full_masked(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    mask: np.ndarray,
+    *,
+    complement: bool = False,
+) -> np.ndarray:
+    """Masked counting SpMV; masked-out rows read 0."""
+    valid = _resolve_mask(mask, A.nrows, complement)
+    y = bmv_bin_bin_full(A, x_words)
+    y[~valid] = 0.0
+    return y
+
+
+# ---------------------------------------------------------------------------
+# Full-precision vector (semiring) schemes
+# ---------------------------------------------------------------------------
+def bmv_bin_full_full(
+    A: B2SRMatrix,
+    x: np.ndarray,
+    semiring: Semiring = ARITHMETIC,
+) -> np.ndarray:
+    """Semiring SpMV with a full-precision multiplier vector (§IV Fig 4).
+
+    ``y_i = ⊕_{j : A_ij = 1} mult(1, x_j)`` where ⊕/mult come from the
+    semiring: arithmetic gives the weighted sums PageRank needs, min-plus
+    treats absent bits as +∞ and stored bits as weight-1 edges (SSSP's
+    relaxation, §V).
+    """
+    xv = np.asarray(x, dtype=np.float32)
+    if xv.shape != (A.ncols,):
+        raise ValueError(
+            f"vector must have shape ({A.ncols},), got {xv.shape}"
+        )
+    d = A.tile_dim
+    y = semiring.empty_output(A.n_tile_rows * d)
+    if A.n_tiles == 0:
+        return y[: A.nrows]
+
+    # Pad x to whole tiles; padded entries are never selected because the
+    # corresponding matrix bits are structurally absent.
+    xpad = np.zeros(A.n_tile_cols * d, dtype=np.float32)
+    xpad[: A.ncols] = xv
+    col_offsets = np.arange(d, dtype=np.int64)
+    row_targets = _row_targets(A)
+
+    for lo in range(0, A.n_tiles, _CHUNK_TILES):
+        hi = min(lo + _CHUNK_TILES, A.n_tiles)
+        bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
+        seg = xpad[A.indices[lo:hi, None] * d + col_offsets]  # (m, d)
+        m = semiring.mult_matrix_one(seg)  # (m, d)
+        # Broadcast the multiplier across tile rows, reduce over columns.
+        vals = semiring.reduce_masked(
+            np.broadcast_to(m[:, None, :], bits.shape), bits, axis=-1
+        ).astype(np.float32)
+        semiring.add_at(y, row_targets[lo:hi], vals)
+    return y[: A.nrows]
+
+
+def bmv_bin_full_full_masked(
+    A: B2SRMatrix,
+    x: np.ndarray,
+    mask: np.ndarray,
+    *,
+    semiring: Semiring = ARITHMETIC,
+    complement: bool = False,
+) -> np.ndarray:
+    """Masked semiring SpMV; masked-out rows read the semiring identity."""
+    valid = _resolve_mask(mask, A.nrows, complement)
+    y = bmv_bin_full_full(A, x, semiring=semiring)
+    y[~valid] = semiring.zero
+    return y
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (dense; used only by tests)
+# ---------------------------------------------------------------------------
+def bmv_reference(
+    dense: np.ndarray, x: np.ndarray, semiring: Semiring = ARITHMETIC
+) -> np.ndarray:
+    """O(n²) dense oracle: the semiring product over an explicit 0/1 matrix.
+
+    Exists so every scheme can be checked against unambiguous semantics.
+    """
+    a = np.asarray(dense) != 0
+    xv = np.asarray(x, dtype=np.float32)
+    m = semiring.mult_matrix_one(xv)
+    vals = np.broadcast_to(m[None, :], a.shape)
+    return semiring.reduce_masked(vals, a, axis=-1).astype(np.float32)

@@ -1,0 +1,150 @@
+"""CSR SpMV baselines — the ``cusparseScsrmv`` stand-in (§VI.D).
+
+These kernels operate on full-precision CSR (float values, int column
+indices): the representation every framework the paper compares against
+uses.  Besides the plain arithmetic SpMV there is a semiring-generic
+variant (what GraphBLAST's mxv lowers to) and a sparse-vector SpMSpV (the
+push direction of GraphBLAST's direction-optimized traversal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.semiring import ARITHMETIC, Semiring
+
+
+def _row_of(csr: CSRMatrix) -> np.ndarray:
+    return np.repeat(
+        np.arange(csr.nrows, dtype=np.int64), np.diff(csr.indptr)
+    )
+
+
+def csr_spmv(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Plain arithmetic SpMV: ``y = A·x`` (float32)."""
+    xv = np.asarray(x, dtype=np.float32)
+    if xv.shape != (csr.ncols,):
+        raise ValueError(
+            f"vector must have shape ({csr.ncols},), got {xv.shape}"
+        )
+    y = np.zeros(csr.nrows, dtype=np.float32)
+    if csr.nnz:
+        np.add.at(y, _row_of(csr), csr.data * xv[csr.indices])
+    return y
+
+
+def csr_spmv_semiring(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    semiring: Semiring = ARITHMETIC,
+) -> np.ndarray:
+    """Semiring SpMV over CSR: ``y_i = ⊕_j mult(A_ij, x_j)``.
+
+    Matches the binary-matrix semantics of
+    :func:`repro.kernels.bmv.bmv_bin_full_full` when the CSR values are all
+    1.0, so the two backends can be compared entry for entry.
+    """
+    xv = np.asarray(x, dtype=np.float32)
+    if xv.shape != (csr.ncols,):
+        raise ValueError(
+            f"vector must have shape ({csr.ncols},), got {xv.shape}"
+        )
+    y = semiring.empty_output(csr.nrows)
+    if csr.nnz:
+        contrib = semiring.mult_matrix_one(xv[csr.indices]).astype(
+            np.float32
+        )
+        semiring.add_at(y, _row_of(csr), contrib)
+    return y
+
+
+def csr_spmv_masked(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    mask: np.ndarray,
+    *,
+    semiring: Semiring = ARITHMETIC,
+    complement: bool = False,
+) -> np.ndarray:
+    """Masked semiring SpMV with GraphBLAST's early-exit semantics: rows
+    outside the (possibly complemented) mask are skipped entirely."""
+    m = np.asarray(mask)
+    if m.shape != (csr.nrows,):
+        raise ValueError(f"mask must have shape ({csr.nrows},), got {m.shape}")
+    valid = (m != 0) if not complement else (m == 0)
+    y = semiring.empty_output(csr.nrows)
+    if csr.nnz:
+        row_of = _row_of(csr)
+        keep = valid[row_of]
+        xv = np.asarray(x, dtype=np.float32)
+        contrib = semiring.mult_matrix_one(
+            xv[csr.indices[keep]]
+        ).astype(np.float32)
+        semiring.add_at(y, row_of[keep], contrib)
+    return y
+
+
+def csr_spmspv(
+    csr: CSRMatrix,
+    active: np.ndarray,
+    values: np.ndarray | None = None,
+    *,
+    semiring: Semiring = ARITHMETIC,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse-vector SpMSpV in push direction: scatter the rows named by
+    ``active`` (GraphBLAST's frontier expansion, exploiting input sparsity,
+    §II).
+
+    ``csr`` must be the matrix whose *rows* are the out-neighbour lists of
+    the active vertices (i.e. pass ``Aᵀ`` for a pull-convention adjacency).
+
+    Returns ``(indices, vals)`` of the touched output entries, combined by
+    the semiring's add.
+    """
+    act = np.asarray(active, dtype=np.int64)
+    if act.size and (act.min() < 0 or act.max() >= csr.nrows):
+        raise ValueError("active index out of range")
+    if act.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+        )
+    lens = np.diff(csr.indptr)[act]
+    total = int(lens.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+        )
+    starts = csr.indptr[act]
+    run_starts = np.r_[0, np.cumsum(lens)[:-1]]
+    within = np.arange(total, dtype=np.int64) - np.repeat(run_starts, lens)
+    flat = np.repeat(starts, lens) + within
+    targets = csr.indices[flat]
+    if values is None:
+        vals_in = np.ones(act.shape[0], dtype=np.float32)
+    else:
+        vals_in = np.asarray(values, dtype=np.float32)
+        if vals_in.shape != act.shape:
+            raise ValueError("values must align with active")
+    contrib = semiring.mult_matrix_one(
+        np.repeat(vals_in, lens)
+    ).astype(np.float32)
+
+    order = np.argsort(targets, kind="stable")
+    targets_s, contrib_s = targets[order], contrib[order]
+    uniq, first = np.unique(targets_s, return_index=True)
+    bounds = np.r_[first, targets_s.shape[0]]
+    out_vals = np.empty(uniq.shape[0], dtype=np.float32)
+    for i in range(uniq.shape[0]):  # few unique targets per frontier step
+        seg = contrib_s[bounds[i] : bounds[i + 1]]
+        out_vals[i] = semiring.add_reduce(seg, axis=0)
+    return uniq, out_vals
+
+
+def csr_spmv_reference(dense: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Dense oracle."""
+    return (
+        np.asarray(dense, dtype=np.float64) @ np.asarray(x, dtype=np.float64)
+    ).astype(np.float32)

@@ -1,0 +1,22 @@
+"""SIMT kernel ports.
+
+The paper's CUDA Listings 1 (BMV) and 2 (BMM) plus the warp-per-row CSR
+SpMV baseline, written against the :mod:`repro.gpusim` warp executor.
+These produce bit-exact results *and* measured transaction/instruction
+counters, validating the vectorized functional kernels and the analytic
+cost model on small inputs.
+"""
+
+from repro.kernels.simt.bmv_simt import (
+    run_bmv_bin_bin_bin_simt,
+    run_bmv_bin_bin_full_simt,
+)
+from repro.kernels.simt.bmm_simt import run_bmm_bin_bin_sum_simt
+from repro.kernels.simt.csr_simt import run_csr_spmv_simt
+
+__all__ = [
+    "run_bmv_bin_bin_bin_simt",
+    "run_bmv_bin_bin_full_simt",
+    "run_bmm_bin_bin_sum_simt",
+    "run_csr_spmv_simt",
+]

@@ -1,0 +1,100 @@
+"""Listing 2 on the SIMT executor — BMM, one A tile row per warp.
+
+Faithful port of the paper's ``bmm_bin_bin_sum()`` for B2SR-32: each lane
+holds one bit row of the current A tile in ``r0``, B's tiles stream through
+``r1``, and ``__shfl_sync`` broadcasts each of B's 32 bit columns to the
+whole warp for the AND+popc accumulation into 32 per-lane registers.  The
+register file is finally reduced and ``atomicAdd``-ed into the scalar
+output, as the fused TC reduction requires (§V).
+
+B's tiles are supplied in column-major packing (word ``k`` = bit column
+``k``) so that ``popc(r0 & shfl(r1, k))`` contracts A's columns against B's
+rows — the product ``A·B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.b2sr import B2SRMatrix
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch, launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import WARP_SIZE, WarpContext
+
+
+def run_bmm_bin_bin_sum_simt(
+    A: B2SRMatrix,
+    B: B2SRMatrix,
+    *,
+    device: DeviceSpec | None = None,
+    model_caches: bool = False,
+) -> tuple[float, KernelLaunch]:
+    """Execute Listing 2; returns ``(Σ(A·B), launch)``."""
+    d = A.tile_dim
+    if d != WARP_SIZE or B.tile_dim != WARP_SIZE:
+        raise ValueError(
+            "the Listing 2 port covers B2SR-32; use the functional kernel "
+            "for smaller tiles"
+        )
+    if A.ncols != B.nrows:
+        raise ValueError(
+            f"inner dimensions must match: A is {A.shape}, B is {B.shape}"
+        )
+    out = np.zeros(1, dtype=np.float64)
+    gmem = GlobalMemory(Counters())
+    gmem.register("A_rowptr", A.indptr.astype(np.int64))
+    gmem.register("A_colind", A.indices.astype(np.int64))
+    gmem.register("A_tiles", A.tiles.reshape(-1).astype(np.uint64))
+    gmem.register("B_rowptr", B.indptr.astype(np.int64))
+    gmem.register("B_colind", B.indices.astype(np.int64))
+    # Column-major packing of B's tiles (see module docstring).
+    gmem.register(
+        "B_tiles", B.colmajor_tiles().reshape(-1).astype(np.uint64)
+    )
+    gmem.register("C", out)
+
+    def kernel(ctx: WarpContext) -> None:
+        bx = ctx.bx
+        rp = ctx.gmem.load("A_rowptr", np.full(WARP_SIZE, bx))
+        rp1 = ctx.gmem.load("A_rowptr", np.full(WARP_SIZE, bx + 1))
+        a_start, a_end = int(rp[0]), int(rp1[0])
+        if a_start == a_end:
+            return
+        cm = np.zeros((WARP_SIZE, WARP_SIZE), dtype=np.float64)
+        for i in range(a_start, a_end):
+            r0 = ctx.gmem.load("A_tiles", i * d + ctx.laneid)
+            a_col = int(
+                ctx.gmem.load("A_colind", np.full(WARP_SIZE, i))[0]
+            )
+            brp = ctx.gmem.load("B_rowptr", np.full(WARP_SIZE, a_col))
+            brp1 = ctx.gmem.load(
+                "B_rowptr", np.full(WARP_SIZE, a_col + 1)
+            )
+            b_start, b_end = int(brp[0]), int(brp1[0])
+            for j in range(b_start, b_end):
+                r1 = ctx.gmem.load("B_tiles", j * d + ctx.laneid)
+                for k in range(WARP_SIZE):
+                    r2 = ctx.shfl_sync(r1, k)
+                    ctx.alu(1)  # AND
+                    cm[:, k] += ctx.popc(r0 & r2)
+        # Warp-level reduction of the 32 registers, then one atomicAdd.
+        ctx.alu(WARP_SIZE)
+        total = cm.sum()
+        ctx.gmem.atomic_add(
+            "C",
+            np.zeros(WARP_SIZE, dtype=np.int64),
+            np.full(WARP_SIZE, total),
+            active=ctx.laneid == 0,
+        )
+
+    launch = launch_kernel(
+        kernel,
+        A.n_tile_rows,
+        gmem,
+        device=device,
+        model_caches=model_caches,
+        tag="bmm_bin_bin_sum_simt",
+    )
+    return float(out[0]), launch

@@ -1,0 +1,143 @@
+"""Listing 1 on the SIMT executor — BMV, one tile row per warp.
+
+``run_bmv_bin_bin_full_simt`` is the paper's Listing 1 generalised to all
+four tile sizes with Figure 4's lane mapping: ``d`` lanes per tile, so a
+warp retires ``32/d`` tiles of the same tile row concurrently; sub-warp
+tiles combine partial sums with ``atomicAdd`` exactly as §V prescribes for
+B2SR-4/8/16.
+
+``run_bmv_bin_bin_bin_simt`` is the boolean variant for B2SR-32, where the
+output word is assembled with one ``__ballot_sync`` per tile row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.b2sr import B2SRMatrix
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch, launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import WARP_SIZE, WarpContext
+
+
+def _setup_memory(
+    A: B2SRMatrix, x_words: np.ndarray, out: np.ndarray
+) -> GlobalMemory:
+    gmem = GlobalMemory(Counters())
+    gmem.register("rowptr", A.indptr.astype(np.int64))
+    gmem.register("colind", A.indices.astype(np.int64))
+    gmem.register("tiles", A.tiles.reshape(-1).astype(np.uint64))
+    gmem.register("x", np.asarray(x_words).astype(np.uint64))
+    gmem.register("y", out)
+    return gmem
+
+
+def run_bmv_bin_bin_full_simt(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    device: DeviceSpec | None = None,
+    model_caches: bool = False,
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Execute Listing 1 (`bmv_bin_bin_full`); returns ``(y, launch)``.
+
+    ``y`` is a float32 vector of per-row popcount sums; ``launch`` carries
+    the measured counters.
+    """
+    d = A.tile_dim
+    lanes_per_tile = d
+    tiles_per_warp = WARP_SIZE // d
+    y = np.zeros(A.n_tile_rows * d, dtype=np.float32)
+    gmem = _setup_memory(A, x_words, y)
+
+    def kernel(ctx: WarpContext) -> None:
+        bx = ctx.bx
+        rp = ctx.gmem.load("rowptr", np.full(WARP_SIZE, bx))
+        rp1 = ctx.gmem.load("rowptr", np.full(WARP_SIZE, bx + 1))
+        row_start, row_end = int(rp[0]), int(rp1[0])
+        if row_start == row_end:
+            return
+        group = ctx.laneid // lanes_per_tile  # which tile in the batch
+        in_row = ctx.laneid % lanes_per_tile  # which row of that tile
+        acc = np.zeros(WARP_SIZE, dtype=np.float64)
+        for base in range(row_start, row_end, tiles_per_warp):
+            tile = base + group
+            active = tile < row_end
+            a_words = ctx.gmem.load("tiles", tile * d + in_row, active)
+            cols = ctx.gmem.load("colind", tile, active)
+            b_words = ctx.gmem.load("x", cols, active)
+            ctx.alu(2)  # AND + accumulate
+            acc += np.where(
+                active, ctx.popc(a_words & b_words).astype(np.float64), 0.0
+            )
+        out_rows = bx * d + in_row
+        if tiles_per_warp == 1:
+            ctx.gmem.store("y", out_rows, acc.astype(np.float32))
+        else:
+            # Sub-warp tiles of the same tile row share output rows (§V).
+            ctx.gmem.atomic_add("y", out_rows, acc.astype(np.float32))
+
+    launch = launch_kernel(
+        kernel,
+        A.n_tile_rows,
+        gmem,
+        device=device,
+        model_caches=model_caches,
+        tag="bmv_bin_bin_full_simt",
+    )
+    return y[: A.nrows], launch
+
+
+def run_bmv_bin_bin_bin_simt(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    device: DeviceSpec | None = None,
+    model_caches: bool = False,
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Boolean Listing 1 for B2SR-32: packed output, ballot-assembled.
+
+    Returns ``(y_words, launch)`` with one uint32 word per tile row.
+    """
+    d = A.tile_dim
+    if d != WARP_SIZE:
+        raise ValueError(
+            "the ballot-packed SIMT port covers B2SR-32; use the "
+            "functional kernel for smaller tiles"
+        )
+    y_words = np.zeros(A.n_tile_rows, dtype=np.uint64)
+    gmem = _setup_memory(A, x_words, y_words)
+
+    def kernel(ctx: WarpContext) -> None:
+        bx = ctx.bx
+        rp = ctx.gmem.load("rowptr", np.full(WARP_SIZE, bx))
+        rp1 = ctx.gmem.load("rowptr", np.full(WARP_SIZE, bx + 1))
+        row_start, row_end = int(rp[0]), int(rp1[0])
+        if row_start == row_end:
+            return
+        reached = np.zeros(WARP_SIZE, dtype=bool)
+        for tile in range(row_start, row_end):
+            a_words = ctx.gmem.load("tiles", tile * d + ctx.laneid)
+            cols = ctx.gmem.load("colind", np.full(WARP_SIZE, tile))
+            b_words = ctx.gmem.load("x", cols[:1].repeat(WARP_SIZE))
+            ctx.alu(2)
+            reached |= ctx.popc(a_words & b_words) > 0
+        word = ctx.ballot_sync(reached)
+        ctx.gmem.store(
+            "y",
+            np.full(WARP_SIZE, bx),
+            np.full(WARP_SIZE, word, dtype=np.uint64),
+            active=ctx.laneid == 0,
+        )
+
+    launch = launch_kernel(
+        kernel,
+        A.n_tile_rows,
+        gmem,
+        device=device,
+        model_caches=model_caches,
+        tag="bmv_bin_bin_bin_simt",
+    )
+    return y_words.astype(np.uint32), launch

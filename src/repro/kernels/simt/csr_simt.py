@@ -1,0 +1,71 @@
+"""CSR SpMV on the SIMT executor — the cuSPARSE-style warp-per-row vector
+kernel, used to measure the baseline's memory transactions (the §VI.C
+comparison: B2SR cut mycielskian8's global load transactions ~4×).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch, launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import WARP_SIZE, WarpContext
+
+
+def run_csr_spmv_simt(
+    csr: CSRMatrix,
+    x: np.ndarray,
+    *,
+    device: DeviceSpec | None = None,
+    model_caches: bool = False,
+) -> tuple[np.ndarray, KernelLaunch]:
+    """Warp-per-row CSR SpMV; returns ``(y, launch)``."""
+    xv = np.asarray(x, dtype=np.float32)
+    if xv.shape != (csr.ncols,):
+        raise ValueError(
+            f"vector must have shape ({csr.ncols},), got {xv.shape}"
+        )
+    y = np.zeros(csr.nrows, dtype=np.float32)
+    gmem = GlobalMemory(Counters())
+    gmem.register("rowptr", csr.indptr.astype(np.int64))
+    gmem.register("colind", csr.indices.astype(np.int64))
+    gmem.register("vals", csr.data.astype(np.float32))
+    gmem.register("x", xv)
+    gmem.register("y", y)
+
+    def kernel(ctx: WarpContext) -> None:
+        row = ctx.bx
+        rp = ctx.gmem.load("rowptr", np.full(WARP_SIZE, row))
+        rp1 = ctx.gmem.load("rowptr", np.full(WARP_SIZE, row + 1))
+        start, end = int(rp[0]), int(rp1[0])
+        acc = np.zeros(WARP_SIZE, dtype=np.float64)
+        for base in range(start, end, WARP_SIZE):
+            idx = base + ctx.laneid
+            active = idx < end
+            cols = ctx.gmem.load("colind", idx, active)
+            vals = ctx.gmem.load("vals", idx, active)
+            xs = ctx.gmem.load("x", cols, active)
+            ctx.alu(1)  # FMA
+            acc += np.where(active, vals.astype(np.float64) * xs, 0.0)
+        # log2(32)-step warp reduction.
+        ctx.alu(5)
+        total = acc.sum()
+        ctx.gmem.store(
+            "y",
+            np.full(WARP_SIZE, row),
+            np.full(WARP_SIZE, total, dtype=np.float32),
+            active=ctx.laneid == 0,
+        )
+
+    launch = launch_kernel(
+        kernel,
+        csr.nrows,
+        gmem,
+        device=device,
+        model_caches=model_caches,
+        tag="csr_spmv_simt",
+    )
+    return y, launch

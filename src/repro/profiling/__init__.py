@@ -1,0 +1,18 @@
+"""Sampling profile and format advisor (§III.C, §VII).
+
+:func:`sampling_profile` implements the paper's Algorithm 1: estimate each
+B2SR variant's compression rate from a random subset of rows, so users can
+decide — before paying the conversion — whether Bit-GraphBLAS fits their
+matrix.  :func:`recommend_format` wraps it into the simple selection
+assistant the discussion section proposes.
+"""
+
+from repro.profiling.sampling import SamplingProfile, sampling_profile
+from repro.profiling.advisor import FormatRecommendation, recommend_format
+
+__all__ = [
+    "SamplingProfile",
+    "sampling_profile",
+    "FormatRecommendation",
+    "recommend_format",
+]

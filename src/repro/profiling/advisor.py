@@ -1,0 +1,83 @@
+"""Format selection assistant (§VII discussion).
+
+"No sparse format fits all matrices" — the paper closes with a sampling
+approach to help users decide whether to convert.  This advisor combines
+the Algorithm 1 estimate with a density heuristic: B2SR pays off when
+tiles capture several nonzeros each; scattered hypersparse matrices should
+stay in CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.csr import CSRMatrix
+from repro.profiling.sampling import SamplingProfile, sampling_profile
+
+
+@dataclass(frozen=True)
+class FormatRecommendation:
+    """The advisor's verdict.
+
+    Attributes
+    ----------
+    use_b2sr:
+        Whether converting to B2SR is expected to pay off.
+    tile_dim:
+        Recommended tile size (meaningful when ``use_b2sr``).
+    est_compression:
+        Estimated B2SR/CSR byte ratio at the recommended tile size.
+    est_nnz_per_bitrow:
+        Estimated packing occupancy (≥ ~1.5 wanted for kernel wins).
+    profile:
+        The raw sampling profile, for inspection.
+    reason:
+        Human-readable justification.
+    """
+
+    use_b2sr: bool
+    tile_dim: int
+    est_compression: float
+    est_nnz_per_bitrow: float
+    profile: SamplingProfile
+    reason: str
+
+
+def recommend_format(
+    csr: CSRMatrix,
+    *,
+    sample_rows: int | None = None,
+    seed: int = 0,
+    compression_threshold: float = 1.0,
+    occupancy_threshold: float = 1.1,
+) -> FormatRecommendation:
+    """Sample the matrix and recommend CSR or a B2SR variant.
+
+    ``compression_threshold`` is the maximum acceptable estimated byte
+    ratio; ``occupancy_threshold`` is the minimum nonzeros-per-bit-row for
+    the compute side to win (a bit-row costing one popc should cover more
+    than one CSR MAC).
+    """
+    profile = sampling_profile(csr, sample_rows=sample_rows, seed=seed)
+    best = profile.best_tile_dim()
+    comp = profile.est_compression[best]
+    occ = profile.est_nnz_per_bitrow[best]
+
+    if comp < compression_threshold and occ >= occupancy_threshold:
+        reason = (
+            f"B2SR-{best} estimated at {comp:.2f}× CSR bytes with "
+            f"{occ:.2f} nnz per bit-row — converting should pay off"
+        )
+        return FormatRecommendation(True, best, comp, occ, profile, reason)
+    if comp >= compression_threshold:
+        reason = (
+            f"best estimate is B2SR-{best} at {comp:.2f}× CSR bytes "
+            "(no compression) — stay in CSR"
+        )
+    else:
+        reason = (
+            f"B2SR-{best} compresses ({comp:.2f}×) but captures only "
+            f"{occ:.2f} nnz per bit-row — kernels unlikely to win; "
+            "stay in CSR"
+        )
+    return FormatRecommendation(False, best, comp, occ, profile, reason)

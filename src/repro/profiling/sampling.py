@@ -1,0 +1,119 @@
+"""Algorithm 1 — the sampling profile scheme (§III.C).
+
+For ``N`` sampled rows and each tile size ``k ∈ {4, 8, 16, 32}``, count the
+distinct ``⌈col/k⌉`` groups each row's nonzeros fall into (the paper's
+``ColCounter``).  A row contributes one packed bit-row per touched tile
+column, so the estimated B2SR payload is
+
+``bytes ≈ (#bit-rows) × row_bytes(k) + index overhead``
+
+scaled from the sample to the full matrix; dividing by the float-CSR bytes
+gives the estimated compression rate per variant.
+
+The estimate intentionally over-approximates slightly (it counts bit-rows,
+not whole tiles, so it cannot see that tiles shared by *different* sampled
+rows merge); the benches measure this gap (experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.b2sr import TILE_DIMS, bytes_per_tile
+from repro.formats.csr import CSRMatrix
+from repro.formats.stats import csr_storage_bytes
+
+
+@dataclass(frozen=True)
+class SamplingProfile:
+    """Result of one sampling run.
+
+    Attributes
+    ----------
+    sample_rows:
+        How many rows were sampled.
+    est_compression:
+        tile_dim → estimated ``B2SR bytes / CSR bytes`` (< 1 ⇒ compresses).
+    est_bitrows_per_row:
+        tile_dim → mean packed bit-rows a sampled row produces.
+    est_nnz_per_bitrow:
+        tile_dim → mean nonzeros captured per bit-row (occupancy proxy,
+        Figure 3b's trend).
+    """
+
+    sample_rows: int
+    est_compression: dict[int, float]
+    est_bitrows_per_row: dict[int, float]
+    est_nnz_per_bitrow: dict[int, float]
+
+    def best_tile_dim(self) -> int:
+        """Tile size with the lowest estimated compression ratio."""
+        return min(TILE_DIMS, key=lambda d: self.est_compression[d])
+
+    def worthwhile(self, threshold: float = 1.0) -> bool:
+        """True when any variant is estimated to compress below
+        ``threshold`` (§III.C: "users can select the affordable
+        compression rate")."""
+        return min(self.est_compression.values()) < threshold
+
+
+def sampling_profile(
+    csr: CSRMatrix,
+    sample_rows: int | None = None,
+    seed: int = 0,
+) -> SamplingProfile:
+    """Run Algorithm 1 on ``csr``.
+
+    ``sample_rows`` defaults to ``min(nrows, max(64, 5% of rows))`` — the
+    paper leaves N to the user, noting more rows = better estimate, more
+    overhead.
+    """
+    n = csr.nrows
+    if n == 0:
+        flat = {d: 1.0 for d in TILE_DIMS}
+        return SamplingProfile(0, flat, dict.fromkeys(TILE_DIMS, 0.0),
+                               dict.fromkeys(TILE_DIMS, 0.0))
+    if sample_rows is None:
+        sample_rows = min(n, max(64, n // 20))
+    sample_rows = min(sample_rows, n)
+    rng = np.random.default_rng(seed)
+    sampled = rng.choice(n, size=sample_rows, replace=False)
+
+    csr_bytes = csr_storage_bytes(csr)
+    est_compression: dict[int, float] = {}
+    est_bitrows: dict[int, float] = {}
+    est_occupancy: dict[int, float] = {}
+
+    lens = np.diff(csr.indptr)
+    for k in TILE_DIMS:
+        total_bitrows = 0
+        total_nnz = 0
+        for i in sampled:
+            cols = csr.indices[csr.indptr[i] : csr.indptr[i + 1]]
+            if cols.size == 0:
+                continue
+            # ColCounter[k][i]: distinct tile-column groups of this row.
+            total_bitrows += int(np.unique(cols // k).shape[0])
+            total_nnz += int(cols.size)
+        mean_bitrows = total_bitrows / sample_rows
+        est_bitrows[k] = mean_bitrows
+        est_occupancy[k] = (
+            total_nnz / total_bitrows if total_bitrows else 0.0
+        )
+        row_bytes = bytes_per_tile(k) / k
+        # Scale the sample to all rows; add tile index overhead: each
+        # bit-row group of k consecutive rows shares one TileColInd entry.
+        est_payload = n * mean_bitrows * row_bytes
+        est_index = 4.0 * (n / k + 1) + 4.0 * (n * mean_bitrows / k)
+        est_compression[k] = (
+            (est_payload + est_index) / csr_bytes if csr_bytes else 0.0
+        )
+
+    return SamplingProfile(
+        sample_rows=sample_rows,
+        est_compression=est_compression,
+        est_bitrows_per_row=est_bitrows,
+        est_nnz_per_bitrow=est_occupancy,
+    )

@@ -1,0 +1,29 @@
+"""Semiring algebra (§V, Table IV).
+
+GraphBLAS models graph traversal as matrix operations over semirings.  The
+paper's kernels support four domains: Boolean (BFS and friends), arithmetic
+plus-times (PR, TC, LGC), tropical min-plus (SSSP, CC) and tropical
+max-times (MIS, GC).
+"""
+
+from repro.semiring.semirings import (
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SECOND,
+    SEMIRINGS,
+    Semiring,
+    semiring_by_name,
+)
+
+__all__ = [
+    "Semiring",
+    "BOOLEAN",
+    "ARITHMETIC",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "MIN_SECOND",
+    "SEMIRINGS",
+    "semiring_by_name",
+]

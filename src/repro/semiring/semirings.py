@@ -1,0 +1,154 @@
+"""Semiring definitions used by the BMV/BMM schemes.
+
+A semiring bundles an *add* monoid (the reduction combining contributions
+from different neighbours) and a *multiply* operator (combining a matrix
+entry with a vector entry).  Because Bit-GraphBLAS matrices are binary, the
+multiply's matrix operand is always 1; the semantics the paper gives each
+domain (§V) are:
+
+* **Boolean**: ``add = OR``, ``mult = AND`` — BFS frontier expansion;
+* **Arithmetic**: ``add = +``, ``mult = ×`` — PR, TC;
+* **Min-plus** (tropical): ``add = min``, ``mult = +`` with the matrix bit
+  treated as edge weight 1 and absent bits as +∞ (§V SSSP: "0s in the
+  adjacency matrix are identified as infinite");
+* **Max-times** (tropical): ``add = max``, ``mult = ×``.
+
+Each semiring exposes both scalar identities and vectorized NumPy reduce /
+combine hooks so the functional kernels stay loop-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A GraphBLAS semiring with vectorized hooks.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (``"boolean"``, ``"arithmetic"``, ``"min_plus"``,
+        ``"max_times"``).
+    zero:
+        Identity of the add monoid (also the value of "no contribution"):
+        0, 0.0, +inf, -inf respectively.
+    add:
+        Elementwise binary add (``np.logical_or``-style, vectorized).
+    add_reduce:
+        Axis reduction implementing the add monoid over an array.
+    mult_matrix_one:
+        Unary vectorized op computing ``mult(1, x)`` — the only multiply a
+        binary matrix ever needs (identity for ×-based semirings, ``x + 1``
+        for min-plus where the stored bit means edge weight 1).
+    add_at:
+        Scatter-reduce ``out[idx] = add(out[idx], vals)`` used by the tiled
+        kernels (``np.add.at`` / ``np.minimum.at`` / ``np.maximum.at``).
+    """
+
+    name: str
+    zero: float
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_reduce: Callable[..., np.ndarray]
+    mult_matrix_one: Callable[[np.ndarray], np.ndarray]
+    add_at: Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+
+    def empty_output(self, n: int, dtype=np.float32) -> np.ndarray:
+        """Length-``n`` output vector filled with the add identity."""
+        out = np.empty(n, dtype=dtype)
+        out.fill(self.zero)
+        return out
+
+    def reduce_masked(
+        self, values: np.ndarray, mask: np.ndarray, axis: int = -1
+    ) -> np.ndarray:
+        """Reduce ``values`` along ``axis`` counting only positions where
+        ``mask`` is true; masked-out positions contribute the identity."""
+        filled = np.where(mask, values, self.zero)
+        return self.add_reduce(filled, axis=axis)
+
+
+def _minimum_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    np.minimum.at(out, idx, vals)
+
+
+def _maximum_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    np.maximum.at(out, idx, vals)
+
+
+def _add_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    np.add.at(out, idx, vals)
+
+
+def _or_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+    np.logical_or.at(out, idx, vals.astype(bool))
+
+
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=0.0,
+    add=lambda a, b: np.logical_or(a, b).astype(a.dtype),
+    add_reduce=lambda x, axis=-1: np.any(x, axis=axis).astype(np.float32),
+    mult_matrix_one=lambda x: (np.asarray(x) != 0).astype(np.float32),
+    add_at=_or_at,
+)
+
+ARITHMETIC = Semiring(
+    name="arithmetic",
+    zero=0.0,
+    add=np.add,
+    add_reduce=lambda x, axis=-1: np.sum(x, axis=axis),
+    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    add_at=_add_at,
+)
+
+MIN_PLUS = Semiring(
+    name="min_plus",
+    zero=np.inf,
+    add=np.minimum,
+    add_reduce=lambda x, axis=-1: np.min(x, axis=axis),
+    # A stored bit is an edge of weight 1, so mult(1, x) = x + 1 (§V SSSP).
+    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32) + 1.0,
+    add_at=_minimum_at,
+)
+
+MAX_TIMES = Semiring(
+    name="max_times",
+    zero=-np.inf,
+    add=np.maximum,
+    add_reduce=lambda x, axis=-1: np.max(x, axis=axis),
+    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    add_at=_maximum_at,
+)
+
+# min-second: add = min, mult(a, x) = x.  The FastSV connected-components
+# formulation (§V CC) propagates the *minimum neighbour label* without the
+# +1 of min-plus; GraphBLAS calls this GrB_MIN_SECOND.
+MIN_SECOND = Semiring(
+    name="min_second",
+    zero=np.inf,
+    add=np.minimum,
+    add_reduce=lambda x, axis=-1: np.min(x, axis=axis),
+    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    add_at=_minimum_at,
+)
+
+#: All semirings of Table IV (plus min-second for FastSV CC), by name.
+SEMIRINGS: dict[str, Semiring] = {
+    s.name: s
+    for s in (BOOLEAN, ARITHMETIC, MIN_PLUS, MAX_TIMES, MIN_SECOND)
+}
+
+
+def semiring_by_name(name: str) -> Semiring:
+    """Look up a semiring; raises ``KeyError`` with the valid names."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; valid: {sorted(SEMIRINGS)}"
+        ) from None

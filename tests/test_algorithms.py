@@ -1,0 +1,225 @@
+"""Algorithm tests: the five §V algorithms vs networkx oracles on both
+backends."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs,
+    connected_components,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.algorithms.cc import count_components
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.graph import Graph
+from repro.gpusim import GTX1080, TITAN_V
+
+ENGINES = (BitEngine, GraphBLASTEngine)
+
+
+def undirected_graph(n=120, seed=0, density=0.03):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density)
+    dense = dense | dense.T
+    np.fill_diagonal(dense, False)
+    g = Graph.from_dense(dense.astype(np.float32), name=f"u{n}")
+    return g, nx.from_numpy_array(dense.astype(int))
+
+
+def directed_graph(n=80, seed=1, density=0.05):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density)
+    np.fill_diagonal(dense, False)
+    g = Graph.from_dense(dense.astype(np.float32), name=f"d{n}")
+    return g, nx.from_numpy_array(dense.astype(int), create_using=nx.DiGraph)
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestBFS:
+    def test_depths_match_networkx(self, Engine):
+        g, nxg = undirected_graph(seed=2)
+        depth, _ = bfs(Engine(g), 0)
+        ref = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(g.n):
+            assert depth[v] == ref.get(v, -1)
+
+    def test_directed_depths(self, Engine):
+        g, nxg = directed_graph(seed=3)
+        depth, _ = bfs(Engine(g), 5)
+        ref = nx.single_source_shortest_path_length(nxg, 5)
+        for v in range(g.n):
+            assert depth[v] == ref.get(v, -1)
+
+    def test_isolated_source(self, Engine):
+        g = Graph.from_dense(np.zeros((8, 8), dtype=np.float32))
+        depth, report = bfs(Engine(g), 3)
+        assert depth[3] == 0
+        assert np.all(depth[np.arange(8) != 3] == -1)
+
+    def test_source_out_of_range(self, Engine):
+        g, _ = undirected_graph()
+        with pytest.raises(ValueError):
+            bfs(Engine(g), -1)
+
+    def test_report_levels_match_eccentricity(self, Engine):
+        g, nxg = undirected_graph(seed=4, density=0.02)
+        depth, report = bfs(Engine(g), 0)
+        assert report.extra["levels"] >= depth.max()
+        assert report.iterations > 0
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestSSSP:
+    def test_unit_weights_equal_bfs_depth(self, Engine):
+        g, nxg = undirected_graph(seed=5)
+        dist, _ = sssp(Engine(g), 0)
+        ref = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(g.n):
+            if v in ref:
+                assert dist[v] == ref[v]
+            else:
+                assert np.isinf(dist[v])
+
+    def test_path_graph_distances(self, Engine):
+        n = 50
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        g = Graph.from_dense(dense)
+        dist, report = sssp(Engine(g), 0)
+        assert np.array_equal(dist, np.arange(n, dtype=np.float32))
+        assert report.iterations >= n - 1
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestPageRank:
+    def test_matches_networkx(self, Engine):
+        g, nxg = directed_graph(seed=6, density=0.08)
+        pr, _ = pagerank(Engine(g), max_iterations=60, tol=1e-11)
+        ref = nx.pagerank(
+            nxg.to_directed(), alpha=0.85, max_iter=200, tol=1e-12
+        )
+        refv = np.array([ref[i] for i in range(g.n)])
+        assert np.abs(pr - refv).max() < 1e-4
+
+    def test_sums_to_one(self, Engine):
+        g, _ = undirected_graph(seed=7)
+        pr, _ = pagerank(Engine(g), max_iterations=30)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_iteration_cap_is_10_by_default(self, Engine):
+        """§VI.A: PR is limited to a maximum iteration of 10."""
+        g, _ = undirected_graph(seed=8)
+        _, report = pagerank(Engine(g))
+        assert report.iterations <= 10
+
+    def test_invalid_alpha(self, Engine):
+        g, _ = undirected_graph()
+        with pytest.raises(ValueError):
+            pagerank(Engine(g), alpha=1.5)
+
+    def test_dangling_nodes_handled(self, Engine):
+        dense = np.zeros((4, 4), dtype=np.float32)
+        dense[0, 1] = dense[1, 2] = 1.0  # vertex 2, 3 dangle
+        g = Graph.from_dense(dense)
+        pr, _ = pagerank(Engine(g), max_iterations=50, tol=1e-12)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-4)
+        assert np.all(pr > 0)
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestConnectedComponents:
+    def test_component_count_matches_networkx(self, Engine):
+        g, nxg = undirected_graph(seed=9, density=0.015)
+        labels, _ = connected_components(Engine(g))
+        assert count_components(labels) == nx.number_connected_components(
+            nxg
+        )
+
+    def test_partition_matches(self, Engine):
+        g, nxg = undirected_graph(seed=10, density=0.02)
+        labels, _ = connected_components(Engine(g))
+        for comp in nx.connected_components(nxg):
+            comp = sorted(comp)
+            assert len(set(labels[list(comp)])) == 1
+            assert labels[comp[0]] == comp[0]  # min-id labelling
+
+    def test_fully_disconnected(self, Engine):
+        g = Graph.from_dense(np.zeros((10, 10), dtype=np.float32))
+        labels, _ = connected_components(Engine(g))
+        assert np.array_equal(labels, np.arange(10))
+
+    def test_single_component_ring(self, Engine):
+        n = 32
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n):
+            dense[i, (i + 1) % n] = dense[(i + 1) % n, i] = 1.0
+        labels, _ = connected_components(Engine(Graph.from_dense(dense)))
+        assert count_components(labels) == 1
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestTriangleCount:
+    def test_matches_networkx(self, Engine):
+        g, nxg = undirected_graph(seed=11, density=0.08)
+        count, _ = triangle_count(Engine(g))
+        assert count == sum(nx.triangles(nxg).values()) // 3
+
+    def test_triangle_free_graph(self, Engine):
+        from repro.datasets.generators import mycielskian_graph
+
+        g = mycielskian_graph(6)
+        count, _ = triangle_count(Engine(g))
+        assert count == 0  # Mycielski graphs are triangle-free
+
+    def test_clique(self, Engine):
+        n = 12
+        dense = (np.ones((n, n)) - np.eye(n)).astype(np.float32)
+        count, _ = triangle_count(Engine(Graph.from_dense(dense)))
+        assert count == n * (n - 1) * (n - 2) // 6
+
+    def test_directed_input_uses_undirected_view(self, Engine):
+        g, nxg = directed_graph(seed=12, density=0.1)
+        count, _ = triangle_count(Engine(g))
+        und = nxg.to_undirected()
+        assert count == sum(nx.triangles(und).values()) // 3
+
+
+class TestCrossBackendAndDevices:
+    def test_backends_agree_on_everything(self):
+        g, _ = undirected_graph(seed=13, density=0.04)
+        eb, eg = BitEngine(g), GraphBLASTEngine(g)
+        assert np.array_equal(bfs(eb, 0)[0], bfs(eg, 0)[0])
+        assert np.allclose(sssp(eb, 0)[0], sssp(eg, 0)[0])
+        assert np.allclose(
+            pagerank(eb)[0], pagerank(eg)[0], atol=1e-5
+        )
+        assert np.array_equal(
+            connected_components(eb)[0], connected_components(eg)[0]
+        )
+        assert triangle_count(eb)[0] == triangle_count(eg)[0]
+
+    def test_results_device_independent(self):
+        g, _ = undirected_graph(seed=14)
+        d_pascal, _ = bfs(BitEngine(g, device=GTX1080), 0)
+        d_volta, _ = bfs(BitEngine(g, device=TITAN_V), 0)
+        assert np.array_equal(d_pascal, d_volta)
+
+    def test_tile_dims_agree(self):
+        g, _ = undirected_graph(seed=15)
+        ref, _ = bfs(BitEngine(g, tile_dim=32), 0)
+        for d in (4, 8, 16):
+            out, _ = bfs(BitEngine(g, tile_dim=d), 0)
+            assert np.array_equal(out, ref)
+
+    def test_reports_have_positive_costs(self):
+        g, _ = undirected_graph(seed=16)
+        for Engine in ENGINES:
+            _, rep = bfs(Engine(g), 0)
+            assert rep.algorithm_ms > 0
+            assert rep.kernel_ms > 0
+            assert rep.algorithm_ms >= rep.kernel_ms * 0.99
+            assert rep.backend == Engine.backend_name

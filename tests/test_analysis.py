@@ -1,0 +1,149 @@
+"""Tests for analysis utilities: classifier, compression sweeps,
+reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import classify_pattern, pattern_features
+from repro.analysis.compression import (
+    compression_histogram,
+    compression_sweep,
+    optimal_counts,
+)
+from repro.analysis.report import (
+    density_bucket,
+    format_histogram,
+    format_table,
+    speedup_summary,
+)
+from repro.datasets.generators import (
+    block_pattern,
+    diagonal_pattern,
+    dot_pattern,
+    road_pattern,
+    stripe_pattern,
+)
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.csr import CSRMatrix
+
+
+class TestClassifier:
+    def test_diagonal(self):
+        g = diagonal_pattern(400, bandwidth=3, seed=1)
+        assert classify_pattern(g.csr) == "diagonal"
+
+    def test_dot(self):
+        g = dot_pattern(400, 0.01, seed=2)
+        assert classify_pattern(g.csr) == "dot"
+
+    def test_block(self):
+        g = block_pattern(400, block_size=24, seed=3, intra_density=0.7)
+        assert classify_pattern(g.csr) in ("block", "hybrid")
+
+    def test_stripe(self):
+        g = stripe_pattern(600, n_stripes=3, seed=14)
+        assert classify_pattern(g.csr) in ("stripe", "hybrid", "diagonal")
+
+    def test_road_or_diagonal(self):
+        # Road grids band tightly; either label is structurally defensible.
+        g = road_pattern(900, seed=5, extra_edges=0.0)
+        assert classify_pattern(g.csr) in ("road", "diagonal", "stripe")
+
+    def test_empty_matrix_is_dot(self):
+        assert classify_pattern(CSRMatrix.empty(4, 4)) == "dot"
+
+    def test_features_keys(self):
+        g = dot_pattern(100, 0.05, seed=6)
+        f = pattern_features(g.csr)
+        for key in (
+            "diag_frac", "stripe_frac", "n_stripes", "occupancy8",
+            "degree_cv", "degree_mode_frac",
+        ):
+            assert key in f
+
+
+class TestCompressionSweep:
+    def make_records(self):
+        graphs = [
+            diagonal_pattern(256, bandwidth=2, seed=i) for i in range(3)
+        ] + [dot_pattern(256, 0.002, seed=i) for i in range(3)]
+        return compression_sweep(graphs)
+
+    def test_records_have_all_dims(self):
+        for r in self.make_records():
+            assert set(r.ratios) == set(TILE_DIMS)
+            assert set(r.b2sr_bytes) == set(TILE_DIMS)
+
+    def test_banded_matrices_compress(self):
+        recs = compression_sweep(
+            [diagonal_pattern(512, bandwidth=2, seed=9)]
+        )
+        assert min(recs[0].ratios.values()) < 1.0
+        assert recs[0].compressed_dims()
+
+    def test_optimal_is_minimum_bytes(self):
+        for r in self.make_records():
+            d = r.optimal_tile_dim
+            assert r.b2sr_bytes[d] == min(r.b2sr_bytes.values())
+
+    def test_histogram_counts_sum_to_records(self):
+        recs = self.make_records()
+        hist = compression_histogram(recs)
+        for d in TILE_DIMS:
+            assert hist[d].sum() == len(recs)
+
+    def test_optimal_counts_sum(self):
+        recs = self.make_records()
+        optimal, compressed = optimal_counts(recs)
+        assert sum(optimal.values()) == len(recs)
+        # compressed counts decrease (weakly) with tile size for this mix,
+        # matching Figure 5b's trend.
+        vals = [compressed[d] for d in TILE_DIMS]
+        assert vals[0] >= vals[-1]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["long-name", 123456.0]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_float_styles(self):
+        out = format_table(["x"], [[0.001234], [1234567.0], [3.14]])
+        assert "0.00123" in out
+        assert "3.14" in out
+
+    def test_histogram_renders_bars(self):
+        edges = np.array([0, 10, 20])
+        counts = np.array([2, 4])
+        out = format_histogram(edges, counts, title="H", width=8)
+        lines = out.splitlines()
+        assert lines[0] == "H"
+        assert lines[2].count("#") == 8  # peak bin full width
+
+    def test_speedup_summary(self):
+        s = speedup_summary([2.0, 8.0, 0.5])
+        assert s["max"] == 8.0
+        assert s["mean"] == pytest.approx((2 + 8 + 0.5) / 3)
+        assert s["gmean"] == pytest.approx(2.0)
+        assert s["win_rate"] == pytest.approx(2 / 3)
+
+    def test_speedup_summary_ignores_nonfinite(self):
+        s = speedup_summary([float("inf"), float("nan"), -1.0, 4.0])
+        assert s["max"] == 4.0
+
+    def test_speedup_summary_empty(self):
+        s = speedup_summary([])
+        assert s == {"mean": 0.0, "gmean": 0.0, "max": 0.0, "win_rate": 0.0}
+
+    def test_density_bucket(self):
+        assert density_bucket(1e-5) == "E-05"
+        assert density_bucket(5e-3) == "E-03"
+        assert density_bucket(0.0) == "E-00"
+        assert density_bucket(0.5) == "E-01"

@@ -1,0 +1,177 @@
+"""Tests for the BMM schemes (Table III) against dense oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.convert import b2sr_from_dense
+from repro.kernels.bmm import (
+    bmm_bin_bin_b2sr,
+    bmm_bin_bin_sum,
+    bmm_bin_bin_sum_masked,
+    bmm_pair_count,
+    bmm_reference,
+    bmm_reference_masked,
+)
+
+
+def pair(n=60, seed=0, density=0.12):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, n)) < density).astype(np.float32)
+    b = (rng.random((n, n)) < density).astype(np.float32)
+    m = (rng.random((n, n)) < 0.3).astype(np.float32)
+    return a, b, m
+
+
+class TestSum:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_matches_dense_product_sum(self, d):
+        a, b, _ = pair(seed=d)
+        s = bmm_bin_bin_sum(b2sr_from_dense(a, d), b2sr_from_dense(b, d))
+        assert s == pytest.approx(bmm_reference(a, b))
+
+    def test_empty_operands(self):
+        z = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 4)
+        a = b2sr_from_dense(np.ones((8, 8), dtype=np.float32), 4)
+        assert bmm_bin_bin_sum(z, a) == 0.0
+        assert bmm_bin_bin_sum(a, z) == 0.0
+
+    def test_identity_times_identity(self):
+        eye = np.eye(32, dtype=np.float32)
+        A = b2sr_from_dense(eye, 32)
+        assert bmm_bin_bin_sum(A, A) == 32.0
+
+    def test_dimension_mismatch(self):
+        a = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 4)
+        b = b2sr_from_dense(np.zeros((12, 12), dtype=np.float32), 4)
+        with pytest.raises(ValueError):
+            bmm_bin_bin_sum(a, b)
+
+    def test_tile_dim_mismatch(self):
+        a = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 4)
+        b = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 8)
+        with pytest.raises(ValueError):
+            bmm_bin_bin_sum(a, b)
+
+    def test_rectangular_chain(self):
+        rng = np.random.default_rng(9)
+        a = (rng.random((16, 40)) < 0.2).astype(np.float32)
+        b = (rng.random((40, 24)) < 0.2).astype(np.float32)
+        s = bmm_bin_bin_sum(b2sr_from_dense(a, 8), b2sr_from_dense(b, 8))
+        assert s == pytest.approx(bmm_reference(a, b))
+
+
+class TestMasked:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_matches_masked_oracle(self, d):
+        a, b, m = pair(seed=d + 5)
+        s = bmm_bin_bin_sum_masked(
+            b2sr_from_dense(a, d),
+            b2sr_from_dense(b, d),
+            b2sr_from_dense(m, d),
+        )
+        assert s == pytest.approx(bmm_reference_masked(a, b, m))
+
+    @pytest.mark.parametrize("d", (4, 32))
+    def test_complement(self, d):
+        a, b, m = pair(seed=d + 15)
+        s = bmm_bin_bin_sum_masked(
+            b2sr_from_dense(a, d),
+            b2sr_from_dense(b, d),
+            b2sr_from_dense(m, d),
+            complement=True,
+        )
+        assert s == pytest.approx(
+            bmm_reference_masked(a, b, m, complement=True)
+        )
+
+    def test_empty_mask_zero(self):
+        a, b, _ = pair(seed=30)
+        z = b2sr_from_dense(np.zeros_like(a), 8)
+        s = bmm_bin_bin_sum_masked(
+            b2sr_from_dense(a, 8), b2sr_from_dense(b, 8), z
+        )
+        assert s == 0.0
+
+    def test_full_mask_equals_unmasked(self):
+        a, b, _ = pair(seed=31)
+        ones = b2sr_from_dense(np.ones_like(a), 8)
+        A, B = b2sr_from_dense(a, 8), b2sr_from_dense(b, 8)
+        assert bmm_bin_bin_sum_masked(A, B, ones) == pytest.approx(
+            bmm_bin_bin_sum(A, B)
+        )
+
+    def test_mask_shape_mismatch(self):
+        a, b, _ = pair(seed=32)
+        A, B = b2sr_from_dense(a, 8), b2sr_from_dense(b, 8)
+        bad = b2sr_from_dense(np.zeros((16, 16), dtype=np.float32), 8)
+        with pytest.raises(ValueError):
+            bmm_bin_bin_sum_masked(A, B, bad)
+
+    def test_triangle_counting_shape(self):
+        """TC formulation: Σ_{L} (L·Lᵀ) counts each triangle once."""
+        # A 4-clique has C(4,3) = 4 triangles.
+        n = 4
+        dense = np.ones((n, n), dtype=np.float32) - np.eye(n)
+        low = np.tril(dense, k=-1).astype(np.float32)
+        L = b2sr_from_dense(low, 4)
+        Lt = b2sr_from_dense(low.T, 4)
+        assert bmm_bin_bin_sum_masked(L, Lt, L) == 4.0
+
+
+class TestStructuralProduct:
+    @pytest.mark.parametrize("d", (4, 8, 32))
+    def test_matches_boolean_product(self, d):
+        a, b, _ = pair(seed=d + 25, density=0.15)
+        C = bmm_bin_bin_b2sr(
+            b2sr_from_dense(a, d), b2sr_from_dense(b, d)
+        )
+        expect = ((a @ b) > 0).astype(np.float32)
+        assert np.array_equal(C.to_dense(), expect)
+
+    def test_empty_product(self):
+        z = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 4)
+        C = bmm_bin_bin_b2sr(z, z)
+        assert C.n_tiles == 0
+
+    def test_two_hop_reachability(self):
+        # Path graph 0->1->2: A² reaches 0->2 only.
+        dense = np.zeros((8, 8), dtype=np.float32)
+        dense[0, 1] = dense[1, 2] = 1.0
+        A = b2sr_from_dense(dense, 4)
+        C = bmm_bin_bin_b2sr(A, A)
+        out = C.to_dense()
+        assert out[0, 2] == 1.0 and out.sum() == 1.0
+
+
+class TestPairCount:
+    def test_zero_for_empty(self):
+        z = b2sr_from_dense(np.zeros((8, 8), dtype=np.float32), 4)
+        assert bmm_pair_count(z, z) == 0
+
+    def test_counts_tile_join(self):
+        eye = np.eye(8, dtype=np.float32)
+        A = b2sr_from_dense(eye, 4)  # 2 diagonal tiles
+        assert bmm_pair_count(A, A) == 2
+
+    def test_dense_square(self):
+        ones = np.ones((8, 8), dtype=np.float32)
+        A = b2sr_from_dense(ones, 4)  # 2x2 tile grid, all non-empty
+        # Each of the 4 A tiles pairs with 2 B tiles in its tile row.
+        assert bmm_pair_count(A, A) == 8
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.sampled_from(TILE_DIMS),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_bmm_sum_property(n, d, seed):
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, n)) < 0.2).astype(np.float32)
+    b = (rng.random((n, n)) < 0.2).astype(np.float32)
+    s = bmm_bin_bin_sum(b2sr_from_dense(a, d), b2sr_from_dense(b, d))
+    assert s == pytest.approx(bmm_reference(a, b))

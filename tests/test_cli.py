@@ -1,0 +1,99 @@
+"""CLI tests (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_matrix, main
+from repro.formats.convert import csr_from_dense
+from repro.formats.mmio import write_matrix_market
+
+
+class TestLoadMatrix:
+    def test_named(self):
+        g = load_matrix("name:ash292")
+        assert g.name == "ash292"
+
+    def test_generated(self):
+        g = load_matrix("gen:diagonal:128:3")
+        assert g.category == "diagonal"
+        assert g.n == 128
+
+    def test_generated_default_seed(self):
+        a = load_matrix("gen:dot:64")
+        b = load_matrix("gen:dot:64:0")
+        assert np.array_equal(a.csr.indices, b.csr.indices)
+
+    def test_mtx(self, tmp_path):
+        dense = np.zeros((6, 6), dtype=np.float32)
+        dense[0, 1] = dense[1, 2] = 1.0
+        path = tmp_path / "g.mtx"
+        write_matrix_market(path, csr_from_dense(dense))
+        g = load_matrix(f"mtx:{path}")
+        assert g.nnz == 2
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            load_matrix("weird:thing")
+
+    def test_bad_category(self):
+        with pytest.raises(ValueError):
+            load_matrix("gen:spiral:64")
+
+    def test_gen_missing_n(self):
+        with pytest.raises(ValueError):
+            load_matrix("gen:dot")
+
+
+class TestCommands:
+    def test_profile(self, capsys):
+        assert main(["profile", "gen:diagonal:256:1"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "sampling profile" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "gen:block:256:1"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern class" in out
+        assert "32x32" in out
+
+    @pytest.mark.parametrize(
+        "alg", ["bfs", "sssp", "pagerank", "cc", "tc", "mis",
+                "coloring", "diameter"],
+    )
+    def test_run_all_algorithms(self, capsys, alg):
+        assert main(["run", alg, "gen:road:196:1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Bit-GraphBLAS" in out
+
+    def test_run_volta(self, capsys):
+        assert main(
+            ["run", "bfs", "gen:diagonal:128:2", "--device", "volta"]
+        ) == 0
+        assert "TitanV" in capsys.readouterr().out
+
+    def test_run_tile_dim(self, capsys):
+        assert main(
+            ["run", "bfs", "gen:diagonal:128:2", "--tile-dim", "8"]
+        ) == 0
+
+    def test_matrices_listing(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "mycielskian9" in out
+        assert "minnesota" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "521 matrices" in out
+        assert "diagonal" in out
+
+    def test_parser_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "dijkstra", "name:uk"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,143 @@
+"""Tests for format conversions (repro.formats.convert)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.convert import (
+    b2sr_from_bsr,
+    b2sr_from_csr,
+    b2sr_nnz_tiles,
+    bsr_from_csr,
+    coo_from_csr,
+    csc_from_csr,
+    csr_from_coo,
+    csr_from_csc,
+    csr_from_dense,
+    transpose_csr,
+)
+from repro.formats.coo import COOMatrix
+
+
+def random_dense(n, m=None, seed=0, density=0.2):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, m or n)) < density).astype(np.float32)
+
+
+class TestCooCsr:
+    def test_csr_from_coo_matches_dense(self):
+        dense = random_dense(12, 9, seed=1)
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(csr_from_coo(coo).to_dense(), dense)
+
+    def test_coo_from_csr_roundtrip(self):
+        dense = random_dense(10, seed=2)
+        csr = csr_from_dense(dense)
+        assert np.array_equal(coo_from_csr(csr).to_dense(), dense)
+
+    def test_duplicates_merged(self):
+        coo = COOMatrix(
+            2, 2, np.array([0, 0]), np.array([1, 1]),
+            np.array([1.0, 4.0], dtype=np.float32),
+        )
+        csr = csr_from_coo(coo, combine="sum")
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 1] == 5.0
+
+
+class TestCscConversions:
+    def test_csc_matches_dense(self):
+        dense = random_dense(11, 14, seed=3)
+        csc = csc_from_csr(csr_from_dense(dense))
+        assert np.array_equal(csc.to_dense(), dense)
+
+    def test_csc_columns_sorted(self):
+        csc = csc_from_csr(csr_from_dense(random_dense(20, seed=4)))
+        for j in range(csc.ncols):
+            lo, hi = csc.indptr[j], csc.indptr[j + 1]
+            assert np.all(np.diff(csc.indices[lo:hi]) > 0)
+
+    def test_csr_csc_roundtrip(self):
+        dense = random_dense(15, seed=5)
+        csr = csr_from_dense(dense)
+        assert np.array_equal(
+            csr_from_csc(csc_from_csr(csr)).to_dense(), dense
+        )
+
+    def test_transpose_csr(self):
+        dense = random_dense(9, 13, seed=6)
+        t = transpose_csr(csr_from_dense(dense))
+        assert t.shape == (13, 9)
+        assert np.array_equal(t.to_dense(), dense.T)
+
+    def test_csc_col_accessor(self):
+        dense = random_dense(8, seed=7)
+        csc = csc_from_csr(csr_from_dense(dense))
+        for j in range(8):
+            rows, vals = csc.col(j)
+            assert np.array_equal(np.sort(rows), np.nonzero(dense[:, j])[0])
+        with pytest.raises(IndexError):
+            csc.col(99)
+
+
+class TestBsr:
+    @pytest.mark.parametrize("bd", (2, 4, 8))
+    def test_bsr_roundtrip(self, bd):
+        dense = random_dense(30, seed=8)
+        bsr = bsr_from_csr(csr_from_dense(dense), bd)
+        assert np.array_equal(bsr.to_dense(), dense)
+
+    def test_bsr_storage_counts_dense_blocks(self):
+        dense = np.zeros((8, 8), dtype=np.float32)
+        dense[0, 0] = 1.0
+        bsr = bsr_from_csr(csr_from_dense(dense), 4)
+        assert bsr.n_blocks == 1
+        # 3 rowptr ints + 1 colind int + 16 floats.
+        assert bsr.storage_bytes() == 4 * 3 + 4 + 4 * 16
+
+    def test_bsr_empty(self):
+        bsr = bsr_from_csr(csr_from_dense(np.zeros((6, 6))), 4)
+        assert bsr.n_blocks == 0
+        assert np.array_equal(bsr.to_dense(), np.zeros((6, 6)))
+
+    def test_bsr_invalid_block_dim(self):
+        with pytest.raises(ValueError):
+            bsr_from_csr(csr_from_dense(np.zeros((4, 4))), 0)
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_bsr_to_b2sr_pipeline_matches_direct(self, d):
+        """§III.B conversion pipeline: csr2bsr then bit packing must agree
+        with the direct CSR→B2SR converter."""
+        dense = random_dense(70, seed=d)
+        csr = csr_from_dense(dense)
+        via_bsr = b2sr_from_bsr(bsr_from_csr(csr, d))
+        direct = b2sr_from_csr(csr, d)
+        assert np.array_equal(via_bsr.to_dense(), direct.to_dense())
+        assert np.array_equal(via_bsr.indices, direct.indices)
+
+
+class TestNnzTiles:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_counts_match_conversion(self, d):
+        csr = csr_from_dense(random_dense(90, seed=d + 9, density=0.02))
+        assert b2sr_nnz_tiles(csr, d) == b2sr_from_csr(csr, d).n_tiles
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            b2sr_nnz_tiles(csr_from_dense(np.zeros((4, 4))), 7)
+
+
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_transpose_involution_property(n, m, seed):
+    dense = random_dense(n, m, seed=seed)
+    csr = csr_from_dense(dense)
+    assert np.array_equal(
+        transpose_csr(transpose_csr(csr)).to_dense(), dense
+    )

@@ -1,0 +1,138 @@
+"""Tests for the COO substrate."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+
+def small_coo():
+    return COOMatrix(
+        4, 4,
+        rows=np.array([2, 0, 2, 1]),
+        cols=np.array([1, 3, 1, 0]),
+        vals=np.array([5.0, 1.0, 7.0, 2.0], dtype=np.float32),
+    )
+
+
+class TestConstruction:
+    def test_defaults_to_unit_values(self):
+        coo = COOMatrix(3, 3, np.array([0, 1]), np.array([1, 2]))
+        assert np.all(coo.vals == 1.0)
+        assert coo.vals.dtype == np.float32
+
+    def test_shape_and_nnz(self):
+        coo = small_coo()
+        assert coo.shape == (4, 4)
+        assert coo.nnz == 4
+
+    def test_density(self):
+        coo = small_coo()
+        assert coo.density == pytest.approx(4 / 16)
+
+    def test_empty_density(self):
+        coo = COOMatrix(0, 0, np.array([]), np.array([]))
+        assert coo.density == 0.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            COOMatrix(3, 3, np.array([0]), np.array([1, 2]))
+
+    def test_out_of_range_row(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([2]), np.array([0]))
+
+    def test_out_of_range_col(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([0]), np.array([-1]))
+
+    def test_2d_coords_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.zeros((1, 1)), np.zeros((1, 1)))
+
+
+class TestDeduplicate:
+    def test_sorts_canonically(self):
+        d = small_coo().deduplicate()
+        keys = d.rows * 4 + d.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_last_wins(self):
+        d = small_coo().deduplicate(combine="last")
+        assert d.nnz == 3
+        at21 = d.vals[(d.rows == 2) & (d.cols == 1)]
+        assert at21[0] == 7.0
+
+    def test_sum_combine(self):
+        d = small_coo().deduplicate(combine="sum")
+        at21 = d.vals[(d.rows == 2) & (d.cols == 1)]
+        assert at21[0] == 12.0
+
+    def test_max_combine(self):
+        d = small_coo().deduplicate(combine="max")
+        at21 = d.vals[(d.rows == 2) & (d.cols == 1)]
+        assert at21[0] == 7.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            small_coo().deduplicate(combine="min")
+
+    def test_empty(self):
+        coo = COOMatrix(3, 3, np.array([]), np.array([]))
+        assert coo.deduplicate().nnz == 0
+
+
+class TestTransforms:
+    def test_transpose(self):
+        t = small_coo().transpose()
+        assert t.shape == (4, 4)
+        assert np.array_equal(np.sort(t.rows), np.sort(small_coo().cols))
+
+    def test_transpose_roundtrip(self):
+        a = small_coo().deduplicate()
+        b = a.transpose().transpose().deduplicate()
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+    def test_to_dense_from_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((7, 5)) < 0.3).astype(np.float32) * 2.5
+        coo = COOMatrix.from_dense(dense)
+        assert np.array_equal(coo.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(np.zeros(4))
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = COOMatrix.from_edges(3, np.array([[0, 1], [1, 2]]))
+        dense = g.to_dense()
+        assert dense[0, 1] == 1 and dense[1, 2] == 1
+        assert dense.sum() == 2
+
+    def test_symmetrize(self):
+        g = COOMatrix.from_edges(
+            3, np.array([[0, 1]]), symmetrize=True
+        )
+        dense = g.to_dense()
+        assert dense[0, 1] == 1 and dense[1, 0] == 1
+
+    def test_drop_self_loops(self):
+        g = COOMatrix.from_edges(
+            3, np.array([[0, 0], [0, 1]]), drop_self_loops=True
+        )
+        assert g.to_dense()[0, 0] == 0
+        assert g.nnz == 1
+
+    def test_duplicate_edges_merge(self):
+        g = COOMatrix.from_edges(3, np.array([[0, 1], [0, 1], [0, 1]]))
+        assert g.nnz == 1
+
+    def test_empty_edges(self):
+        g = COOMatrix.from_edges(3, np.empty((0, 2), dtype=np.int64))
+        assert g.nnz == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_edges(3, np.array([[0, 1, 2]]))

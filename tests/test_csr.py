@@ -1,0 +1,136 @@
+"""Tests for the CSR substrate."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import csr_from_dense
+from repro.formats.csr import CSRMatrix
+
+
+def dense_fixture(n=9, seed=0, density=0.3):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, n)) < density).astype(np.float32)
+
+
+class TestConstruction:
+    def test_roundtrip_via_dense(self):
+        dense = dense_fixture()
+        assert np.array_equal(csr_from_dense(dense).to_dense(), dense)
+
+    def test_empty(self):
+        m = CSRMatrix.empty(3, 5)
+        assert m.nnz == 0
+        assert m.shape == (3, 5)
+        assert np.array_equal(m.to_dense(), np.zeros((3, 5)))
+
+    def test_indptr_wrong_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 0]), np.array([]), np.array([]))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                1, 2, np.array([1, 1]), np.array([]), np.array([])
+            )
+
+    def test_indptr_decreasing_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                2, 2, np.array([0, 2, 1]),
+                np.array([0, 1]), np.array([1.0, 1.0]),
+            )
+
+    def test_indptr_tail_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                1, 2, np.array([0, 2]), np.array([0]), np.array([1.0])
+            )
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                1, 2, np.array([0, 1]), np.array([2]), np.array([1.0])
+            )
+
+
+class TestAccessors:
+    def test_row_view(self):
+        dense = dense_fixture()
+        csr = csr_from_dense(dense)
+        for i in range(dense.shape[0]):
+            cols, vals = csr.row(i)
+            assert np.array_equal(np.sort(cols), np.nonzero(dense[i])[0])
+            assert np.all(vals == dense[i][cols])
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            csr_from_dense(dense_fixture()).row(100)
+
+    def test_row_lengths(self):
+        dense = dense_fixture()
+        csr = csr_from_dense(dense)
+        assert np.array_equal(
+            csr.row_lengths(), (dense != 0).sum(axis=1)
+        )
+
+    def test_out_degrees_alias(self):
+        csr = csr_from_dense(dense_fixture())
+        assert np.array_equal(csr.out_degrees(), csr.row_lengths())
+
+    def test_density(self):
+        dense = dense_fixture()
+        csr = csr_from_dense(dense)
+        assert csr.density == pytest.approx(
+            (dense != 0).sum() / dense.size
+        )
+
+
+class TestTransforms:
+    def test_sort_indices_preserves_content(self):
+        csr = csr_from_dense(dense_fixture())
+        # Scramble within rows.
+        rng = np.random.default_rng(3)
+        idx = csr.indices.copy()
+        dat = csr.data.copy()
+        for i in range(csr.nrows):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            p = rng.permutation(hi - lo)
+            idx[lo:hi] = idx[lo:hi][p]
+            dat[lo:hi] = dat[lo:hi][p]
+        scrambled = CSRMatrix(csr.nrows, csr.ncols, csr.indptr, idx, dat)
+        sorted_back = scrambled.sort_indices()
+        assert np.array_equal(sorted_back.to_dense(), csr.to_dense())
+        for i in range(csr.nrows):
+            lo, hi = sorted_back.indptr[i], sorted_back.indptr[i + 1]
+            assert np.all(np.diff(sorted_back.indices[lo:hi]) > 0)
+
+    def test_binarize(self):
+        dense = dense_fixture() * 3.7
+        b = csr_from_dense(dense).binarize()
+        assert b.is_binary()
+        assert np.array_equal(b.to_dense() != 0, dense != 0)
+
+    def test_is_binary_false_for_weighted(self):
+        dense = np.array([[2.0]], dtype=np.float32)
+        assert not csr_from_dense(dense).is_binary()
+
+    def test_extract_lower_strict(self):
+        dense = dense_fixture()
+        low = csr_from_dense(dense).extract_lower(strict=True).to_dense()
+        assert np.array_equal(low, np.tril(dense, k=-1))
+
+    def test_extract_lower_with_diagonal(self):
+        dense = dense_fixture()
+        np.fill_diagonal(dense, 1.0)
+        low = csr_from_dense(dense).extract_lower(strict=False).to_dense()
+        assert np.array_equal(low, np.tril(dense, k=0))
+
+    def test_scale_columns(self):
+        dense = dense_fixture()
+        scale = np.arange(1, dense.shape[1] + 1, dtype=np.float32)
+        scaled = csr_from_dense(dense).scale_columns(scale).to_dense()
+        assert np.allclose(scaled, dense * scale[None, :])
+
+    def test_scale_columns_shape_check(self):
+        with pytest.raises(ValueError):
+            csr_from_dense(dense_fixture()).scale_columns(np.ones(3))

@@ -1,0 +1,213 @@
+"""Tests for the CSR baseline kernels (cuSPARSE stand-ins)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.convert import csr_from_dense, transpose_csr
+from repro.kernels.csr_spgemm import (
+    csr_spgemm,
+    csr_spgemm_mask_sum,
+    csr_spgemm_sum,
+    spgemm_flops,
+)
+from repro.kernels.csr_spmv import (
+    csr_spmspv,
+    csr_spmv,
+    csr_spmv_masked,
+    csr_spmv_reference,
+    csr_spmv_semiring,
+)
+from repro.semiring import ARITHMETIC, BOOLEAN, MIN_PLUS
+
+
+def setup(n=50, seed=0, density=0.15, weighted=False):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density).astype(np.float32)
+    if weighted:
+        dense *= (rng.random((n, n)) * 4 + 0.5).astype(np.float32)
+    x = rng.random(n).astype(np.float32)
+    return dense, x
+
+
+class TestSpmv:
+    def test_matches_dense(self):
+        dense, x = setup(weighted=True)
+        y = csr_spmv(csr_from_dense(dense), x)
+        assert np.allclose(y, csr_spmv_reference(dense, x), atol=1e-4)
+
+    def test_empty_matrix(self):
+        from repro.formats.csr import CSRMatrix
+
+        y = csr_spmv(CSRMatrix.empty(4, 4), np.ones(4, dtype=np.float32))
+        assert np.all(y == 0)
+
+    def test_wrong_vector_length(self):
+        dense, _ = setup()
+        with pytest.raises(ValueError):
+            csr_spmv(csr_from_dense(dense), np.zeros(3))
+
+    def test_semiring_min_plus(self):
+        dense, x = setup(seed=2)
+        y = csr_spmv_semiring(csr_from_dense(dense), x, MIN_PLUS)
+        b = dense != 0
+        expect = np.where(
+            b.any(axis=1),
+            np.min(np.where(b, x[None, :] + 1.0, np.inf), axis=1),
+            np.inf,
+        )
+        assert np.allclose(y, expect)
+
+    def test_semiring_boolean(self):
+        dense, x = setup(seed=3)
+        y = csr_spmv_semiring(csr_from_dense(dense), x, BOOLEAN)
+        expect = ((dense @ (x != 0)) > 0).astype(np.float32)
+        assert np.array_equal(y, expect)
+
+
+class TestSpmvMasked:
+    def test_mask_skips_rows(self):
+        dense, x = setup(seed=4)
+        mask = np.arange(50) % 2 == 0
+        y = csr_spmv_masked(csr_from_dense(dense), x, mask)
+        expect = (dense @ x) * mask
+        assert np.allclose(y, expect, atol=1e-4)
+
+    def test_complement_mask(self):
+        dense, x = setup(seed=5)
+        mask = np.arange(50) % 3 == 0
+        y = csr_spmv_masked(
+            csr_from_dense(dense), x, mask, complement=True
+        )
+        assert np.allclose(y, (dense @ x) * ~mask, atol=1e-4)
+
+    def test_min_plus_identity_outside_mask(self):
+        dense, x = setup(seed=6)
+        mask = np.zeros(50, dtype=bool)
+        y = csr_spmv_masked(
+            csr_from_dense(dense), x, mask, semiring=MIN_PLUS
+        )
+        assert np.all(np.isinf(y))
+
+    def test_bad_mask(self):
+        dense, x = setup()
+        with pytest.raises(ValueError):
+            csr_spmv_masked(csr_from_dense(dense), x, np.ones(3))
+
+
+class TestSpmspv:
+    def test_frontier_expansion_matches_dense(self):
+        dense, _ = setup(seed=7)
+        csr = csr_from_dense(dense)
+        active = np.array([3, 10, 20])
+        idx, vals = csr_spmspv(csr, active, semiring=BOOLEAN)
+        expect = (dense[active].sum(axis=0) > 0).astype(np.float32)
+        out = np.zeros(50, dtype=np.float32)
+        out[idx] = vals
+        assert np.array_equal(out != 0, expect != 0)
+
+    def test_empty_frontier(self):
+        dense, _ = setup()
+        idx, vals = csr_spmspv(csr_from_dense(dense), np.array([]))
+        assert idx.size == 0 and vals.size == 0
+
+    def test_arithmetic_accumulates(self):
+        dense = np.zeros((4, 4), dtype=np.float32)
+        dense[0, 2] = dense[1, 2] = 1.0
+        idx, vals = csr_spmspv(
+            csr_from_dense(dense), np.array([0, 1]), semiring=ARITHMETIC
+        )
+        assert idx.tolist() == [2]
+        assert vals[0] == 2.0
+
+    def test_out_of_range_active(self):
+        dense, _ = setup()
+        with pytest.raises(ValueError):
+            csr_spmspv(csr_from_dense(dense), np.array([999]))
+
+    def test_values_align(self):
+        dense = np.zeros((3, 3), dtype=np.float32)
+        dense[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            csr_spmspv(
+                csr_from_dense(dense), np.array([0]),
+                values=np.array([1.0, 2.0], dtype=np.float32),
+            )
+
+
+class TestSpgemm:
+    def test_matches_scipy(self):
+        a, _ = setup(seed=8, weighted=True)
+        b, _ = setup(seed=9, weighted=True)
+        C = csr_spgemm(csr_from_dense(a), csr_from_dense(b))
+        expect = (sp.csr_matrix(a) @ sp.csr_matrix(b)).toarray()
+        assert np.allclose(C.to_dense(), expect, atol=1e-3)
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(10)
+        a = (rng.random((10, 30)) < 0.2).astype(np.float32)
+        b = (rng.random((30, 7)) < 0.2).astype(np.float32)
+        C = csr_spgemm(csr_from_dense(a), csr_from_dense(b))
+        assert C.shape == (10, 7)
+        assert np.allclose(C.to_dense(), a @ b, atol=1e-4)
+
+    def test_dimension_mismatch(self):
+        a, _ = setup()
+        with pytest.raises(ValueError):
+            csr_spgemm(
+                csr_from_dense(a),
+                csr_from_dense(np.zeros((3, 3), dtype=np.float32)),
+            )
+
+    def test_empty_result(self):
+        z = csr_from_dense(np.zeros((5, 5), dtype=np.float32))
+        assert csr_spgemm(z, z).nnz == 0
+
+    def test_flops_counts_intermediate_products(self):
+        a, _ = setup(seed=11)
+        b, _ = setup(seed=12)
+        A, B = csr_from_dense(a), csr_from_dense(b)
+        manual = sum(
+            int((b[k] != 0).sum())
+            for row in range(50)
+            for k in np.nonzero(a[row])[0]
+        )
+        assert spgemm_flops(A, B) == manual
+
+    def test_sum_fused_equals_materialised(self):
+        a, _ = setup(seed=13)
+        b, _ = setup(seed=14)
+        A, B = csr_from_dense(a), csr_from_dense(b)
+        assert csr_spgemm_sum(A, B) == pytest.approx(
+            float(csr_spgemm(A, B).to_dense().sum()), rel=1e-5
+        )
+
+    def test_mask_sum_matches_dense(self):
+        a, _ = setup(seed=15)
+        b, _ = setup(seed=16)
+        m, _ = setup(seed=17, density=0.3)
+        s = csr_spgemm_mask_sum(
+            csr_from_dense(a), csr_from_dense(b), csr_from_dense(m)
+        )
+        expect = float(((a @ b) * (m != 0)).sum())
+        assert s == pytest.approx(expect, rel=1e-5)
+
+    def test_mask_sum_triangle_identity(self):
+        """CSR and B2SR backends must agree on the TC quantity."""
+        from repro.formats.convert import b2sr_from_dense
+        from repro.kernels.bmm import bmm_bin_bin_sum_masked
+
+        rng = np.random.default_rng(18)
+        adj = (rng.random((40, 40)) < 0.2).astype(np.float32)
+        adj = np.maximum(adj, adj.T)
+        np.fill_diagonal(adj, 0)
+        low = np.tril(adj, k=-1).astype(np.float32)
+        L = csr_from_dense(low)
+        Lt = transpose_csr(L)
+        csr_count = csr_spgemm_mask_sum(L, Lt, L)
+        bit_count = bmm_bin_bin_sum_masked(
+            b2sr_from_dense(low, 8),
+            b2sr_from_dense(low.T, 8),
+            b2sr_from_dense(low, 8),
+        )
+        assert csr_count == pytest.approx(bit_count)

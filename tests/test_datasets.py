@@ -1,0 +1,257 @@
+"""Dataset tests: generators, named stand-ins, the 521-matrix suite."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    block_pattern,
+    de_bruijn_graph,
+    delaunay_graph,
+    diagonal_pattern,
+    dot_pattern,
+    grid_graph,
+    hybrid_pattern,
+    kronecker_graph,
+    mesh_graph,
+    mycielskian_graph,
+    rcm_reordered,
+    rmat_graph,
+    road_pattern,
+    stripe_pattern,
+)
+from repro.datasets.named import NAMED_MATRICES, load_named
+from repro.datasets.suite import (
+    CATEGORY_WEIGHTS,
+    SUITE_SIZE,
+    evaluation_suite,
+)
+
+
+class TestPatternGenerators:
+    def test_dot_density(self):
+        g = dot_pattern(200, 0.05, seed=1)
+        assert g.category == "dot"
+        assert 0.02 < g.density <= 0.05  # duplicates reduce it
+
+    def test_dot_determinism(self):
+        a = dot_pattern(100, 0.02, seed=7)
+        b = dot_pattern(100, 0.02, seed=7)
+        assert np.array_equal(a.csr.indices, b.csr.indices)
+
+    def test_dot_invalid_density(self):
+        with pytest.raises(ValueError):
+            dot_pattern(10, 1.5)
+
+    def test_diagonal_bandedness(self):
+        g = diagonal_pattern(300, bandwidth=3, seed=2)
+        rows = np.repeat(
+            np.arange(g.n, dtype=np.int64), np.diff(g.csr.indptr)
+        )
+        assert np.abs(g.csr.indices - rows).max() <= 3
+        assert g.category == "diagonal"
+
+    def test_diagonal_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            diagonal_pattern(10, bandwidth=0)
+
+    def test_block_high_tile_occupancy(self):
+        g = block_pattern(256, block_size=16, seed=3, intra_density=0.7)
+        assert g.b2sr(16).tile_occupancy() > 0.15
+        assert g.category == "block"
+
+    def test_stripe_few_dominant_offsets(self):
+        g = stripe_pattern(400, n_stripes=3, seed=4)
+        rows = np.repeat(
+            np.arange(g.n, dtype=np.int64), np.diff(g.csr.indptr)
+        )
+        offs = g.csr.indices - rows
+        vals, counts = np.unique(offs, return_counts=True)
+        top3 = np.sort(counts)[-3:].sum()
+        # Diagonal stripes concentrate; anti-diagonal ones spread offsets.
+        assert top3 / g.nnz > 0.3
+
+    def test_road_is_symmetric_grid(self):
+        g = road_pattern(400, seed=5)
+        assert g.is_symmetric()
+        assert g.category == "road"
+
+    def test_hybrid_combines(self):
+        g = hybrid_pattern(256, seed=6)
+        assert g.category == "hybrid"
+        assert g.nnz > 0
+
+
+class TestExactConstructions:
+    def test_mycielskian_size_recurrence(self):
+        # |V(M_k)| = 3 * 2^(k-2) - 1 for k >= 2.
+        for k in (2, 3, 4, 5, 6):
+            g = mycielskian_graph(k)
+            assert g.n == 3 * 2 ** (k - 2) - 1
+
+    def test_mycielskian_is_triangle_free(self):
+        g = mycielskian_graph(6)
+        nxg = nx.from_numpy_array(g.csr.to_dense().astype(int))
+        assert sum(nx.triangles(nxg).values()) == 0
+
+    def test_mycielskian_chromatic_lower_bound_via_odd_cycle(self):
+        # M_3 is C_5: 5 vertices, 5 edges.
+        g = mycielskian_graph(3)
+        assert g.n == 5 and g.nnz == 10  # 5 undirected edges
+
+    def test_mycielskian_invalid(self):
+        with pytest.raises(ValueError):
+            mycielskian_graph(1)
+
+    def test_de_bruijn_out_degree(self):
+        g = de_bruijn_graph(2, 6)
+        assert g.n == 64
+        # Every vertex has out-degree ≤ 2 (self-loops dropped).
+        assert np.all(np.diff(g.csr.indptr) <= 2)
+
+    def test_de_bruijn_shift_structure(self):
+        """B(s, l): vertex v has successors (v·s + c) mod s^l — two shifted
+        stripes in the adjacency matrix."""
+        s, l = 2, 5
+        g = de_bruijn_graph(s, l)
+        n = s ** l
+        dense = g.csr.to_dense()
+        for v in range(n):
+            for c in range(s):
+                w = (v * s + c) % n
+                if v != w:
+                    assert dense[v, w] == 1.0
+
+    def test_delaunay_planar_edge_bound(self):
+        g = delaunay_graph(300, seed=1)
+        # Planar: |E| <= 3n - 6.
+        assert g.nnz / 2 <= 3 * g.n - 6
+        assert g.is_symmetric()
+
+    def test_grid_graph_degrees(self):
+        g = grid_graph(10)
+        deg = g.out_degrees()
+        assert deg.max() == 4 and deg.min() == 2
+        assert g.n == 100
+
+    def test_mesh_and_dual(self):
+        m = mesh_graph(12, seed=2)
+        assert m.is_symmetric()
+        d = mesh_graph(12, seed=2, dual=True)
+        assert d.is_symmetric()
+        # Dual vertices are triangles: roughly 2 per grid cell.
+        assert d.n > m.n
+
+    def test_rmat_power_law_ish(self):
+        g = rmat_graph(9, edge_factor=8, seed=3)
+        deg = np.sort(g.out_degrees())[::-1]
+        # Hubs dominate: top 10% of vertices hold > 25% of edges.
+        top = deg[: max(1, g.n // 10)].sum()
+        assert top / max(deg.sum(), 1) > 0.25
+
+    def test_kronecker_self_similar(self):
+        base = np.array([[1, 1], [0, 1]])
+        g = kronecker_graph(base, 3)
+        assert g.n == 8
+        expect = np.kron(np.kron(base, base), base)
+        assert np.array_equal(g.csr.to_dense(), expect.astype(np.float32))
+
+    def test_kronecker_invalid_base(self):
+        with pytest.raises(ValueError):
+            kronecker_graph(np.ones((2, 3)), 2)
+
+    def test_rcm_reduces_bandwidth(self):
+        rng = np.random.default_rng(4)
+        # A ring with shuffled labels has terrible bandwidth; RCM fixes it.
+        n = 200
+        perm = rng.permutation(n)
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n):
+            a, b = perm[i], perm[(i + 1) % n]
+            dense[a, b] = dense[b, a] = 1.0
+        from repro.graph import Graph
+
+        g = Graph.from_dense(dense)
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.csr.indptr))
+        before = np.abs(g.csr.indices - rows).max()
+        r = rcm_reordered(g)
+        rows_r = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(r.csr.indptr)
+        )
+        after = np.abs(r.csr.indices - rows_r).max()
+        assert after < before
+        assert r.nnz == g.nnz
+
+
+class TestNamedMatrices:
+    def test_registry_covers_paper_tables(self):
+        for required in (
+            "delaunay_n14", "se", "debr", "ash292", "netz4504_dual",
+            "minnesota", "jagmesh6", "uk", "whitaker3_dual", "rajat07",
+            "3dtube", "Erdos02", "mycielskian9", "EX3", "net25",
+            "mycielskian10", "ins2", "sstmodel", "jagmesh2", "lock2232",
+            "ramage02", "s4dkt3m2", "opt1", "trdheim", "mycielskian12",
+            "mycielskian13", "G47", "sphere3", "cage", "will199",
+            "email-Eu-core",
+        ):
+            assert required in NAMED_MATRICES, required
+
+    def test_load_named_caches(self):
+        a = load_named("ash292")
+        b = load_named("ash292")
+        assert a is b
+        c = load_named("ash292", cached=False)
+        assert c is not a
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_named("not_a_matrix")
+
+    @pytest.mark.parametrize(
+        "name", ["ash292", "minnesota", "mycielskian9", "will199", "cage"]
+    )
+    def test_named_builds_are_square_binary(self, name):
+        g = load_named(name)
+        assert g.csr.nrows == g.csr.ncols
+        assert g.csr.is_binary()
+        assert g.nnz > 0
+
+
+class TestSuite:
+    def test_size_is_521(self):
+        entries = evaluation_suite()
+        assert len(entries) == SUITE_SIZE == 521
+
+    def test_deterministic(self):
+        a = evaluation_suite()
+        b = evaluation_suite()
+        assert [(e.name, e.n, e.seed) for e in a] == [
+            (e.name, e.n, e.seed) for e in b
+        ]
+
+    def test_category_proportions_follow_table5(self):
+        entries = evaluation_suite()
+        counts = {}
+        for e in entries:
+            counts[e.category] = counts.get(e.category, 0) + 1
+        total = sum(CATEGORY_WEIGHTS.values())
+        for cat, weight in CATEGORY_WEIGHTS.items():
+            expect = weight / total
+            got = counts[cat] / len(entries)
+            assert abs(got - expect) < 0.02, cat
+
+    def test_entries_build_to_their_category(self):
+        entries = evaluation_suite()
+        for e in entries[::97]:  # sample a few
+            g = e.build()
+            assert g.category == e.category
+            assert g.n >= 1 and g.nnz >= 0
+
+    def test_build_deterministic(self):
+        e = evaluation_suite()[10]
+        a, b = e.build(), e.build()
+        assert np.array_equal(a.csr.indices, b.csr.indices)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            evaluation_suite(size=0)

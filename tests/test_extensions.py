@@ -1,0 +1,226 @@
+"""Tests for the §VII extensions: bit-plane weighted matrices and the
+Table IV algorithms beyond the evaluated five (MIS, coloring, diameter).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.coloring import greedy_coloring, verify_coloring
+from repro.algorithms.diameter import pseudo_diameter
+from repro.algorithms.mis import maximal_independent_set, verify_mis
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.extensions import (
+    BitPlaneMatrix,
+    bitplane_from_csr,
+    bitplane_spmv,
+)
+from repro.extensions.bitplanes import bitplane_spmv_reference
+from repro.formats.convert import csr_from_dense
+from repro.graph import Graph
+
+ENGINES = (BitEngine, GraphBLASTEngine)
+
+
+def weighted_dense(n=50, bits=4, seed=0, density=0.15):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    w = rng.integers(1, 2 ** bits, size=(n, n))
+    return (mask * w).astype(np.float32)
+
+
+def undirected(n=80, seed=0, density=0.06):
+    rng = np.random.default_rng(seed)
+    d = rng.random((n, n)) < density
+    d = d | d.T
+    np.fill_diagonal(d, False)
+    return Graph.from_dense(d.astype(np.float32))
+
+
+class TestBitPlanes:
+    @pytest.mark.parametrize("bits", (1, 3, 4, 8))
+    def test_roundtrip(self, bits):
+        dense = weighted_dense(bits=bits, seed=bits)
+        mat = bitplane_from_csr(csr_from_dense(dense), bits)
+        assert np.array_equal(mat.to_dense(), dense)
+
+    @pytest.mark.parametrize("bits", (2, 4, 6))
+    @pytest.mark.parametrize("tile_dim", (8, 32))
+    def test_spmv_matches_dense(self, bits, tile_dim):
+        dense = weighted_dense(bits=bits, seed=bits + 10)
+        rng = np.random.default_rng(1)
+        x = rng.random(dense.shape[1]).astype(np.float32)
+        mat = bitplane_from_csr(csr_from_dense(dense), bits, tile_dim)
+        y = bitplane_spmv(mat, x)
+        assert np.allclose(
+            y, bitplane_spmv_reference(dense, x), rtol=1e-4
+        )
+
+    def test_weight_range_enforced(self):
+        dense = np.array([[0.0, 9.0]], dtype=np.float32)
+        dense = np.vstack([dense, np.zeros((1, 2), dtype=np.float32)])
+        with pytest.raises(ValueError):
+            bitplane_from_csr(csr_from_dense(dense), 3)  # 9 needs 4 bits
+
+    def test_non_integer_rejected(self):
+        dense = np.array([[0.0, 1.5], [0.0, 0.0]], dtype=np.float32)
+        with pytest.raises(ValueError):
+            bitplane_from_csr(csr_from_dense(dense), 4)
+
+    def test_invalid_bits(self):
+        dense = weighted_dense()
+        with pytest.raises(ValueError):
+            bitplane_from_csr(csr_from_dense(dense), 0)
+        with pytest.raises(ValueError):
+            bitplane_from_csr(csr_from_dense(dense), 17)
+
+    def test_storage_scales_with_bits(self):
+        dense = weighted_dense(bits=8, seed=3)
+        m4 = bitplane_from_csr(
+            csr_from_dense(np.minimum(dense, 15)), 4
+        )
+        m8 = bitplane_from_csr(csr_from_dense(dense), 8)
+        assert m8.storage_bytes() > m4.storage_bytes()
+
+    def test_vector_shape_check(self):
+        dense = weighted_dense(bits=2, seed=4)
+        mat = bitplane_from_csr(csr_from_dense(dense), 2)
+        with pytest.raises(ValueError):
+            bitplane_spmv(mat, np.zeros(3))
+
+    def test_plane_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitPlaneMatrix(4, 4, 2, [])
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_spmv_property(self, bits, seed):
+        dense = weighted_dense(n=30, bits=bits, seed=seed)
+        rng = np.random.default_rng(seed)
+        x = rng.random(30).astype(np.float32)
+        mat = bitplane_from_csr(csr_from_dense(dense), bits, 8)
+        assert np.allclose(
+            bitplane_spmv(mat, x),
+            bitplane_spmv_reference(dense, x),
+            rtol=1e-4,
+        )
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestMIS:
+    def test_valid_mis(self, Engine):
+        g = undirected(seed=1)
+        in_set, report = maximal_independent_set(Engine(g), seed=7)
+        assert verify_mis(g.csr.to_dense(), in_set)
+        assert report.iterations > 0
+
+    def test_empty_graph_takes_everything(self, Engine):
+        g = Graph.from_dense(np.zeros((10, 10), dtype=np.float32))
+        in_set, _ = maximal_independent_set(Engine(g), seed=1)
+        assert in_set.all()
+
+    def test_clique_takes_exactly_one(self, Engine):
+        n = 16
+        dense = (np.ones((n, n)) - np.eye(n)).astype(np.float32)
+        in_set, _ = maximal_independent_set(
+            Engine(Graph.from_dense(dense)), seed=2
+        )
+        assert in_set.sum() == 1
+
+    def test_deterministic_given_seed(self, Engine):
+        g = undirected(seed=3)
+        a, _ = maximal_independent_set(Engine(g), seed=5)
+        b, _ = maximal_independent_set(Engine(g), seed=5)
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestColoring:
+    def test_proper_coloring(self, Engine):
+        g = undirected(seed=4, density=0.08)
+        colors, _ = greedy_coloring(Engine(g), seed=1)
+        assert verify_coloring(g.csr.to_dense(), colors)
+
+    def test_color_count_bounded_by_max_degree(self, Engine):
+        g = undirected(seed=5, density=0.05)
+        colors, _ = greedy_coloring(Engine(g), seed=1)
+        max_deg = int(g.symmetrized().out_degrees().max())
+        assert colors.max() <= max_deg  # Δ+1 colors → max index ≤ Δ
+
+    def test_bipartite_uses_two_colors(self, Engine):
+        # Even cycle: chromatic number 2.
+        n = 20
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n):
+            dense[i, (i + 1) % n] = dense[(i + 1) % n, i] = 1.0
+        colors, _ = greedy_coloring(
+            Engine(Graph.from_dense(dense)), seed=3
+        )
+        assert verify_coloring(dense, colors)
+        assert len(np.unique(colors)) <= 3  # JP may use 3 on cycles
+
+    def test_edgeless_one_color(self, Engine):
+        g = Graph.from_dense(np.zeros((6, 6), dtype=np.float32))
+        colors, _ = greedy_coloring(Engine(g), seed=1)
+        assert np.all(colors == 0)
+
+
+@pytest.mark.parametrize("Engine", ENGINES)
+class TestDiameter:
+    def test_path_graph_exact(self, Engine):
+        n = 30
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        diam, report = pseudo_diameter(
+            Engine(Graph.from_dense(dense)), source=n // 2
+        )
+        assert diam == n - 1  # double sweep is exact on trees
+        assert report.extra["sweeps"] == 2
+
+    def test_lower_bounds_networkx(self, Engine):
+        g = undirected(seed=6, density=0.05)
+        nxg = nx.from_numpy_array(g.csr.to_dense().astype(int))
+        comp = max(nx.connected_components(nxg), key=len)
+        sub = nxg.subgraph(comp)
+        true_diam = nx.diameter(sub)
+        source = next(iter(comp))
+        est, _ = pseudo_diameter(Engine(g), source=source, sweeps=3)
+        assert est <= true_diam
+        assert est >= true_diam / 2  # double-sweep guarantee
+
+    def test_invalid_sweeps(self, Engine):
+        g = undirected(seed=7)
+        with pytest.raises(ValueError):
+            pseudo_diameter(Engine(g), sweeps=0)
+
+    def test_isolated_source(self, Engine):
+        g = Graph.from_dense(np.zeros((5, 5), dtype=np.float32))
+        diam, _ = pseudo_diameter(Engine(g), source=2)
+        assert diam == 0
+
+
+class TestCrossBackend:
+    def test_mis_both_backends_valid(self):
+        g = undirected(seed=8)
+        dense = g.csr.to_dense()
+        for Engine in ENGINES:
+            in_set, _ = maximal_independent_set(Engine(g), seed=11)
+            assert verify_mis(dense, in_set), Engine.__name__
+
+    def test_coloring_deterministic_across_backends(self):
+        g = undirected(seed=9)
+        a, _ = greedy_coloring(BitEngine(g), seed=13)
+        b, _ = greedy_coloring(GraphBLASTEngine(g), seed=13)
+        assert np.array_equal(a, b)
+
+    def test_diameter_agrees_across_backends(self):
+        g = undirected(seed=10, density=0.04)
+        a, _ = pseudo_diameter(BitEngine(g), source=0)
+        b, _ = pseudo_diameter(GraphBLASTEngine(g), source=0)
+        assert a == b

@@ -1,0 +1,107 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+def directed_dense(n=20, seed=0):
+    rng = np.random.default_rng(seed)
+    d = (rng.random((n, n)) < 0.15).astype(np.float32)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        dense = directed_dense()
+        g = Graph.from_dense(dense, name="x", category="dot")
+        assert g.name == "x" and g.category == "dot"
+        assert np.array_equal(g.csr.to_dense(), dense)
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        dense = g.csr.to_dense()
+        assert dense[0, 1] == 1 and dense[2, 3] == 1
+        assert g.nnz == 2
+
+    def test_rejects_rectangular(self):
+        from repro.formats.convert import csr_from_dense
+
+        with pytest.raises(ValueError):
+            Graph(csr_from_dense(np.zeros((2, 3), dtype=np.float32)))
+
+    def test_density(self):
+        g = Graph.from_edges(10, np.array([[0, 1]]))
+        assert g.density == pytest.approx(1 / 100)
+
+
+class TestCachedRepresentations:
+    def test_csr_t_is_transpose(self):
+        dense = directed_dense(seed=1)
+        g = Graph.from_dense(dense)
+        assert np.array_equal(g.csr_t.to_dense(), dense.T)
+
+    def test_csr_t_cached(self):
+        g = Graph.from_dense(directed_dense(seed=2))
+        assert g.csr_t is g.csr_t
+
+    def test_b2sr_cached_per_dim(self):
+        g = Graph.from_dense(directed_dense(seed=3))
+        assert g.b2sr(8) is g.b2sr(8)
+        assert g.b2sr(8) is not g.b2sr(16)
+
+    def test_b2sr_matches_dense(self):
+        dense = directed_dense(seed=4)
+        g = Graph.from_dense(dense)
+        for d in (4, 32):
+            assert np.array_equal(g.b2sr(d).to_dense(), dense)
+            assert np.array_equal(g.b2sr_t(d).to_dense(), dense.T)
+
+    def test_invalid_tile_dim(self):
+        g = Graph.from_dense(directed_dense())
+        with pytest.raises(ValueError):
+            g.b2sr(5)
+        with pytest.raises(ValueError):
+            g.b2sr_t(64)
+
+    def test_degrees(self):
+        dense = directed_dense(seed=5)
+        g = Graph.from_dense(dense)
+        assert np.array_equal(g.out_degrees(), (dense != 0).sum(axis=1))
+        assert np.array_equal(g.in_degrees(), (dense != 0).sum(axis=0))
+
+
+class TestSymmetry:
+    def test_is_symmetric(self):
+        dense = directed_dense(seed=6)
+        sym = np.maximum(dense, dense.T)
+        assert Graph.from_dense(sym).is_symmetric()
+        if not np.array_equal(dense, dense.T):
+            assert not Graph.from_dense(dense).is_symmetric()
+
+    def test_symmetrized_union(self):
+        dense = directed_dense(seed=7)
+        g = Graph.from_dense(dense, name="g")
+        s = g.symmetrized()
+        assert np.array_equal(
+            s.csr.to_dense(), np.maximum(dense, dense.T)
+        )
+        assert s.name.endswith("_sym")
+
+    def test_symmetrized_noop_for_symmetric(self):
+        dense = directed_dense(seed=8)
+        g = Graph.from_dense(np.maximum(dense, dense.T))
+        assert g.symmetrized() is g
+
+
+class TestNetworkxExport:
+    def test_roundtrip_edge_set(self):
+        dense = directed_dense(seed=9)
+        g = Graph.from_dense(dense)
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == g.n
+        assert nxg.number_of_edges() == g.nnz
+        for u, v in nxg.edges():
+            assert dense[u, v] != 0

@@ -1,0 +1,236 @@
+"""Tests for the GraphBLAS operation layer: Vector, Descriptor, ops, and
+the bit/csr backend equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graphblas import Descriptor, Vector, mxm_sum, mxv, reduce_vector, vxm
+from repro.graphblas.ops import apply_mask, ewise_add
+from repro.semiring import ARITHMETIC, BOOLEAN, MIN_PLUS, SEMIRINGS
+
+
+def graph_fixture(n=60, seed=0, density=0.12):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density).astype(np.float32)
+    return Graph.from_dense(dense), dense
+
+
+class TestVector:
+    def test_dense_constructor(self):
+        v = Vector.dense(5, fill=2.0)
+        assert v.n == 5
+        assert np.all(v.values == 2.0)
+
+    def test_sparse_constructor(self):
+        v = Vector.sparse(6, [1, 4], [3.0, 5.0])
+        assert v[1] == 3.0 and v[4] == 5.0 and v[0] == 0.0
+        assert v.nvals == 2
+
+    def test_indicator(self):
+        v = Vector.indicator(5, [0, 2])
+        assert np.array_equal(v.values, [1, 0, 1, 0, 0])
+
+    def test_packed_cached_and_invalidated(self):
+        v = Vector.indicator(40, [0])
+        w1 = v.packed(8)
+        assert v.packed(8) is w1
+        v[1] = 1.0
+        w2 = v.packed(8)
+        assert w2 is not w1
+        assert w2[0] == 0b11
+
+    def test_assign_shape_checked(self):
+        v = Vector.dense(4)
+        with pytest.raises(ValueError):
+            v.assign(np.zeros(5))
+
+    def test_nonzero_indices(self):
+        v = Vector.sparse(6, [5, 2])
+        assert v.nonzero_indices().tolist() == [2, 5]
+
+    def test_copy_independent(self):
+        v = Vector.dense(3)
+        c = v.copy()
+        c[0] = 9.0
+        assert v[0] == 0.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Vector(np.zeros((2, 2)))
+
+    def test_invalid_tile_dim(self):
+        with pytest.raises(ValueError):
+            Vector.dense(4).packed(7)
+
+
+class TestDescriptor:
+    def test_defaults(self):
+        d = Descriptor()
+        assert d.backend == "bit" and d.tile_dim == 32
+        assert not d.complement_mask and not d.transpose_a
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            Descriptor(backend="cuda")
+
+    def test_invalid_tile_dim(self):
+        with pytest.raises(ValueError):
+            Descriptor(tile_dim=5)
+
+
+class TestMxv:
+    @pytest.mark.parametrize("backend", ("bit", "csr"))
+    @pytest.mark.parametrize(
+        "sname", ("boolean", "arithmetic", "min_plus")
+    )
+    def test_matches_oracle(self, backend, sname):
+        g, dense = graph_fixture(seed=hash((backend, sname)) % 100)
+        rng = np.random.default_rng(1)
+        x = Vector(rng.random(g.n).astype(np.float32))
+        s = SEMIRINGS[sname]
+        y = mxv(g, x, s, desc=Descriptor(backend=backend))
+        from repro.kernels.bmv import bmv_reference
+
+        ref = bmv_reference(dense, x.values, s)
+        if sname == "boolean":
+            assert np.array_equal(y.values != 0, ref != 0)
+        else:
+            assert np.allclose(y.values, ref, atol=1e-3)
+
+    def test_backends_agree(self):
+        g, _ = graph_fixture(seed=11)
+        rng = np.random.default_rng(2)
+        x = Vector(rng.random(g.n).astype(np.float32))
+        for sname in ("arithmetic", "min_plus", "boolean"):
+            s = SEMIRINGS[sname]
+            yb = mxv(g, x, s, desc=Descriptor(backend="bit"))
+            yc = mxv(g, x, s, desc=Descriptor(backend="csr"))
+            assert np.allclose(yb.values, yc.values, atol=1e-3), sname
+
+    @pytest.mark.parametrize("backend", ("bit", "csr"))
+    def test_masked_boolean(self, backend):
+        g, dense = graph_fixture(seed=12)
+        f = Vector.indicator(g.n, [0, 5, 9])
+        visited = Vector.indicator(g.n, list(range(0, g.n, 3)))
+        y = mxv(
+            g, f, BOOLEAN, mask=visited,
+            desc=Descriptor(backend=backend, complement_mask=True),
+        )
+        reach = (dense @ (f.values != 0)) > 0
+        expect = reach & (visited.values == 0)
+        assert np.array_equal(y.values != 0, expect)
+
+    def test_transpose_a(self):
+        g, dense = graph_fixture(seed=13)
+        x = Vector(np.ones(g.n, dtype=np.float32))
+        y = mxv(g, x, ARITHMETIC, desc=Descriptor(transpose_a=True))
+        assert np.allclose(y.values, dense.T.sum(axis=1), atol=1e-3)
+
+    def test_vxm_equals_mxv_transposed(self):
+        g, _ = graph_fixture(seed=14)
+        rng = np.random.default_rng(3)
+        x = Vector(rng.random(g.n).astype(np.float32))
+        a = vxm(g, x, ARITHMETIC)
+        b = mxv(g, x, ARITHMETIC, desc=Descriptor(transpose_a=True))
+        assert np.allclose(a.values, b.values)
+
+    def test_length_mismatch(self):
+        g, _ = graph_fixture()
+        with pytest.raises(ValueError):
+            mxv(g, Vector.dense(3), ARITHMETIC)
+
+
+class TestMxmSum:
+    def test_backends_agree_unmasked(self):
+        g, dense = graph_fixture(seed=15)
+        sb = mxm_sum(g.csr, g.csr, desc=Descriptor(backend="bit"))
+        sc = mxm_sum(g.csr, g.csr, desc=Descriptor(backend="csr"))
+        expect = float((dense @ dense).sum())
+        assert sb == pytest.approx(expect)
+        assert sc == pytest.approx(expect)
+
+    def test_masked(self):
+        g, dense = graph_fixture(seed=16)
+        sb = mxm_sum(
+            g.csr, g.csr, mask=g.csr, desc=Descriptor(backend="bit")
+        )
+        sc = mxm_sum(
+            g.csr, g.csr, mask=g.csr, desc=Descriptor(backend="csr")
+        )
+        expect = float(((dense @ dense) * dense).sum())
+        assert sb == pytest.approx(expect)
+        assert sc == pytest.approx(expect)
+
+    def test_accepts_b2sr_inputs(self):
+        g, dense = graph_fixture(seed=17)
+        s = mxm_sum(
+            g.b2sr(8), g.b2sr(8), desc=Descriptor(backend="bit", tile_dim=8)
+        )
+        assert s == pytest.approx(float((dense @ dense).sum()))
+
+    def test_csr_complement_unsupported(self):
+        g, _ = graph_fixture(seed=18)
+        with pytest.raises(NotImplementedError):
+            mxm_sum(
+                g.csr, g.csr, mask=g.csr,
+                desc=Descriptor(backend="csr", complement_mask=True),
+            )
+
+    def test_type_error(self):
+        g, _ = graph_fixture()
+        with pytest.raises(TypeError):
+            mxm_sum("nope", g.csr)
+
+
+class TestVectorOps:
+    def test_reduce(self):
+        v = Vector(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        assert reduce_vector(v, ARITHMETIC) == 6.0
+        assert reduce_vector(v, MIN_PLUS) == 1.0
+
+    def test_reduce_empty(self):
+        assert reduce_vector(Vector.dense(0), ARITHMETIC) == 0.0
+
+    def test_ewise_add(self):
+        a = Vector(np.array([1.0, 5.0], dtype=np.float32))
+        b = Vector(np.array([3.0, 2.0], dtype=np.float32))
+        assert np.array_equal(
+            ewise_add(a, b, MIN_PLUS).values, [1.0, 2.0]
+        )
+        assert np.array_equal(
+            ewise_add(a, b, ARITHMETIC).values, [4.0, 7.0]
+        )
+
+    def test_ewise_mismatch(self):
+        with pytest.raises(ValueError):
+            ewise_add(Vector.dense(2), Vector.dense(3), ARITHMETIC)
+
+    def test_apply_mask(self):
+        v = Vector(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        m = Vector.indicator(3, [1])
+        assert np.array_equal(apply_mask(v, m).values, [0, 2, 0])
+        assert np.array_equal(
+            apply_mask(v, m, complement=True, fill=-1.0).values,
+            [1, -1, 3],
+        )
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.sampled_from((4, 8, 16, 32)),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_backend_equivalence_property(n, d, seed):
+    """The central correctness property: bit and CSR backends compute the
+    same mxv for any graph, tile size and the min-plus semiring."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.2).astype(np.float32)
+    g = Graph.from_dense(dense)
+    x = Vector((rng.random(n) * 3).astype(np.float32))
+    yb = mxv(g, x, MIN_PLUS, desc=Descriptor(backend="bit", tile_dim=d))
+    yc = mxv(g, x, MIN_PLUS, desc=Descriptor(backend="csr"))
+    assert np.allclose(yb.values, yc.values)

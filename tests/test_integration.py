@@ -1,0 +1,130 @@
+"""Integration tests: full pipelines across modules, mirroring how a
+downstream user (or the bench harness) drives the library."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, triangle_count
+from repro.bench import (
+    algorithm_table_rows,
+    bmm_speedup,
+    bmv_speedup,
+    suite_subset,
+    tc_table_rows,
+)
+from repro.datasets import load_named
+from repro.datasets.suite import evaluation_suite
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.gpusim import GTX1080, TITAN_V
+from repro.profiling import recommend_format
+
+
+class TestNamedMatrixPipeline:
+    def test_advisor_then_engine_roundtrip(self):
+        """User story: profile a matrix, follow the advice, run BFS."""
+        g = load_named("minnesota")
+        rec = recommend_format(g.csr, seed=0)
+        assert rec.use_b2sr  # road grids pack well
+        depth_bit, rep = bfs(BitEngine(g, tile_dim=rec.tile_dim), 0)
+        depth_csr, _ = bfs(GraphBLASTEngine(g), 0)
+        assert np.array_equal(depth_bit, depth_csr)
+        assert rep.algorithm_ms > 0
+
+    def test_triangle_count_consistency_across_backends(self):
+        for name in ("mycielskian9", "se", "3dtube"):
+            g = load_named(name)
+            cb, _ = triangle_count(BitEngine(g))
+            cg, _ = triangle_count(GraphBLASTEngine(g))
+            assert cb == cg, name
+
+    def test_mycielskian_matrices_are_triangle_free(self):
+        """The real mycielskian* matrices have zero triangles; our exact
+        construction must too — a strong end-to-end correctness check."""
+        for name in ("mycielskian8", "mycielskian9", "mycielskian10"):
+            g = load_named(name)
+            count, _ = triangle_count(BitEngine(g))
+            assert count == 0, name
+
+
+class TestHarness:
+    def test_bmv_speedup_record_fields(self):
+        g = load_named("ash292")
+        rec = bmv_speedup(g, "bin_bin_bin", 32, GTX1080)
+        assert rec.name == "ash292"
+        assert rec.baseline_ms > 0 and rec.b2sr_ms > 0
+        assert rec.speedup == pytest.approx(
+            rec.baseline_ms / rec.b2sr_ms
+        )
+        assert rec.device == "GTX1080"
+
+    def test_bmm_speedup_positive(self):
+        g = load_named("mycielskian9")
+        rec = bmm_speedup(g, 8, TITAN_V)
+        assert rec.speedup > 0
+
+    def test_algorithm_table_structure(self):
+        g = load_named("jagmesh2")
+        rows = algorithm_table_rows(g, GTX1080)
+        assert set(rows) == {"BFS", "SSSP", "PR", "CC"}
+        for alg, r in rows.items():
+            for key in (
+                "gblst_alg", "ours_alg", "gblst_kernel", "ours_kernel",
+                "speedup_alg", "speedup_kernel",
+            ):
+                assert r[key] > 0, (alg, key)
+
+    def test_tc_table_counts_agree(self):
+        g = load_named("se")
+        row_p = tc_table_rows(g, GTX1080)
+        row_v = tc_table_rows(g, TITAN_V)
+        assert row_p["triangles"] == row_v["triangles"]
+        assert row_p["speedup"] > 0 and row_v["speedup"] > 0
+
+    def test_suite_subset_stratified(self):
+        sub = suite_subset(24)
+        assert 20 <= len(sub) <= 28
+        cats = {e.category for e in sub}
+        assert len(cats) >= 5  # nearly every category represented
+
+    def test_suite_subset_full_passthrough(self):
+        assert len(suite_subset(10**6)) == len(evaluation_suite(max_n=2048))
+
+
+class TestPaperShapeInvariants:
+    """Cheap versions of the EXPERIMENTS.md shape criteria — run on every
+    test invocation so shape regressions surface immediately."""
+
+    def test_diagonal_bfs_beats_graphblast_by_an_order_of_magnitude(self):
+        g = load_named("jagmesh6")
+        rows = algorithm_table_rows(g, GTX1080)
+        assert rows["BFS"]["speedup_alg"] > 10
+        assert rows["BFS"]["speedup_kernel"] > rows["BFS"]["speedup_alg"]
+
+    def test_spmv_algorithms_moderate_speedups(self):
+        g = load_named("minnesota")
+        rows = algorithm_table_rows(g, GTX1080)
+        for alg in ("SSSP", "PR", "CC"):
+            assert 1 < rows[alg]["speedup_alg"] < 100, alg
+
+    def test_bmm_speedups_exceed_bmv(self):
+        """Figure 6d vs 6a-c: SpGEMM gains dwarf SpMV gains."""
+        g = load_named("mycielskian9")
+        bmv = bmv_speedup(g, "bin_bin_bin", 32, GTX1080).speedup
+        bmm = bmm_speedup(g, 32, GTX1080).speedup
+        assert bmm > bmv
+
+    def test_hypersparse_dot_pattern_can_lose(self):
+        """Figure 6: the sub-1× region exists — B2SR is not a universal
+        win (§VII's 'no sparse format fits all')."""
+        from repro.datasets.generators import dot_pattern
+
+        g = dot_pattern(4096, 3e-05, seed=3)
+        rec = bmv_speedup(g, "bin_full_full", 32, GTX1080)
+        assert rec.speedup < 1.5
+
+    def test_volta_reduces_bmm_gain(self):
+        """§VI.E: Titan V's _sync penalty trims BMM speedups."""
+        g = load_named("mycielskian12")
+        p = bmm_speedup(g, 32, GTX1080).speedup
+        v = bmm_speedup(g, 32, TITAN_V).speedup
+        assert v < p

@@ -1,0 +1,198 @@
+"""Tests for tile/vector bit packing (repro.bitops.packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitops.packing import (
+    nibble_pack,
+    nibble_unpack,
+    pack_bits_colmajor,
+    pack_bits_rowmajor,
+    pack_bitvector,
+    transpose_packed,
+    unpack_bits_colmajor,
+    unpack_bits_rowmajor,
+    unpack_bitvector,
+)
+
+DIMS = (4, 8, 16, 32)
+
+
+def random_tiles(rng, d, count=5, density=0.3):
+    return (rng.random((count, d, d)) < density).astype(np.uint8)
+
+
+class TestRowMajorPacking:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_roundtrip(self, d):
+        rng = np.random.default_rng(d)
+        tiles = random_tiles(rng, d)
+        words = pack_bits_rowmajor(tiles)
+        assert np.array_equal(unpack_bits_rowmajor(words, d), tiles)
+
+    def test_lsb_first_convention(self):
+        tile = np.zeros((4, 4), dtype=np.uint8)
+        tile[1, 0] = 1  # row 1, column 0 -> bit 0 of word 1
+        tile[1, 3] = 1  # row 1, column 3 -> bit 3 of word 1
+        words = pack_bits_rowmajor(tile)
+        assert words[1] == 0b1001
+        assert words[0] == 0 and words[2] == 0
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_dtype_matches_width(self, d):
+        tiles = np.zeros((1, d, d), dtype=np.uint8)
+        words = pack_bits_rowmajor(tiles)
+        assert words.dtype.itemsize * 8 >= d
+
+    def test_nonzero_treated_as_one(self):
+        tile = np.array([[0.5, 0], [0, -3]], dtype=np.float32)
+        # 2x2 is not a valid dim
+        with pytest.raises(ValueError):
+            pack_bits_rowmajor(tile)
+
+    def test_float_tiles_binarize(self):
+        tile = np.zeros((4, 4), dtype=np.float32)
+        tile[0, 0] = 2.5
+        tile[3, 3] = -1.0
+        words = pack_bits_rowmajor(tile)
+        assert words[0] == 1 and words[3] == 0b1000
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits_rowmajor(np.zeros((4, 8)))
+
+    def test_batch_shapes(self):
+        tiles = np.zeros((3, 2, 8, 8), dtype=np.uint8)
+        words = pack_bits_rowmajor(tiles)
+        assert words.shape == (3, 2, 8)
+
+
+class TestColMajorPacking:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_colmajor_is_rowmajor_of_transpose(self, d):
+        rng = np.random.default_rng(d + 100)
+        tiles = random_tiles(rng, d)
+        cm = pack_bits_colmajor(tiles)
+        rm_t = pack_bits_rowmajor(np.swapaxes(tiles, -1, -2))
+        assert np.array_equal(cm, rm_t)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_roundtrip(self, d):
+        rng = np.random.default_rng(d + 200)
+        tiles = random_tiles(rng, d)
+        assert np.array_equal(
+            unpack_bits_colmajor(pack_bits_colmajor(tiles), d), tiles
+        )
+
+
+class TestTransposePacked:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_transposes_dense_content(self, d):
+        rng = np.random.default_rng(d + 300)
+        tiles = random_tiles(rng, d)
+        tp = transpose_packed(pack_bits_rowmajor(tiles), d)
+        assert np.array_equal(
+            unpack_bits_rowmajor(tp, d), np.swapaxes(tiles, -1, -2)
+        )
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_involution(self, d):
+        rng = np.random.default_rng(d + 400)
+        words = pack_bits_rowmajor(random_tiles(rng, d))
+        assert np.array_equal(
+            transpose_packed(transpose_packed(words, d), d), words
+        )
+
+
+class TestBitvector:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_roundtrip_exact_multiple(self, d):
+        rng = np.random.default_rng(d)
+        v = (rng.random(4 * d) < 0.4).astype(np.uint8)
+        words = pack_bitvector(v, d)
+        assert words.shape == (4,)
+        assert np.array_equal(unpack_bitvector(words, d, v.shape[0]), v)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_roundtrip_with_padding(self, d):
+        rng = np.random.default_rng(d + 1)
+        n = 3 * d + d // 2
+        v = (rng.random(n) < 0.4).astype(np.uint8)
+        words = pack_bitvector(v, d)
+        assert words.shape == (4,)
+        assert np.array_equal(unpack_bitvector(words, d, n), v)
+
+    def test_word_k_is_tile_column_k(self):
+        v = np.zeros(64, dtype=np.float32)
+        v[35] = 1.0  # word 1, bit 3 at d=32
+        words = pack_bitvector(v, 32)
+        assert words[0] == 0
+        assert words[1] == 1 << 3
+
+    def test_nonzero_binarizes(self):
+        v = np.array([0.0, -2.0, 3.5, 0.0], dtype=np.float32)
+        assert pack_bitvector(v, 4)[0] == 0b0110
+
+    def test_unpack_too_few_words(self):
+        with pytest.raises(ValueError):
+            unpack_bitvector(np.zeros(1, dtype=np.uint32), 32, 64)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bitvector(np.zeros((2, 4)), 4)
+
+    def test_empty_vector(self):
+        words = pack_bitvector(np.zeros(0), 8)
+        assert words.shape == (0,)
+        assert unpack_bitvector(words, 8, 0).shape == (0,)
+
+
+class TestNibblePacking:
+    def test_roundtrip_even(self):
+        rows = np.array([0x1, 0xF, 0x0, 0xA], dtype=np.uint8)
+        packed = nibble_pack(rows)
+        assert packed.shape == (2,)
+        assert np.array_equal(nibble_unpack(packed, 4), rows)
+
+    def test_roundtrip_odd(self):
+        rows = np.array([0x3, 0x7, 0xC], dtype=np.uint8)
+        packed = nibble_pack(rows)
+        assert packed.shape == (2,)
+        assert np.array_equal(nibble_unpack(packed, 3), rows)
+
+    def test_layout_low_nibble_first(self):
+        packed = nibble_pack(np.array([0x2, 0xB], dtype=np.uint8))
+        assert packed[0] == 0xB2
+
+    def test_rejects_values_over_nibble(self):
+        with pytest.raises(ValueError):
+            nibble_pack(np.array([0x10], dtype=np.uint8))
+
+    def test_halves_storage(self):
+        """Table I + §III.B: nibble packing gives B2SR-4 the full 32×
+        saving (0.5 B per 4-bit row)."""
+        rows = np.zeros(100, dtype=np.uint8)
+        assert nibble_pack(rows).nbytes == 50
+
+    @given(st.lists(st.integers(0, 15), min_size=0, max_size=64))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, rows):
+        arr = np.array(rows, dtype=np.uint8)
+        assert np.array_equal(
+            nibble_unpack(nibble_pack(arr), len(rows)), arr
+        )
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40)
+def test_bitvector_roundtrip_property(dim_idx, n, seed):
+    d = DIMS[dim_idx]
+    rng = np.random.default_rng(seed)
+    v = (rng.random(n) < 0.5).astype(np.uint8)
+    assert np.array_equal(unpack_bitvector(pack_bitvector(v, d), d, n), v)

@@ -1,0 +1,104 @@
+"""Tests for the Algorithm 1 sampling profile and the format advisor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    block_pattern,
+    diagonal_pattern,
+    dot_pattern,
+)
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.csr import CSRMatrix
+from repro.formats.stats import stats_for_all_tile_dims
+from repro.profiling import recommend_format, sampling_profile
+
+
+class TestSamplingProfile:
+    def test_full_sample_close_to_exact(self):
+        """Sampling every row must estimate compression within a small
+        factor of the true ratio.  Algorithm 1 only sees per-row bit-row
+        counts, not inter-row tile sharing, so it is "a rough estimation"
+        (§III.C) — the error grows with tile size; the E12 bench measures
+        the gap precisely."""
+        g = diagonal_pattern(512, bandwidth=3, seed=1)
+        prof = sampling_profile(g.csr, sample_rows=g.n, seed=0)
+        exact = stats_for_all_tile_dims(g.csr)
+        for d in TILE_DIMS:
+            est, true = prof.est_compression[d], exact[d].compression_ratio
+            assert 1 / 3 < est / true < 3, d
+
+    def test_estimate_deterministic_given_seed(self):
+        g = dot_pattern(400, 0.01, seed=2)
+        a = sampling_profile(g.csr, sample_rows=50, seed=3)
+        b = sampling_profile(g.csr, sample_rows=50, seed=3)
+        assert a.est_compression == b.est_compression
+
+    def test_small_sample_still_ranks_correctly(self):
+        """Even a 10% sample should pick a compressing tile size for a
+        banded matrix."""
+        g = diagonal_pattern(1000, bandwidth=2, seed=4)
+        prof = sampling_profile(g.csr, sample_rows=100, seed=0)
+        exact = stats_for_all_tile_dims(g.csr)
+        best_true = min(
+            TILE_DIMS, key=lambda d: exact[d].compression_ratio
+        )
+        assert prof.est_compression[prof.best_tile_dim()] < 1.0
+        assert exact[prof.best_tile_dim()].compression_ratio < 1.2 * (
+            exact[best_true].compression_ratio
+        )
+
+    def test_occupancy_decreases_with_tile_size_proxy(self):
+        """Figure 3b proxy: nnz per bit-row grows with k for banded
+        matrices (wider groups capture more of the band)."""
+        g = diagonal_pattern(600, bandwidth=4, seed=5)
+        prof = sampling_profile(g.csr, sample_rows=200, seed=0)
+        vals = [prof.est_nnz_per_bitrow[d] for d in TILE_DIMS]
+        assert vals == sorted(vals)
+
+    def test_empty_matrix(self):
+        prof = sampling_profile(CSRMatrix.empty(0, 0))
+        assert prof.sample_rows == 0
+        assert not prof.worthwhile()
+
+    def test_worthwhile_thresholds(self):
+        g = diagonal_pattern(512, bandwidth=2, seed=6)
+        prof = sampling_profile(g.csr, sample_rows=g.n)
+        assert prof.worthwhile(threshold=1.0)
+        assert not prof.worthwhile(threshold=0.0)
+
+
+class TestAdvisor:
+    def test_recommends_b2sr_for_banded(self):
+        g = diagonal_pattern(1024, bandwidth=3, seed=7)
+        rec = recommend_format(g.csr, seed=0)
+        assert rec.use_b2sr
+        assert rec.tile_dim in TILE_DIMS
+        assert rec.est_compression < 1.0
+        assert "pay off" in rec.reason
+
+    def test_recommends_b2sr_for_blocks(self):
+        g = block_pattern(512, block_size=32, seed=8, intra_density=0.7)
+        rec = recommend_format(g.csr, seed=0)
+        assert rec.use_b2sr
+
+    def test_rejects_hypersparse_random(self):
+        """§VII: scattered hypersparse matrices should stay in CSR."""
+        g = dot_pattern(2048, 0.00005, seed=9)
+        rec = recommend_format(g.csr, seed=0)
+        assert not rec.use_b2sr
+        assert "CSR" in rec.reason
+
+    def test_occupancy_gate(self):
+        # Compressing but one-nnz-per-bitrow: kernels won't win.
+        g = dot_pattern(1024, 0.0005, seed=10)
+        rec = recommend_format(
+            g.csr, seed=0, occupancy_threshold=10.0
+        )
+        assert not rec.use_b2sr
+
+    def test_profile_attached(self):
+        g = diagonal_pattern(256, bandwidth=2, seed=11)
+        rec = recommend_format(g.csr, seed=0)
+        assert rec.profile.sample_rows > 0
+        assert set(rec.profile.est_compression) == set(TILE_DIMS)

@@ -1,0 +1,137 @@
+"""Tests for the semiring layer (Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    ARITHMETIC,
+    BOOLEAN,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SECOND,
+    SEMIRINGS,
+    semiring_by_name,
+)
+
+
+class TestRegistry:
+    def test_all_table4_semirings_present(self):
+        for name in (
+            "boolean", "arithmetic", "min_plus", "max_times", "min_second"
+        ):
+            assert name in SEMIRINGS
+
+    def test_lookup(self):
+        assert semiring_by_name("boolean") is BOOLEAN
+        assert semiring_by_name("min_plus") is MIN_PLUS
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            semiring_by_name("xor_and")
+
+
+class TestIdentities:
+    def test_zeros(self):
+        assert BOOLEAN.zero == 0.0
+        assert ARITHMETIC.zero == 0.0
+        assert MIN_PLUS.zero == np.inf
+        assert MIN_SECOND.zero == np.inf
+        assert MAX_TIMES.zero == -np.inf
+
+    def test_empty_output_filled_with_identity(self):
+        for s in SEMIRINGS.values():
+            out = s.empty_output(5)
+            assert out.shape == (5,)
+            assert np.all(out == np.float32(s.zero)) or (
+                np.isinf(s.zero) and np.all(np.isinf(out))
+            )
+
+    def test_add_identity_is_neutral(self):
+        x = np.array([3.0, -1.0, 7.5], dtype=np.float32)
+        for s in SEMIRINGS.values():
+            z = np.full_like(x, np.float32(s.zero))
+            assert np.array_equal(
+                s.add(x.copy(), z), s.add(z, x.copy())
+            )
+
+
+class TestMultMatrixOne:
+    def test_arithmetic_is_identity(self):
+        x = np.array([1.5, 0.0, -2.0], dtype=np.float32)
+        assert np.array_equal(ARITHMETIC.mult_matrix_one(x), x)
+
+    def test_min_plus_adds_unit_weight(self):
+        """§V SSSP: a stored bit is an edge of weight 1."""
+        x = np.array([0.0, 3.0, np.inf], dtype=np.float32)
+        out = MIN_PLUS.mult_matrix_one(x)
+        assert out[0] == 1.0 and out[1] == 4.0 and np.isinf(out[2])
+
+    def test_min_second_selects_value(self):
+        x = np.array([5.0, np.inf], dtype=np.float32)
+        assert np.array_equal(MIN_SECOND.mult_matrix_one(x), x)
+
+    def test_boolean_binarizes(self):
+        x = np.array([0.0, 2.5, -1.0], dtype=np.float32)
+        assert np.array_equal(
+            BOOLEAN.mult_matrix_one(x), np.array([0.0, 1.0, 1.0])
+        )
+
+
+class TestReduceMasked:
+    def test_masked_out_positions_ignored(self):
+        vals = np.array([[1.0, 100.0], [5.0, 2.0]], dtype=np.float32)
+        mask = np.array([[True, False], [True, True]])
+        out = MIN_PLUS.reduce_masked(vals, mask)
+        assert out[0] == 1.0 and out[1] == 2.0
+
+    def test_all_masked_gives_identity(self):
+        vals = np.ones((2, 3), dtype=np.float32)
+        mask = np.zeros((2, 3), dtype=bool)
+        out = ARITHMETIC.reduce_masked(vals, mask)
+        assert np.all(out == 0.0)
+        out_min = MIN_PLUS.reduce_masked(vals, mask)
+        assert np.all(np.isinf(out_min))
+
+    def test_arithmetic_sums(self):
+        vals = np.arange(6, dtype=np.float32).reshape(2, 3)
+        mask = np.ones((2, 3), dtype=bool)
+        assert np.array_equal(
+            ARITHMETIC.reduce_masked(vals, mask), vals.sum(axis=1)
+        )
+
+    def test_boolean_any(self):
+        vals = np.array([[0.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        mask = np.ones((2, 2), dtype=bool)
+        out = BOOLEAN.reduce_masked(vals, mask)
+        assert out[0] == 0.0 and out[1] == 1.0
+
+    def test_max_times(self):
+        vals = np.array([[1.0, 9.0, 3.0]], dtype=np.float32)
+        mask = np.array([[True, False, True]])
+        assert MAX_TIMES.reduce_masked(vals, mask)[0] == 3.0
+
+
+class TestAddAt:
+    def test_scatter_min(self):
+        out = np.full(3, np.inf, dtype=np.float32)
+        MIN_PLUS.add_at(
+            out, np.array([0, 0, 2]),
+            np.array([5.0, 2.0, 1.0], dtype=np.float32),
+        )
+        assert out[0] == 2.0 and np.isinf(out[1]) and out[2] == 1.0
+
+    def test_scatter_sum_accumulates_duplicates(self):
+        out = np.zeros(2, dtype=np.float32)
+        ARITHMETIC.add_at(
+            out, np.array([1, 1, 1]),
+            np.array([1.0, 2.0, 3.0], dtype=np.float32),
+        )
+        assert out[1] == 6.0
+
+    def test_scatter_max(self):
+        out = np.full(2, -np.inf, dtype=np.float32)
+        MAX_TIMES.add_at(
+            out, np.array([0, 0]),
+            np.array([-1.0, -5.0], dtype=np.float32),
+        )
+        assert out[0] == -1.0
