@@ -12,22 +12,25 @@ Bit-GraphBLAS backend and the GraphBLAST baseline:
 * :func:`triangle_count` — masked ``L·Lᵀ`` product sum.
 """
 
-from repro.algorithms.bfs import bfs
+from repro.algorithms.bfs import bfs, multi_source_bfs
 from repro.algorithms.sssp import sssp
-from repro.algorithms.pagerank import pagerank
+from repro.algorithms.pagerank import pagerank, pagerank_multi
 from repro.algorithms.cc import connected_components
 from repro.algorithms.tc import triangle_count
 from repro.algorithms.mis import maximal_independent_set
 from repro.algorithms.coloring import greedy_coloring
-from repro.algorithms.diameter import pseudo_diameter
+from repro.algorithms.diameter import landmark_diameter, pseudo_diameter
 
 __all__ = [
     "bfs",
+    "multi_source_bfs",
     "sssp",
     "pagerank",
+    "pagerank_multi",
     "connected_components",
     "triangle_count",
     "maximal_independent_set",
     "greedy_coloring",
     "pseudo_diameter",
+    "landmark_diameter",
 ]

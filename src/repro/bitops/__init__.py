@@ -25,14 +25,17 @@ from repro.bitops.intrinsics import (
 from repro.bitops.packing import (
     nibble_pack,
     nibble_unpack,
+    pack_bitmatrix,
     pack_bits_colmajor,
     pack_bits_rowmajor,
     pack_bitvector,
     transpose_packed,
+    unpack_bitmatrix,
     unpack_bits_colmajor,
     unpack_bits_rowmajor,
     unpack_bitvector,
 )
+from repro.bitops.segreduce import run_starts, segment_reduce
 
 __all__ = [
     "WARP_SIZE",
@@ -50,7 +53,11 @@ __all__ = [
     "unpack_bits_colmajor",
     "pack_bitvector",
     "unpack_bitvector",
+    "pack_bitmatrix",
+    "unpack_bitmatrix",
     "nibble_pack",
     "nibble_unpack",
     "transpose_packed",
+    "run_starts",
+    "segment_reduce",
 ]

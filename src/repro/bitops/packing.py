@@ -123,18 +123,74 @@ def pack_bitvector(x: np.ndarray, tile_dim: int) -> np.ndarray:
 
 def unpack_bitvector(words: np.ndarray, tile_dim: int, n: int) -> np.ndarray:
     """Inverse of :func:`pack_bitvector`; returns a 0/1 uint8 vector of
-    length ``n``."""
+    length ``n``.
+
+    The word count must be exactly ``ceil(n / tile_dim)`` — the length
+    :func:`pack_bitvector` produces.  Under- *and* over-length inputs are
+    rejected: a surplus word almost always means the vector was packed at a
+    different ``tile_dim`` than the caller is unpacking at.
+    """
     _check_dim(tile_dim)
     arr = np.asarray(words, dtype=np.uint64)
     if arr.ndim != 1:
         raise ValueError(f"expected 1-D packed words, got shape {arr.shape}")
-    if arr.shape[0] * tile_dim < n:
+    nwords = (n + tile_dim - 1) // tile_dim
+    if arr.shape[0] != nwords:
         raise ValueError(
-            f"{arr.shape[0]} words of {tile_dim} bits cannot hold {n} entries"
+            f"packed vector must hold exactly {nwords} words of {tile_dim} "
+            f"bits for {n} entries, got {arr.shape[0]} words"
         )
     shifts = np.arange(tile_dim, dtype=np.uint64)
     bits = ((arr[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
     return bits.reshape(-1)[:n]
+
+
+def pack_bitmatrix(x: np.ndarray, tile_dim: int) -> np.ndarray:
+    """Binarize and bit-pack ``k`` vectors side-by-side (columns of ``x``).
+
+    ``x`` has shape ``(n, k)`` — one vector per column, e.g. ``k`` BFS
+    frontiers or ``k`` PageRank restart vectors.  The result has shape
+    ``(ceil(n / tile_dim), k)``: column ``j`` is exactly
+    ``pack_bitvector(x[:, j], tile_dim)``, so word row ``w`` aligns with
+    tile column ``w`` of a B2SR matrix and one gather of row ``w`` serves
+    all ``k`` vectors at once (the batched-BMV layout).
+    """
+    _check_dim(tile_dim)
+    v = np.asarray(x)
+    if v.ndim != 2:
+        raise ValueError(f"expected an (n, k) matrix, got shape {v.shape}")
+    n, k = v.shape
+    nwords = (n + tile_dim - 1) // tile_dim
+    bits = np.zeros((nwords * tile_dim, k), dtype=np.uint64)
+    bits[:n] = v != 0
+    bits = bits.reshape(nwords, tile_dim, k)
+    weights = np.uint64(1) << np.arange(tile_dim, dtype=np.uint64)
+    words = (bits * weights[None, :, None]).sum(axis=1, dtype=np.uint64)
+    return words.astype(dtype_for_width(tile_dim))
+
+
+def unpack_bitmatrix(words: np.ndarray, tile_dim: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitmatrix`; returns a 0/1 uint8 array of
+    shape ``(n, k)``.
+
+    Like :func:`unpack_bitvector`, the word-row count must be exactly
+    ``ceil(n / tile_dim)``.
+    """
+    _check_dim(tile_dim)
+    arr = np.asarray(words, dtype=np.uint64)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 2-D packed words, got shape {arr.shape}")
+    nwords = (n + tile_dim - 1) // tile_dim
+    if arr.shape[0] != nwords:
+        raise ValueError(
+            f"packed matrix must hold exactly {nwords} word rows of "
+            f"{tile_dim} bits for {n} entries, got {arr.shape[0]}"
+        )
+    shifts = np.arange(tile_dim, dtype=np.uint64)
+    bits = ((arr[:, None, :] >> shifts[None, :, None]) & np.uint64(1)).astype(
+        np.uint8
+    )
+    return bits.reshape(-1, arr.shape[1])[:n]
 
 
 def nibble_pack(rows: np.ndarray) -> np.ndarray:

@@ -1,0 +1,112 @@
+"""Segment reductions over CSR-sorted data.
+
+The B2SR layout keeps stored tiles sorted by tile row (upper level) and
+duplicate-merge paths keep candidate tiles sorted by output coordinate, so
+every "combine all contributions to one output" step in the kernels is a
+*segment reduction* over contiguous runs of a sorted array — exactly what
+``np.ufunc.reduceat`` computes in one buffered C loop.  The scatter
+alternatives (``np.add.at`` / ``np.logical_or.at``) are unbuffered
+per-element ufunc loops and dominate the BMV hot path; see
+:mod:`repro.kernels.bmv` for the layout that makes reduceat applicable.
+
+Two helpers live here because both the kernels and the formats need them:
+
+* :func:`segment_reduce` — reduce the leading axis of an array over the
+  segments delimited by a CSR-style ``indptr``, with correct identity
+  output for *empty* segments (``reduceat``'s documented behaviour for an
+  empty segment is to return the element *at* the boundary, not the
+  identity — the classic gotcha this wrapper exists to hide);
+* :func:`run_starts` — start offsets of each run of equal keys in a sorted
+  key array (the ``return_index`` part of ``np.unique`` without the
+  re-sort), turning duplicate-key merges into ``reduceat`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def run_starts(keys: np.ndarray) -> np.ndarray:
+    """Start index of every run of equal values in a sorted 1-D array.
+
+    ``keys[run_starts(keys)]`` are the unique values in order; consecutive
+    starts delimit the runs, the last run extending to ``len(keys)``.
+    """
+    k = np.asarray(keys)
+    if k.ndim != 1:
+        raise ValueError(f"expected 1-D keys, got shape {k.shape}")
+    if k.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.r_[
+        np.int64(0), np.nonzero(k[1:] != k[:-1])[0].astype(np.int64) + 1
+    ]
+
+
+def segment_reduce(
+    ufunc: np.ufunc,
+    values: np.ndarray,
+    indptr: np.ndarray,
+    *,
+    identity,
+    dtype=None,
+) -> np.ndarray:
+    """Reduce ``values`` along axis 0 over the segments of ``indptr``.
+
+    Segment ``i`` covers ``values[indptr[i]:indptr[i + 1]]``; empty
+    segments yield ``identity`` (unlike raw ``reduceat``).  Works for any
+    binary ufunc whose ``reduceat`` is defined (``np.add``,
+    ``np.bitwise_or``, ``np.minimum``, …).
+
+    Returns an array of shape ``(len(indptr) - 1,) + values.shape[1:]``
+    with dtype ``dtype`` (default: the values' dtype).
+    """
+    vals = np.asarray(values)
+    ptr = np.asarray(indptr, dtype=np.int64)
+    if ptr.ndim != 1 or ptr.shape[0] == 0:
+        raise ValueError(f"indptr must be 1-D and non-empty, got {ptr.shape}")
+    n_seg = ptr.shape[0] - 1
+    out = np.full(
+        (n_seg,) + vals.shape[1:], identity, dtype=dtype or vals.dtype
+    )
+    nonempty = np.diff(ptr) > 0
+    if nonempty.any():
+        # Consecutive non-empty starts still delimit exactly the right
+        # slices: the empty segments between them contribute no elements.
+        reduced = ufunc.reduceat(vals, ptr[:-1][nonempty], axis=0)
+        out[nonempty] = reduced.astype(out.dtype, copy=False)
+    return out
+
+
+def segment_sum_sequential(
+    values: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    """Per-segment sum along axis 0 in strictly sequential element order.
+
+    ``np.add.reduceat`` uses pairwise summation, which changes the
+    low-order float bits relative to the unbuffered sequential scatter
+    (``np.add.at``) it replaces.  Reductions that must stay bit-compatible
+    with sequential accumulation (the arithmetic semiring's add monoid) use
+    this instead: a rank-parallel loop — iteration ``j`` adds the ``j``-th
+    element of every still-active segment, so each segment accumulates
+    left-to-right while the work per iteration stays vectorized.  Skewed
+    segment lengths fall back to one ``np.add.at`` scatter (the same
+    sequential order) rather than a long Python loop.
+
+    ``starts`` must be sorted ascending and every segment non-empty; the
+    last segment extends to ``len(values)``.
+    """
+    v = np.asarray(values)
+    s = np.asarray(starts, dtype=np.int64)
+    if s.shape[0] == 0:
+        return np.empty((0,) + v.shape[1:], dtype=v.dtype)
+    lens = np.diff(np.r_[s, np.int64(v.shape[0])])
+    maxlen = int(lens.max())
+    if maxlen > 64:
+        out = np.zeros((s.shape[0],) + v.shape[1:], dtype=v.dtype)
+        np.add.at(out, np.repeat(np.arange(s.shape[0]), lens), v)
+        return out
+    out = v[s].astype(v.dtype, copy=True)
+    for j in range(1, maxlen):
+        active = np.nonzero(lens > j)[0]
+        out[active] += v[s[active] + j]
+    return out

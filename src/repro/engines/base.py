@@ -130,3 +130,53 @@ class Engine:
     def tc_count(self) -> float:
         """Masked lower-triangle product sum = exact triangle count."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batched (multi-vector) operations
+    # ------------------------------------------------------------------
+    def frontier_expand_multi(
+        self, frontiers: np.ndarray, visiteds: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`frontier_expand`: column ``j`` of the ``(n, k)``
+        inputs is an independent frontier/visited pair, and column ``j``
+        of the result equals ``frontier_expand(frontiers[:, j],
+        visiteds[:, j])``.
+
+        The default runs ``k`` single expansions; backends with a batched
+        kernel (one tile sweep serving every column) override this.
+        """
+        F, V = self._check_multi(frontiers, visiteds)
+        out = np.zeros(F.shape, dtype=bool)
+        for j in range(F.shape[1]):
+            out[:, j] = self.frontier_expand(F[:, j], V[:, j])
+        return out
+
+    def pull_multi(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
+        """Batched :meth:`pull` over the columns of the ``(n, k)`` operand.
+
+        Default: ``k`` single pulls; batched backends override.
+        """
+        X = np.asarray(x)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ValueError(
+                f"expected ({self.n}, k) vectors, got shape {X.shape}"
+            )
+        out = np.zeros(X.shape, dtype=np.float32)
+        for j in range(X.shape[1]):
+            out[:, j] = self.pull(X[:, j], semiring)
+        return out
+
+    def _check_multi(
+        self, frontiers: np.ndarray, visiteds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        F = np.asarray(frontiers)
+        V = np.asarray(visiteds)
+        if F.ndim != 2 or F.shape[0] != self.n:
+            raise ValueError(
+                f"expected ({self.n}, k) frontiers, got shape {F.shape}"
+            )
+        if V.shape != F.shape:
+            raise ValueError(
+                f"visiteds shape {V.shape} must match frontiers {F.shape}"
+            )
+        return F.astype(bool, copy=False), V.astype(bool, copy=False)

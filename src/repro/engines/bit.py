@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitops.packing import pack_bitvector, unpack_bitvector
+from repro.bitops.packing import (
+    pack_bitmatrix,
+    pack_bitvector,
+    unpack_bitmatrix,
+    unpack_bitvector,
+)
 from repro.formats.stats import bandwidth_profile
 from repro.graph import Graph
 from repro.gpusim.device import GTX1080, DeviceSpec
@@ -18,9 +23,11 @@ from repro.engines.base import Engine
 from repro.kernels.bmm import bmm_bin_bin_sum_masked, bmm_pair_count
 from repro.kernels.bmv import (
     bmv_bin_bin_bin_masked,
+    bmv_bin_bin_bin_multi_masked,
     bmv_bin_full_full,
+    bmv_bin_full_full_multi,
 )
-from repro.kernels.costmodel import bmv_stats, bmm_stats
+from repro.kernels.costmodel import bmm_stats, bmv_stats, ewise_dense_stats
 from repro.semiring import Semiring
 
 
@@ -86,6 +93,48 @@ class BitEngine(Engine):
         # row only.
         self.algorithm_stats.host_us += 4.0
         return y
+
+    def frontier_expand_multi(
+        self, frontiers: np.ndarray, visiteds: np.ndarray
+    ) -> np.ndarray:
+        """Batched masked BMV: one tile sweep expands all ``k`` frontiers.
+
+        A single ``bmv_bin_bin_bin_multi_masked`` launch per level is the
+        multi-source analogue of the paper's fused BFS iteration — the tile
+        index and payloads stream once regardless of ``k``.
+        """
+        F, V = self._check_multi(frontiers, visiteds)
+        d = self.tile_dim
+        fw = pack_bitmatrix(F, d)
+        yw = bmv_bin_bin_bin_multi_masked(self._At, fw, V, complement=True)
+        self.add_kernel(
+            bmv_stats(
+                self._At, "bin_bin_bin_masked", self.device,
+                locality=self._locality, k=F.shape[1],
+            )
+        )
+        self.algorithm_stats.host_us += 0.5
+        return unpack_bitmatrix(yw, d, self.n).astype(bool)
+
+    def pull_multi(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
+        X = np.asarray(x, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ValueError(
+                f"expected ({self.n}, k) vectors, got shape {X.shape}"
+            )
+        k = X.shape[1]
+        Y = bmv_bin_full_full_multi(self._At, X, semiring)
+        self.add_kernel(
+            bmv_stats(
+                self._At, "bin_full_full", self.device,
+                locality=self._locality, k=k,
+            )
+        )
+        # One elementwise update over all k columns, one convergence
+        # read-back for the whole batch (cf. :meth:`pull`).
+        self.add_aux(ewise_dense_stats(self.n * k, self.device, vectors=2))
+        self.algorithm_stats.host_us += 4.0
+        return Y
 
     def tc_count(self) -> float:
         sym = self.graph.symmetrized()

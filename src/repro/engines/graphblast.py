@@ -122,6 +122,12 @@ class GraphBLASTEngine(Engine):
         self.algorithm_stats.host_us += 12.0
         return y
 
+    # GraphBLAST has no batched vxm/mxv: the batched operations fall back
+    # to the base Engine's per-column loop — ``k`` full launch sequences
+    # per level/iteration, with the frontier machinery and descriptor
+    # dispatch repeated per column.  That repetition *is* the faithful
+    # model of the baseline, so no override is needed.
+
     def tc_count(self) -> float:
         sym = self.graph.symmetrized()
         L = sym.csr.extract_lower(strict=True)

@@ -30,6 +30,7 @@ from repro.bitops.packing import (
     transpose_packed,
     unpack_bits_rowmajor,
 )
+from repro.bitops.segreduce import run_starts
 
 #: Tile dimensions the paper evaluates (Table I / §III.B).
 TILE_DIMS = (4, 8, 16, 32)
@@ -283,13 +284,11 @@ class B2SRMatrix:
         keys = tr * n_tile_cols + tc
         order = np.argsort(keys, kind="stable")
         keys, packed = keys[order], packed[order]
-        uniq, start = np.unique(keys, return_index=True)
-        merged = np.empty((uniq.shape[0], tile_dim), dtype=packed.dtype)
-        bounds = np.r_[start, keys.shape[0]]
-        for i in range(uniq.shape[0]):
-            merged[i] = np.bitwise_or.reduce(
-                packed[bounds[i]:bounds[i + 1]], axis=0
-            )
+        # Duplicate coordinates collapse with one OR-reduction over the
+        # sorted key runs (every run is non-empty by construction).
+        start = run_starts(keys)
+        uniq = keys[start]
+        merged = np.bitwise_or.reduceat(packed, start, axis=0)
         rows = (uniq // n_tile_cols).astype(np.int64)
         cols = (uniq % n_tile_cols).astype(np.int64)
         counts = np.bincount(rows, minlength=n_tile_rows)

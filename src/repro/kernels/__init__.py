@@ -16,10 +16,14 @@
 from repro.kernels.bmv import (
     bmv_bin_bin_bin,
     bmv_bin_bin_bin_masked,
+    bmv_bin_bin_bin_multi,
+    bmv_bin_bin_bin_multi_masked,
     bmv_bin_bin_full,
     bmv_bin_bin_full_masked,
+    bmv_bin_bin_full_multi,
     bmv_bin_full_full,
     bmv_bin_full_full_masked,
+    bmv_bin_full_full_multi,
 )
 from repro.kernels.bmm import bmm_bin_bin_sum, bmm_bin_bin_sum_masked
 from repro.kernels.csr_spmv import (
@@ -37,6 +41,10 @@ __all__ = [
     "bmv_bin_bin_bin_masked",
     "bmv_bin_bin_full_masked",
     "bmv_bin_full_full_masked",
+    "bmv_bin_bin_bin_multi",
+    "bmv_bin_bin_bin_multi_masked",
+    "bmv_bin_bin_full_multi",
+    "bmv_bin_full_full_multi",
     "bmm_bin_bin_sum",
     "bmm_bin_bin_sum_masked",
     "csr_spmv",

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitops.packing import pack_bits_rowmajor, unpack_bits_rowmajor
+from repro.bitops.intrinsics import ballot_sync
+from repro.bitops.packing import unpack_bits_rowmajor
+from repro.bitops.segreduce import run_starts
 from repro.formats.b2sr import B2SRMatrix
 
 #: Tile pairs processed per chunk in masked/structural modes (bounds the
@@ -172,29 +174,56 @@ def bmm_bin_bin_b2sr(A: B2SRMatrix, B: B2SRMatrix) -> B2SRMatrix:
 
     An extension beyond the paper's fused-sum kernel: keeps multi-hop
     reachability entirely bit-packed.  Pairs sharing an output tile are
-    OR-merged.
+    OR-merged *per chunk*: pairs are pre-sorted by output tile coordinate,
+    each chunk's runs collapse with one ``bitwise_or.reduceat``, and only a
+    run straddling a chunk boundary is patched up afterwards — peak scratch
+    stays O(``_CHUNK_PAIRS`` · d²) instead of materialising every pair's
+    dense tile at once.
     """
     a_idx, b_idx = _tile_pairs(A, B)
     d = A.tile_dim
     if a_idx.size == 0:
         return B2SRMatrix.empty(A.nrows, B.ncols, d)
-    out_rows = A.tile_row_of()[a_idx]
-    out_cols = B.indices[b_idx]
+    n_tile_cols = (B.ncols + d - 1) // d
+    keys = A.tile_row_of()[a_idx] * n_tile_cols + B.indices[b_idx]
+    order = np.argsort(keys, kind="stable")
+    a_idx, b_idx, keys = a_idx[order], b_idx[order], keys[order]
 
-    tiles_parts = []
     b_cm = B.colmajor_tiles()
-    for lo in range(0, a_idx.shape[0], _CHUNK_PAIRS):
-        hi = min(lo + _CHUNK_PAIRS, a_idx.shape[0])
-        a_rows = A.tiles[a_idx[lo:hi]].astype(np.uint64)
-        b_cols = b_cm[b_idx[lo:hi]].astype(np.uint64)
-        prod = a_rows[:, :, None] & b_cols[:, None, :]
-        tiles_parts.append((prod != 0).astype(np.uint8))
-    dense_tiles = np.concatenate(tiles_parts, axis=0)
-    keep = dense_tiles.any(axis=(1, 2))
-    return B2SRMatrix.from_tiles(
-        A.nrows, B.ncols, d,
-        out_rows[keep], out_cols[keep], dense_tiles[keep],
-    )
+    key_parts: list[np.ndarray] = []
+    tile_parts: list[np.ndarray] = []
+    for lo in range(0, keys.shape[0], _CHUNK_PAIRS):
+        hi = min(lo + _CHUNK_PAIRS, keys.shape[0])
+        a_rows = A.tiles[a_idx[lo:hi]]  # (p, d)
+        b_cols = b_cm[b_idx[lo:hi]]  # (p, d)
+        # Packed product rows: bit (r, c) of the pair's tile product is
+        # popc(Arow_r & Bcol_c) > 0; ballot packs each row's bits.
+        prod = (a_rows[:, :, None] & b_cols[:, None, :]) != 0  # (p, d, d)
+        words = ballot_sync(prod, width=d)  # (p, d)
+        starts = run_starts(keys[lo:hi])
+        merged = np.bitwise_or.reduceat(words, starts, axis=0)
+        ckeys = keys[lo:hi][starts]
+        if key_parts and key_parts[-1][-1] == ckeys[0]:
+            # This chunk continues the previous chunk's last output tile.
+            tile_parts[-1][-1] |= merged[0]
+            ckeys, merged = ckeys[1:], merged[1:]
+            if ckeys.size == 0:
+                continue
+        key_parts.append(ckeys)
+        tile_parts.append(merged)
+    keys_u = np.concatenate(key_parts)
+    tiles_u = np.concatenate(tile_parts, axis=0)
+    # AND of two non-empty tiles can be empty; drop structural zeros.
+    keep = np.bitwise_count(tiles_u).sum(axis=1) > 0
+    keys_u, tiles_u = keys_u[keep], tiles_u[keep]
+    rows = (keys_u // n_tile_cols).astype(np.int64)
+    cols = (keys_u % n_tile_cols).astype(np.int64)
+    n_tile_rows = (A.nrows + d - 1) // d
+    indptr = np.zeros(n_tile_rows + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n_tile_rows), out=indptr[1:])
+    if tiles_u.shape[0] == 0:
+        return B2SRMatrix.empty(A.nrows, B.ncols, d)
+    return B2SRMatrix(A.nrows, B.ncols, d, indptr, cols, tiles_u)
 
 
 def bmm_reference(dense_a: np.ndarray, dense_b: np.ndarray) -> float:

@@ -1,6 +1,6 @@
 """Binarized Matrix-Vector (BMV) kernel schemes — paper Table II, §IV.
 
-Six schemes, named after their operand precisions
+Single-vector schemes, named after their operand precisions
 (matrix / input vector / output vector):
 
 =============================  ======  =======  =======
@@ -12,46 +12,113 @@ scheme                         A       x        y
 (+ ``_masked`` variants)
 =============================  ======  =======  =======
 
-Semantics follow Listing 1: for each non-empty bit tile the packed vector
-word of the tile's column block is fetched, and each tile row contributes
-``popc(row & word)`` (binary schemes) or a semiring reduction over the set
-bits (full-precision scheme).  Masking is applied right before the output
-store — *not* via early exit, which the paper rejects because of warp
-divergence (§V BFS).
+Batched multi-vector schemes (the ``_multi`` suffix) serve ``k`` vectors
+with **one sweep over the stored tiles** — the tile index and payloads are
+read once and every tile is combined with all ``k`` packed words / value
+segments of its column block (multi-source BFS, batched landmark BFS,
+batched PageRank):
 
-All functions are vectorized over tiles; the only Python-level loop is the
-chunking of `bmv_bin_full_full` to bound the dense-unpack scratch.
+===================================  ======  ==========  ==========
+scheme                               A       X (n × k)   Y (n × k)
+===================================  ======  ==========  ==========
+``bmv_bin_bin_bin_multi``            1-bit   1-bit       1-bit
+``bmv_bin_bin_full_multi``           1-bit   1-bit       32-bit
+``bmv_bin_full_full_multi``          1-bit   32-bit      32-bit
+(+ ``_masked`` for the 1-bit out)
+===================================  ======  ==========  ==========
+
+Packed multi operands come from :func:`repro.bitops.packing.pack_bitmatrix`
+(word row ``w``, column ``j`` holds bits ``w*d … w*d+d-1`` of vector ``j``).
+
+**Segment-reduce layout.**  B2SR's upper level is CSR over tile rows, so
+the stored tiles are already sorted by output tile row and ``indptr``
+delimits each row's run.  Every scheme therefore computes a per-tile
+contribution array (a packed word, a popcount row, or a semiring-reduced
+value row) and folds contributions into the output with one
+``ufunc.reduceat`` over the ``indptr`` boundaries
+(:func:`repro.bitops.segreduce.segment_reduce`) — a buffered, contiguous,
+word-parallel pass, exactly the access pattern Listing 1 exploits on the
+GPU.  The former implementation scattered through ``np.add.at`` /
+``np.logical_or.at``, which are unbuffered per-element ufunc loops and were
+the host-side bottleneck.  Semantics are unchanged: masking is applied
+right before the output store — *not* via early exit, which the paper
+rejects because of warp divergence (§V BFS).
+
+The only Python-level loops are the tile-chunk loops bounding dense-unpack
+scratch (``_CHUNK_TILES`` elements across all ``k`` columns).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.bitops.packing import pack_bitvector, unpack_bits_rowmajor
+from repro.bitops.intrinsics import ballot_sync, mask_for_width
+from repro.bitops.packing import (
+    pack_bitmatrix,
+    pack_bitvector,
+    unpack_bits_rowmajor,
+)
+from repro.bitops.segreduce import run_starts, segment_reduce
 from repro.formats.b2sr import B2SRMatrix
 from repro.semiring import ARITHMETIC, Semiring
 
-#: Tiles unpacked per chunk in the full-precision scheme (bounds scratch to
-#: chunk × d² bytes).
+#: Dense-unpack scratch budget per chunk, in tile-row elements; the chunk
+#: loops divide this by the batch width ``k`` so peak scratch stays at
+#: roughly chunk × d² floats regardless of the batch size.
 _CHUNK_TILES = 8192
 
 
 def _check_vec_words(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+    """Validate a packed vector operand: exact word count, compatible
+    packing width.
+
+    The word count must be exactly ``A.n_tile_cols`` — the length
+    :func:`repro.bitops.packing.pack_bitvector` produces at ``A.tile_dim``.
+    Wider dtypes are narrowed only when every word fits in ``tile_dim``
+    bits; surplus high bits mean the vector was packed at a different
+    width, and silently truncating them would drop set bits.
+    """
     xw = np.asarray(x_words)
-    if xw.ndim != 1 or xw.shape[0] < A.n_tile_cols:
+    if xw.ndim != 1 or xw.shape[0] != A.n_tile_cols:
         raise ValueError(
-            f"packed vector must hold {A.n_tile_cols} words of "
+            f"packed vector must hold exactly {A.n_tile_cols} words of "
             f"{A.tile_dim} bits, got shape {xw.shape}"
         )
-    return xw.astype(A.tiles.dtype, copy=False)
+    return _narrow_words(A, xw)
 
 
-def _row_targets(A: B2SRMatrix) -> np.ndarray:
-    """Global output row of each (tile, in-tile-row) pair: shape
-    ``(n_tiles, d)``."""
-    d = A.tile_dim
-    trows = A.tile_row_of()
-    return trows[:, None] * d + np.arange(d, dtype=np.int64)[None, :]
+def _check_mat_words(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+    """Validate a packed multi-vector operand of shape
+    ``(n_tile_cols, k)`` (see :func:`_check_vec_words`)."""
+    xw = np.asarray(x_words)
+    if xw.ndim != 2 or xw.shape[0] != A.n_tile_cols:
+        raise ValueError(
+            f"packed multi-vector must hold exactly {A.n_tile_cols} word "
+            f"rows of {A.tile_dim} bits, got shape {xw.shape}"
+        )
+    return _narrow_words(A, xw)
+
+
+def _narrow_words(A: B2SRMatrix, xw: np.ndarray) -> np.ndarray:
+    if xw.dtype.kind not in "ui":
+        raise ValueError(
+            f"packed words must have an integer dtype, got {xw.dtype}"
+        )
+    want = A.tiles.dtype
+    if xw.dtype != want or A.tile_dim < 8 * want.itemsize:
+        # A negative word is a sign bit, i.e. a bit beyond tile_dim too.
+        out_of_range = xw.size and (
+            int(xw.max()) > mask_for_width(A.tile_dim)
+            or (xw.dtype.kind == "i" and int(xw.min()) < 0)
+        )
+        if out_of_range:
+            raise ValueError(
+                f"packed words carry bits beyond tile_dim={A.tile_dim} "
+                f"(dtype {xw.dtype}); the vector was packed at a "
+                "different tile_dim"
+            )
+        xw = xw.astype(want, copy=False)
+    return xw
 
 
 def _resolve_mask(
@@ -62,6 +129,41 @@ def _resolve_mask(
         raise ValueError(f"mask must have shape ({n},), got {m.shape}")
     valid = m != 0
     return ~valid if complement else valid
+
+
+def _resolve_mask_matrix(
+    masks: np.ndarray, n: int, k: int, complement: bool
+) -> np.ndarray:
+    m = np.asarray(masks)
+    if m.shape != (n, k):
+        raise ValueError(
+            f"masks must have shape ({n}, {k}), got {m.shape}"
+        )
+    valid = m != 0
+    return ~valid if complement else valid
+
+
+def _chunk(k: int) -> int:
+    """Tiles per chunk so scratch stays ~``_CHUNK_TILES`` row-elements."""
+    return max(1, _CHUNK_TILES // max(k, 1))
+
+
+def _row_aligned_chunks(A: B2SRMatrix, step: int):
+    """Yield ``(lo, hi)`` tile ranges of ~``step`` tiles whose boundaries
+    coincide with tile-row boundaries.
+
+    Row alignment means every tile row is folded by exactly one chunk, so
+    the per-chunk segment reduction combines contributions in the same
+    left-to-right order as the old global scatter — a row straddling two
+    chunks would re-associate the (non-associative) float accumulation.  A
+    single row longer than ``step`` becomes one oversized chunk.
+    """
+    lo = 0
+    while lo < A.n_tiles:
+        j = int(np.searchsorted(A.indptr, lo + step, side="left"))
+        hi = min(int(A.indptr[min(j, A.n_tile_rows)]), A.n_tiles)
+        yield lo, hi
+        lo = hi
 
 
 # ---------------------------------------------------------------------------
@@ -83,13 +185,18 @@ def bmv_bin_bin_bin(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
     Packed output words (``n_tile_rows`` words of ``tile_dim`` bits).
     """
     xw = _check_vec_words(A, x_words)
+    if A.n_tiles == 0:
+        return np.zeros(A.n_tile_rows, dtype=A.tiles.dtype)
     d = A.tile_dim
-    y_bits = np.zeros(A.n_tile_rows * d, dtype=bool)
-    if A.n_tiles:
-        gathered = xw[A.indices]
-        hits = (A.tiles & gathered[:, None]) != 0
-        np.logical_or.at(y_bits, _row_targets(A), hits)
-    return pack_bitvector(y_bits[: A.nrows], d)
+    # Per-tile contribution word: bit r set iff tile row r overlaps the
+    # tile's vector word; OR-fold the CSR-sorted tile runs into one output
+    # word per tile row.  Rows past ``nrows`` are structurally empty tiles
+    # rows, so padding bits stay zero.
+    hits = (A.tiles & xw[A.indices, None]) != 0
+    contrib = ballot_sync(hits, width=d)
+    return segment_reduce(
+        np.bitwise_or, contrib, A.indptr, identity=0, dtype=A.tiles.dtype
+    )
 
 
 def bmv_bin_bin_bin_masked(
@@ -107,15 +214,65 @@ def bmv_bin_bin_bin_masked(
     of visited").
     """
     valid = _resolve_mask(mask, A.nrows, complement)
+    yw = bmv_bin_bin_bin(A, x_words)
+    # Mask applied right before the output store, in the packed domain.
+    return yw & pack_bitvector(valid, A.tile_dim)
+
+
+def bmv_bin_bin_bin_multi(
+    A: B2SRMatrix, x_words: np.ndarray
+) -> np.ndarray:
+    """Batched boolean SpMV: ``Y[:, j] = A ∨.∧ X[:, j]`` for ``k`` packed
+    vectors in one tile sweep.
+
+    ``x_words`` has shape ``(n_tile_cols, k)`` from
+    :func:`repro.bitops.packing.pack_bitmatrix`; the result has shape
+    ``(n_tile_rows, k)`` — column ``j`` equals
+    ``bmv_bin_bin_bin(A, x_words[:, j])``.
+    """
+    xw = _check_mat_words(A, x_words)
+    return _bmv_bin_bin_bin_multi_core(A, xw)
+
+
+def _bmv_bin_bin_bin_multi_core(
+    A: B2SRMatrix, xw: np.ndarray
+) -> np.ndarray:
+    k = xw.shape[1]
+    out = np.zeros((A.n_tile_rows, k), dtype=A.tiles.dtype)
+    if A.n_tiles == 0 or k == 0:
+        return out
     d = A.tile_dim
-    y_bits = np.zeros(A.n_tile_rows * d, dtype=bool)
-    if A.n_tiles:
-        xw = _check_vec_words(A, x_words)
-        gathered = xw[A.indices]
-        hits = (A.tiles & gathered[:, None]) != 0
-        np.logical_or.at(y_bits, _row_targets(A), hits)
-    out = y_bits[: A.nrows] & valid
-    return pack_bitvector(out, d)
+    trows = A.tile_row_of()
+    step = _chunk(k)
+    for lo in range(0, A.n_tiles, step):
+        hi = min(lo + step, A.n_tiles)
+        # (m, d, k): tile row r of tile t against vector j's word.
+        hits = (
+            A.tiles[lo:hi, :, None] & xw[A.indices[lo:hi], None, :]
+        ) != 0
+        contrib = ballot_sync(np.swapaxes(hits, 1, 2), width=d)  # (m, k)
+        starts = run_starts(trows[lo:hi])
+        rows = trows[lo:hi][starts]
+        out[rows] |= np.bitwise_or.reduceat(contrib, starts, axis=0)
+    return out
+
+
+def bmv_bin_bin_bin_multi_masked(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    masks: np.ndarray,
+    *,
+    complement: bool = False,
+) -> np.ndarray:
+    """Batched masked boolean SpMV — multi-source BFS's kernel.
+
+    ``masks`` has shape ``(nrows, k)``: one independent mask per vector
+    (each BFS source carries its own visited vector).
+    """
+    xw = _check_mat_words(A, x_words)
+    valid = _resolve_mask_matrix(masks, A.nrows, xw.shape[1], complement)
+    yw = _bmv_bin_bin_bin_multi_core(A, xw)
+    return yw & pack_bitmatrix(valid, A.tile_dim)
 
 
 # ---------------------------------------------------------------------------
@@ -128,15 +285,15 @@ def bmv_bin_bin_full(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
     of each matrix row with the binarized vector).
     """
     xw = _check_vec_words(A, x_words)
-    d = A.tile_dim
-    y = np.zeros(A.n_tile_rows * d, dtype=np.float32)
-    if A.n_tiles:
-        gathered = xw[A.indices]
-        counts = np.bitwise_count(A.tiles & gathered[:, None]).astype(
-            np.float32
-        )
-        np.add.at(y, _row_targets(A), counts)
-    return y[: A.nrows]
+    if A.n_tiles == 0:
+        return np.zeros(A.nrows, dtype=np.float32)
+    counts = np.bitwise_count(A.tiles & xw[A.indices, None]).astype(
+        np.float32
+    )
+    y = segment_reduce(
+        np.add, counts, A.indptr, identity=0.0, dtype=np.float32
+    )
+    return y.reshape(-1)[: A.nrows]
 
 
 def bmv_bin_bin_full_masked(
@@ -151,6 +308,30 @@ def bmv_bin_bin_full_masked(
     y = bmv_bin_bin_full(A, x_words)
     y[~valid] = 0.0
     return y
+
+
+def bmv_bin_bin_full_multi(
+    A: B2SRMatrix, x_words: np.ndarray
+) -> np.ndarray:
+    """Batched counting SpMV: ``Y[i, j] = popc(A_i & X_j)`` in one tile
+    sweep; returns float32 of shape ``(nrows, k)``."""
+    xw = _check_mat_words(A, x_words)
+    k = xw.shape[1]
+    d = A.tile_dim
+    y = np.zeros((A.n_tile_rows, d, k), dtype=np.float32)
+    if A.n_tiles == 0 or k == 0:
+        return y.reshape(-1, k)[: A.nrows]
+    trows = A.tile_row_of()
+    step = _chunk(k)
+    for lo in range(0, A.n_tiles, step):
+        hi = min(lo + step, A.n_tiles)
+        counts = np.bitwise_count(
+            A.tiles[lo:hi, :, None] & xw[A.indices[lo:hi], None, :]
+        ).astype(np.float32)  # (m, d, k)
+        starts = run_starts(trows[lo:hi])
+        rows = trows[lo:hi][starts]
+        y[rows] += np.add.reduceat(counts, starts, axis=0)
+    return y.reshape(-1, k)[: A.nrows]
 
 
 # ---------------------------------------------------------------------------
@@ -174,19 +355,18 @@ def bmv_bin_full_full(
             f"vector must have shape ({A.ncols},), got {xv.shape}"
         )
     d = A.tile_dim
-    y = semiring.empty_output(A.n_tile_rows * d)
+    y = semiring.empty_output(A.n_tile_rows * d).reshape(A.n_tile_rows, d)
     if A.n_tiles == 0:
-        return y[: A.nrows]
+        return y.reshape(-1)[: A.nrows]
 
     # Pad x to whole tiles; padded entries are never selected because the
     # corresponding matrix bits are structurally absent.
     xpad = np.zeros(A.n_tile_cols * d, dtype=np.float32)
     xpad[: A.ncols] = xv
     col_offsets = np.arange(d, dtype=np.int64)
-    row_targets = _row_targets(A)
+    trows = A.tile_row_of()
 
-    for lo in range(0, A.n_tiles, _CHUNK_TILES):
-        hi = min(lo + _CHUNK_TILES, A.n_tiles)
+    for lo, hi in _row_aligned_chunks(A, _CHUNK_TILES):
         bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
         seg = xpad[A.indices[lo:hi, None] * d + col_offsets]  # (m, d)
         m = semiring.mult_matrix_one(seg)  # (m, d)
@@ -194,8 +374,11 @@ def bmv_bin_full_full(
         vals = semiring.reduce_masked(
             np.broadcast_to(m[:, None, :], bits.shape), bits, axis=-1
         ).astype(np.float32)
-        semiring.add_at(y, row_targets[lo:hi], vals)
-    return y[: A.nrows]
+        # Chunks are row-aligned, so each output row is folded exactly once.
+        starts = run_starts(trows[lo:hi])
+        rows = trows[lo:hi][starts]
+        y[rows] = semiring.add(y[rows], semiring.add_reduceat(vals, starts))
+    return y.reshape(-1)[: A.nrows]
 
 
 def bmv_bin_full_full_masked(
@@ -211,6 +394,57 @@ def bmv_bin_full_full_masked(
     y = bmv_bin_full_full(A, x, semiring=semiring)
     y[~valid] = semiring.zero
     return y
+
+
+def bmv_bin_full_full_multi(
+    A: B2SRMatrix,
+    x: np.ndarray,
+    semiring: Semiring = ARITHMETIC,
+) -> np.ndarray:
+    """Batched semiring SpMV over ``k`` full-precision vectors (columns of
+    ``x``, shape ``(ncols, k)``) in one tile sweep — batched PageRank's
+    kernel.  Returns float32 of shape ``(nrows, k)``."""
+    xv = np.asarray(x, dtype=np.float32)
+    if xv.ndim != 2 or xv.shape[0] != A.ncols:
+        raise ValueError(
+            f"vectors must have shape ({A.ncols}, k), got {xv.shape}"
+        )
+    k = xv.shape[1]
+    d = A.tile_dim
+    y = semiring.empty_output(A.n_tile_rows * d * k).reshape(
+        A.n_tile_rows, d, k
+    )
+    if A.n_tiles == 0 or k == 0:
+        return y.reshape(-1, k)[: A.nrows]
+
+    xpad = np.zeros((A.n_tile_cols * d, k), dtype=np.float32)
+    xpad[: A.ncols] = xv
+    col_offsets = np.arange(d, dtype=np.int64)
+    trows = A.tile_row_of()
+
+    for lo, hi in _row_aligned_chunks(A, _chunk(k)):
+        bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
+        seg = xpad[A.indices[lo:hi, None] * d + col_offsets]  # (m, d, k)
+        m = semiring.mult_matrix_one(seg)  # (m, d, k)
+        # Reduce over the tile-column axis kept *last*, on a C-contiguous
+        # buffer, so the float summation tree matches the single-vector
+        # kernel's exactly (np.where's broadcast output can come back
+        # strided, which changes the reduction's pairwise chunking).
+        mt = np.swapaxes(m, 1, 2)  # (m, k, d)
+        filled = np.ascontiguousarray(
+            np.where(
+                bits[:, :, None, :],
+                mt[:, None, :, :],
+                np.float32(semiring.zero),
+            )
+        )
+        vals = semiring.add_reduce(filled, axis=-1).astype(
+            np.float32
+        )  # (m, d, k)
+        starts = run_starts(trows[lo:hi])
+        rows = trows[lo:hi][starts]
+        y[rows] = semiring.add(y[rows], semiring.add_reduceat(vals, starts))
+    return y.reshape(-1, k)[: A.nrows]
 
 
 # ---------------------------------------------------------------------------

@@ -116,15 +116,26 @@ def bmv_stats(
     device: DeviceSpec,
     *,
     locality: float = 0.5,
+    k: int = 1,
 ) -> KernelStats:
     """Modeled cost of a B2SR BMV scheme (Listing 1 / Figure 4 mapping).
 
     ``locality`` describes the tile-column access pattern (reuse of vector
     words across a tile row); B2SR's tile-row-major traversal gives decent
     locality by construction (§III.A merit 2).
+
+    ``k > 1`` models one *batched* sweep serving ``k`` vectors (the
+    ``bmv_*_multi`` kernels): the tile index and payloads — the dominant
+    traffic of every scheme — stream **once**, while the per-vector
+    operands (packed words / value segments, outputs, masks) and the
+    combine instructions scale with ``k``.  Against ``k`` separate
+    launches this saves ``(k-1)×`` the matrix traffic and ``k-1`` launch
+    overheads, and amortizes the per-tile indexing work across the batch.
     """
     if scheme not in BMV_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; valid: {BMV_SCHEMES}")
+    if k < 1:
+        raise ValueError(f"batch width k must be >= 1, got {k}")
     d = A.tile_dim
     n_tiles = float(A.n_tiles)
     word_bytes = max(1.0, d / 8.0)
@@ -133,58 +144,66 @@ def bmv_stats(
     binary_out = scheme.startswith("bin_bin_bin")
     full_vec = scheme.startswith("bin_full_full")
 
-    stats = KernelStats(launches=1, tag=f"bmv_{scheme}")
-    # Tile index: row pointers + column indices.
+    tag = f"bmv_{scheme}" if k == 1 else f"bmv_multi_{scheme}_k{k}"
+    stats = KernelStats(launches=1, tag=tag)
+    # Tile index: row pointers + column indices — read once per sweep,
+    # however many vectors are in flight.
     stats.dram_bytes += 4.0 * (A.n_tile_rows + 1) + 4.0 * n_tiles
     # Tile payloads: streamed, coalesced (consecutive within a tile row).
     stats.dram_bytes += n_tiles * tile_bytes
 
     if binary_vec:
-        # Packed vector: tiny working set — overwhelmingly cache resident.
-        ws = A.n_tile_cols * word_bytes
+        # Packed vector(s): tiny working set — overwhelmingly cache
+        # resident; the k word rows of a packed matrix are contiguous, so
+        # one tile's gather serves all k lanes.
+        ws = A.n_tile_cols * word_bytes * k
         hit = gather_hit_fraction(ws, device.l1_bytes, locality)
-        stats.dram_bytes += n_tiles * word_bytes * (1.0 - hit)
-        stats.l1_bytes += n_tiles * word_bytes * hit
+        stats.dram_bytes += n_tiles * word_bytes * k * (1.0 - hit)
+        stats.l1_bytes += n_tiles * word_bytes * k * hit
     if full_vec:
-        # Full-precision vector, d consecutive floats per tile; the 32-warp
-        # shared-memory layout (§IV) boosts reuse across neighbouring rows.
-        ws = 4.0 * A.ncols
+        # Full-precision vector(s), d consecutive floats per tile; the
+        # 32-warp shared-memory layout (§IV) boosts reuse across
+        # neighbouring rows.
+        ws = 4.0 * A.ncols * k
         hit = gather_hit_fraction(
             ws, device.l2_bytes, min(1.0, locality + 0.3)
         )
-        requested = n_tiles * d * 4.0
+        requested = n_tiles * d * 4.0 * k
         stats.dram_bytes += requested * (1.0 - hit)
         stats.l2_bytes += requested * hit * 0.5
         stats.l1_bytes += requested * hit * 0.5
 
-    # Output vector.
+    # Output vector(s) and, when masked, the per-vector mask loads —
+    # packed (binary) or byte (full) representation.
     if binary_out:
-        stats.dram_bytes += A.n_tile_rows * word_bytes
+        stats.dram_bytes += A.n_tile_rows * word_bytes * k
     else:
-        stats.dram_bytes += 4.0 * A.nrows
+        stats.dram_bytes += 4.0 * A.nrows * k
     if scheme.endswith("_masked"):
-        # Mask load, packed (binary) or byte (full) representation.
-        stats.dram_bytes += A.nrows / 8.0 if binary_out else A.nrows * 1.0
+        stats.dram_bytes += (
+            A.nrows / 8.0 if binary_out else A.nrows * 1.0
+        ) * k
 
     # Instructions: Figure 4's lane mapping — d lanes per tile, so a warp
     # retires 32/d tiles per instruction group; small tiles additionally
     # pay fixed per-tile indexing work ("the indexing array may carry more
-    # unit workloads", §III.C).
+    # unit workloads", §III.C), paid once per tile while the combine lanes
+    # scale with k.
     lanes_fraction = d / 32.0
-    per_tile = (6.0 if binary_vec else 10.0) * lanes_fraction + 1.5
+    per_tile_combine = (6.0 if binary_vec else 10.0) * lanes_fraction
     stats.warp_instructions += (
-        6.0 * A.n_tile_rows + per_tile * n_tiles
+        6.0 * A.n_tile_rows + (per_tile_combine * k + 1.5) * n_tiles
     )
     # Sub-warp tiles need atomic combines in the full-precision schemes
     # (§V: atomicMin/atomicAdd for B2SR-4/8/16) — one combine per
     # lane-group result.
     if full_vec and d < 32:
-        stats.atomics += n_tiles * lanes_fraction
+        stats.atomics += n_tiles * lanes_fraction * k
     stats.min_compute_us += _latency_bound_us(
         stats.warp_instructions, max(A.n_tile_rows, 1), device
     )
     # Each popc covers up to d bit-MACs.
-    stats.flops += 2.0 * float(A.nnz)
+    stats.flops += 2.0 * float(A.nnz) * k
     return stats
 
 

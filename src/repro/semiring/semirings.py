@@ -24,6 +24,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.bitops.segreduce import segment_sum_sequential
+
 
 @dataclass(frozen=True)
 class Semiring:
@@ -48,6 +50,13 @@ class Semiring:
     add_at:
         Scatter-reduce ``out[idx] = add(out[idx], vals)`` used by the tiled
         kernels (``np.add.at`` / ``np.minimum.at`` / ``np.maximum.at``).
+    add_reduceat:
+        Segment reduction ``(values, starts) -> per-segment add-monoid
+        reduction along axis 0`` (``np.add.reduceat``-style).  The BMV
+        kernels prefer this over ``add_at`` on the CSR-sorted tile order:
+        one buffered ``reduceat`` sweep replaces the unbuffered per-element
+        scatter loop.  Every segment named by ``starts`` must be non-empty
+        (kernels guarantee this by reducing only stored-tile runs).
     """
 
     name: str
@@ -56,6 +65,7 @@ class Semiring:
     add_reduce: Callable[..., np.ndarray]
     mult_matrix_one: Callable[[np.ndarray], np.ndarray]
     add_at: Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+    add_reduceat: Callable[[np.ndarray, np.ndarray], np.ndarray]
 
     def empty_output(self, n: int, dtype=np.float32) -> np.ndarray:
         """Length-``n`` output vector filled with the add identity."""
@@ -95,6 +105,9 @@ BOOLEAN = Semiring(
     add_reduce=lambda x, axis=-1: np.any(x, axis=axis).astype(np.float32),
     mult_matrix_one=lambda x: (np.asarray(x) != 0).astype(np.float32),
     add_at=_or_at,
+    add_reduceat=lambda v, starts: np.logical_or.reduceat(
+        v, starts, axis=0
+    ).astype(np.float32),
 )
 
 ARITHMETIC = Semiring(
@@ -104,6 +117,10 @@ ARITHMETIC = Semiring(
     add_reduce=lambda x, axis=-1: np.sum(x, axis=axis),
     mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
     add_at=_add_at,
+    # Sequential-order segmented sum: float addition is not associative, so
+    # staying bit-compatible with the historical np.add.at accumulation
+    # requires left-to-right order (reduceat would sum pairwise).
+    add_reduceat=segment_sum_sequential,
 )
 
 MIN_PLUS = Semiring(
@@ -114,6 +131,7 @@ MIN_PLUS = Semiring(
     # A stored bit is an edge of weight 1, so mult(1, x) = x + 1 (§V SSSP).
     mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32) + 1.0,
     add_at=_minimum_at,
+    add_reduceat=lambda v, starts: np.minimum.reduceat(v, starts, axis=0),
 )
 
 MAX_TIMES = Semiring(
@@ -123,6 +141,7 @@ MAX_TIMES = Semiring(
     add_reduce=lambda x, axis=-1: np.max(x, axis=axis),
     mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
     add_at=_maximum_at,
+    add_reduceat=lambda v, starts: np.maximum.reduceat(v, starts, axis=0),
 )
 
 # min-second: add = min, mult(a, x) = x.  The FastSV connected-components
@@ -135,6 +154,7 @@ MIN_SECOND = Semiring(
     add_reduce=lambda x, axis=-1: np.min(x, axis=axis),
     mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
     add_at=_minimum_at,
+    add_reduceat=lambda v, starts: np.minimum.reduceat(v, starts, axis=0),
 )
 
 #: All semirings of Table IV (plus min-second for FastSV CC), by name.

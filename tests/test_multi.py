@@ -1,0 +1,405 @@
+"""Tests for the batched multi-vector layer: packed-matrix codecs, the
+``bmv_*_multi`` kernels (including ragged shapes and the strict
+packed-operand validation), engine batching, and the batched algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.bitops.packing import (
+    pack_bitmatrix,
+    pack_bitvector,
+    unpack_bitmatrix,
+    unpack_bitvector,
+)
+from repro.datasets.generators import dot_pattern, hybrid_pattern
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.convert import b2sr_from_dense
+from repro.kernels.bmv import (
+    bmv_bin_bin_bin,
+    bmv_bin_bin_bin_masked,
+    bmv_bin_bin_bin_multi,
+    bmv_bin_bin_bin_multi_masked,
+    bmv_bin_bin_full,
+    bmv_bin_bin_full_multi,
+    bmv_bin_full_full,
+    bmv_bin_full_full_multi,
+)
+from repro.semiring import ARITHMETIC, MIN_PLUS, SEMIRINGS
+
+
+def setup(nrows=77, ncols=53, k=5, seed=0, density=0.15):
+    """Deliberately ragged: neither dimension is a multiple of any
+    tile_dim."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((nrows, ncols)) < density).astype(np.float32)
+    Xb = (rng.random((ncols, k)) < 0.35).astype(np.float32)
+    Xf = (rng.random((ncols, k)) * 10).astype(np.float32)
+    masks = rng.random((nrows, k)) < 0.5
+    return dense, Xb, Xf, masks
+
+
+# ---------------------------------------------------------------------------
+# Packed-matrix codec
+# ---------------------------------------------------------------------------
+class TestBitmatrixPacking:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_columns_equal_bitvector_packing(self, d):
+        _, Xb, _, _ = setup(seed=d)
+        words = pack_bitmatrix(Xb, d)
+        for j in range(Xb.shape[1]):
+            assert np.array_equal(words[:, j], pack_bitvector(Xb[:, j], d))
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_roundtrip_ragged(self, d):
+        rng = np.random.default_rng(d + 1)
+        n = 3 * d + d // 2
+        X = (rng.random((n, 4)) < 0.4).astype(np.uint8)
+        assert np.array_equal(
+            unpack_bitmatrix(pack_bitmatrix(X, d), d, n), X
+        )
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bitmatrix(np.zeros(8), 8)
+
+    def test_unpack_wrong_word_rows(self):
+        words = pack_bitmatrix(np.ones((16, 2)), 8)
+        with pytest.raises(ValueError):
+            unpack_bitmatrix(words, 8, 24)
+        with pytest.raises(ValueError):
+            unpack_bitmatrix(words, 8, 8)
+
+    def test_unpack_bitvector_exact_length(self):
+        words = pack_bitvector(np.ones(16), 8)
+        assert words.shape == (2,)
+        with pytest.raises(ValueError):
+            unpack_bitvector(words, 8, 24)  # too few words for n
+        with pytest.raises(ValueError):
+            unpack_bitvector(words, 8, 8)  # surplus word
+
+
+# ---------------------------------------------------------------------------
+# Packed-operand validation (exact length, packing-width discipline)
+# ---------------------------------------------------------------------------
+class TestPackedOperandValidation:
+    def _matrix(self, d=8):
+        dense, _, _, _ = setup()
+        return b2sr_from_dense(dense, d)
+
+    def test_under_length_rejected(self):
+        A = self._matrix()
+        with pytest.raises(ValueError, match="exactly"):
+            bmv_bin_bin_bin(A, np.zeros(A.n_tile_cols - 1, dtype=np.uint8))
+
+    def test_over_length_rejected(self):
+        A = self._matrix()
+        with pytest.raises(ValueError, match="exactly"):
+            bmv_bin_bin_full(A, np.zeros(A.n_tile_cols + 3, dtype=np.uint8))
+
+    def test_wider_dtype_safely_narrowed(self):
+        dense, xb, _, _ = setup(k=1)
+        A = b2sr_from_dense(dense, 8)
+        xw = pack_bitvector(xb[:, 0] if xb.ndim == 2 else xb, 8)
+        wide = xw.astype(np.uint64)
+        assert np.array_equal(
+            bmv_bin_bin_bin(A, wide), bmv_bin_bin_bin(A, xw)
+        )
+
+    def test_wider_dtype_with_high_bits_rejected(self):
+        """A word carrying bits beyond tile_dim was packed at a different
+        width; silently truncating it would drop set bits."""
+        A = self._matrix(d=8)
+        bad = np.full(A.n_tile_cols, 0x1FF, dtype=np.uint16)
+        with pytest.raises(ValueError, match="different tile_dim"):
+            bmv_bin_bin_bin(A, bad)
+
+    def test_mismatched_packing_width_rejected(self):
+        """Packing at d=16 and running a d=8 kernel must not be silently
+        accepted even when the word counts happen to collide."""
+        dense = np.zeros((32, 32), dtype=np.float32)
+        dense[0, 31] = 1.0
+        A = b2sr_from_dense(dense, 8)  # 4 words of 8 bits
+        v = np.zeros(32)
+        v[15] = 1.0
+        wrong = pack_bitvector(v, 16)  # 2 words of 16 bits
+        with pytest.raises(ValueError):
+            bmv_bin_bin_bin(A, wrong)
+
+    def test_float_dtype_rejected(self):
+        A = self._matrix()
+        with pytest.raises(ValueError, match="integer"):
+            bmv_bin_bin_bin(A, np.zeros(A.n_tile_cols, dtype=np.float32))
+
+    def test_negative_signed_words_rejected(self):
+        """A negative signed word is a sign bit beyond tile_dim; narrowing
+        it would silently wrap and drop set bits."""
+        A = self._matrix(d=8)
+        bad = np.full(A.n_tile_cols, -32768, dtype=np.int16)
+        with pytest.raises(ValueError, match="different tile_dim"):
+            bmv_bin_bin_bin(A, bad)
+
+    def test_nonnegative_signed_words_narrowed(self):
+        dense, xb, _, _ = setup(k=1)
+        A = b2sr_from_dense(dense, 8)
+        xw = pack_bitvector(xb[:, 0] if xb.ndim == 2 else xb, 8)
+        assert np.array_equal(
+            bmv_bin_bin_bin(A, xw.astype(np.int64)), bmv_bin_bin_bin(A, xw)
+        )
+
+    def test_multi_wrong_word_rows_rejected(self):
+        dense, Xb, _, _ = setup()
+        A = b2sr_from_dense(dense, 8)
+        words = pack_bitmatrix(Xb, 8)
+        with pytest.raises(ValueError, match="exactly"):
+            bmv_bin_bin_bin_multi(A, words[:-1])
+        with pytest.raises(ValueError, match="exactly"):
+            bmv_bin_bin_bin_multi(A, words[:, 0])  # 1-D
+
+    def test_multi_mask_shape_rejected(self):
+        dense, Xb, _, masks = setup()
+        A = b2sr_from_dense(dense, 8)
+        words = pack_bitmatrix(Xb, 8)
+        with pytest.raises(ValueError):
+            bmv_bin_bin_bin_multi_masked(A, words, masks[:, :-1])
+
+
+# ---------------------------------------------------------------------------
+# Multi kernels == per-column single kernels
+# ---------------------------------------------------------------------------
+class TestMultiKernels:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_bin_bin_bin_multi(self, d):
+        dense, Xb, _, _ = setup(seed=d)
+        A = b2sr_from_dense(dense, d)
+        Yw = bmv_bin_bin_bin_multi(A, pack_bitmatrix(Xb, d))
+        for j in range(Xb.shape[1]):
+            ref = bmv_bin_bin_bin(A, pack_bitvector(Xb[:, j], d))
+            assert np.array_equal(Yw[:, j], ref)
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_bin_bin_bin_multi_masked(self, d):
+        dense, Xb, _, masks = setup(seed=d + 10)
+        A = b2sr_from_dense(dense, d)
+        Yw = bmv_bin_bin_bin_multi_masked(
+            A, pack_bitmatrix(Xb, d), masks, complement=True
+        )
+        for j in range(Xb.shape[1]):
+            ref = bmv_bin_bin_bin_masked(
+                A, pack_bitvector(Xb[:, j], d), masks[:, j],
+                complement=True,
+            )
+            assert np.array_equal(Yw[:, j], ref)
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_bin_bin_full_multi(self, d):
+        dense, Xb, _, _ = setup(seed=d + 20, density=0.25)
+        A = b2sr_from_dense(dense, d)
+        Y = bmv_bin_bin_full_multi(A, pack_bitmatrix(Xb, d))
+        assert Y.shape == (dense.shape[0], Xb.shape[1])
+        for j in range(Xb.shape[1]):
+            ref = bmv_bin_bin_full(A, pack_bitvector(Xb[:, j], d))
+            assert np.array_equal(Y[:, j], ref)
+
+    @pytest.mark.parametrize("d", (4, 16, 32))
+    @pytest.mark.parametrize(
+        "semiring_name", sorted(SEMIRINGS), ids=lambda s: s
+    )
+    def test_bin_full_full_multi(self, d, semiring_name):
+        dense, _, Xf, _ = setup(seed=d + 30)
+        s = SEMIRINGS[semiring_name]
+        A = b2sr_from_dense(dense, d)
+        Y = bmv_bin_full_full_multi(A, Xf, s)
+        for j in range(Xf.shape[1]):
+            ref = bmv_bin_full_full(A, Xf[:, j], s)
+            assert np.array_equal(Y[:, j], ref, equal_nan=True)
+
+    def test_chunking_boundary(self):
+        """Batch widths shrink the tile chunk; crossing chunk boundaries
+        must not change any column."""
+        import repro.kernels.bmv as bmv_mod
+
+        old = bmv_mod._CHUNK_TILES
+        bmv_mod._CHUNK_TILES = 7
+        try:
+            dense, Xb, Xf, _ = setup(seed=40, density=0.3)
+            A = b2sr_from_dense(dense, 8)
+            assert A.n_tiles > 14
+            Yw = bmv_bin_bin_bin_multi(A, pack_bitmatrix(Xb, 8))
+            Yf = bmv_bin_full_full_multi(A, Xf, MIN_PLUS)
+        finally:
+            bmv_mod._CHUNK_TILES = old
+        for j in range(Xb.shape[1]):
+            assert np.array_equal(
+                Yw[:, j], bmv_bin_bin_bin(A, pack_bitvector(Xb[:, j], 8))
+            )
+            assert np.array_equal(
+                Yf[:, j], bmv_bin_full_full(A, Xf[:, j], MIN_PLUS)
+            )
+
+    def test_empty_matrix(self):
+        A = b2sr_from_dense(np.zeros((20, 12), dtype=np.float32), 8)
+        Xb = np.ones((12, 3), dtype=np.float32)
+        Yw = bmv_bin_bin_bin_multi(A, pack_bitmatrix(Xb, 8))
+        assert Yw.shape == (A.n_tile_rows, 3) and not Yw.any()
+        Y = bmv_bin_bin_full_multi(A, pack_bitmatrix(Xb, 8))
+        assert Y.shape == (20, 3) and not Y.any()
+        Yf = bmv_bin_full_full_multi(A, np.ones((12, 3)), ARITHMETIC)
+        assert Yf.shape == (20, 3) and not Yf.any()
+
+    def test_all_zero_frontiers(self):
+        dense, _, _, masks = setup()
+        A = b2sr_from_dense(dense, 16)
+        Z = np.zeros((dense.shape[1], 4), dtype=np.float32)
+        Yw = bmv_bin_bin_bin_multi_masked(
+            A, pack_bitmatrix(Z, 16), masks[:, :4]
+        )
+        assert not Yw.any()
+
+    def test_zero_width_batch(self):
+        dense, _, _, _ = setup()
+        A = b2sr_from_dense(dense, 8)
+        Yw = bmv_bin_bin_bin_multi(
+            A, np.zeros((A.n_tile_cols, 0), dtype=np.uint8)
+        )
+        assert Yw.shape == (A.n_tile_rows, 0)
+
+
+# ---------------------------------------------------------------------------
+# Engines and algorithms
+# ---------------------------------------------------------------------------
+class TestBatchedAlgorithms:
+    @pytest.mark.parametrize("tile_dim", (8, 32))
+    def test_multi_source_bfs_equals_singles(self, tile_dim):
+        from repro.algorithms import bfs, multi_source_bfs
+
+        g = hybrid_pattern(300, seed=5)
+        rng = np.random.default_rng(1)
+        sources = rng.choice(g.n, size=16, replace=False)
+        engine = BitEngine(g, tile_dim=tile_dim)
+        depth, rep = multi_source_bfs(engine, sources)
+        # One kernel sweep (= one launch) per level, whatever k is.
+        assert rep.kernel_stats.launches == rep.iterations
+        for j, s in enumerate(sources):
+            ref, _ = bfs(engine, int(s))
+            assert np.array_equal(depth[:, j], ref)
+
+    def test_multi_source_bfs_backends_agree(self):
+        from repro.algorithms import multi_source_bfs
+
+        g = dot_pattern(200, 0.02, seed=2)
+        sources = np.array([0, 3, 11, 42])
+        db, _ = multi_source_bfs(BitEngine(g, tile_dim=16), sources)
+        dg, _ = multi_source_bfs(GraphBLASTEngine(g), sources)
+        assert np.array_equal(db, dg)
+
+    def test_multi_source_bfs_validates_sources(self):
+        from repro.algorithms import multi_source_bfs
+
+        g = dot_pattern(50, 0.05, seed=3)
+        engine = BitEngine(g, tile_dim=8)
+        with pytest.raises(ValueError):
+            multi_source_bfs(engine, np.array([0, g.n]))
+        with pytest.raises(ValueError):
+            multi_source_bfs(engine, np.empty(0, dtype=np.int64))
+
+    def test_pagerank_multi_matches_width_one(self):
+        from repro.algorithms import pagerank_multi
+
+        g = hybrid_pattern(200, seed=7)
+        engine = BitEngine(g, tile_dim=32)
+        seeds = np.array([2, 17, 101])
+        ranks, rep = pagerank_multi(engine, seeds)
+        assert ranks.shape == (g.n, 3)
+        assert np.allclose(ranks.sum(axis=0), 1.0, atol=1e-4)
+        for j, s in enumerate(seeds):
+            col, _ = pagerank_multi(engine, np.array([s]))
+            assert np.allclose(ranks[:, j], col[:, 0], atol=1e-6)
+
+    def test_pagerank_multi_backends_agree(self):
+        from repro.algorithms import pagerank_multi
+
+        g = dot_pattern(150, 0.03, seed=9)
+        seeds = np.array([1, 10, 20, 30])
+        rb, _ = pagerank_multi(BitEngine(g, tile_dim=32), seeds)
+        rg, _ = pagerank_multi(GraphBLASTEngine(g), seeds)
+        assert np.allclose(rb, rg, atol=1e-4)
+
+    def test_landmark_diameter_bounds(self):
+        import scipy.sparse as sp
+        from scipy.sparse.csgraph import shortest_path
+
+        from repro.algorithms import landmark_diameter
+
+        g = hybrid_pattern(250, seed=11).symmetrized()
+        engine = BitEngine(g, tile_dim=32)
+        est, rep = landmark_diameter(engine, landmarks=12, seed=0)
+        dist = shortest_path(
+            sp.csr_matrix(
+                (np.ones(g.nnz), g.csr.indices, g.csr.indptr),
+                shape=g.csr.shape,
+            ),
+            method="D", unweighted=True,
+        )
+        true_diameter = int(dist[np.isfinite(dist)].max())
+        # A valid, non-trivial lower bound, produced by batched sweeps.
+        assert 0 < est <= true_diameter
+        assert rep.iterations > 0
+
+    def test_engine_base_fallback_matches_bit(self):
+        """The default per-column fallback and the batched bit kernels
+        produce identical expansions."""
+        g = dot_pattern(120, 0.04, seed=13)
+        rng = np.random.default_rng(0)
+        F = np.zeros((g.n, 3), dtype=bool)
+        F[rng.choice(g.n, 3), np.arange(3)] = True
+        V = F.copy()
+        bit = BitEngine(g, tile_dim=8)
+        batched = bit.frontier_expand_multi(F, V)
+        loop = super(BitEngine, bit).frontier_expand_multi(F, V)
+        assert np.array_equal(batched, loop)
+
+
+# ---------------------------------------------------------------------------
+# bmm_bin_bin_b2sr chunked OR-merge
+# ---------------------------------------------------------------------------
+class TestBmmB2srChunking:
+    def _check(self, dense_a, dense_b, d):
+        from repro.kernels.bmm import bmm_bin_bin_b2sr
+
+        A = b2sr_from_dense(dense_a, d)
+        B = b2sr_from_dense(dense_b, d)
+        C = bmm_bin_bin_b2sr(A, B)
+        ref = ((dense_a != 0).astype(np.int64)
+               @ (dense_b != 0).astype(np.int64)) > 0
+        assert np.array_equal(C.to_dense() != 0, ref)
+
+    @pytest.mark.parametrize("d", (4, 8, 32))
+    def test_matches_dense_boolean_product(self, d):
+        rng = np.random.default_rng(d)
+        a = (rng.random((45, 37)) < 0.2).astype(np.float32)
+        b = (rng.random((37, 51)) < 0.2).astype(np.float32)
+        self._check(a, b, d)
+
+    def test_chunk_boundary_merge(self):
+        """Output tiles straddling the pair-chunk boundary must OR-merge
+        across chunks, not duplicate."""
+        import repro.kernels.bmm as bmm_mod
+
+        rng = np.random.default_rng(0)
+        a = (rng.random((40, 40)) < 0.4).astype(np.float32)
+        b = (rng.random((40, 40)) < 0.4).astype(np.float32)
+        old = bmm_mod._CHUNK_PAIRS
+        bmm_mod._CHUNK_PAIRS = 3
+        try:
+            self._check(a, b, 8)
+        finally:
+            bmm_mod._CHUNK_PAIRS = old
+
+    def test_dense_tile_graph_peak_scratch(self):
+        """A dense tile graph produces many pairs; the chunked merge must
+        handle it without materialising all pair tiles (smoke: result
+        correctness on a dense-ish product)."""
+        rng = np.random.default_rng(1)
+        a = (rng.random((64, 64)) < 0.6).astype(np.float32)
+        self._check(a, a, 4)

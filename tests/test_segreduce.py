@@ -1,0 +1,101 @@
+"""Tests for the shared segment-reduction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bitops.segreduce import (
+    run_starts,
+    segment_reduce,
+    segment_sum_sequential,
+)
+
+
+class TestRunStarts:
+    def test_basic(self):
+        keys = np.array([0, 0, 1, 1, 1, 4, 7, 7])
+        assert np.array_equal(run_starts(keys), [0, 2, 5, 6])
+
+    def test_empty(self):
+        assert run_starts(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_single_run(self):
+        assert np.array_equal(run_starts(np.array([3, 3, 3])), [0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            run_starts(np.zeros((2, 2)))
+
+
+class TestSegmentReduce:
+    def test_matches_loop_reference(self):
+        rng = np.random.default_rng(0)
+        lens = rng.integers(0, 5, size=20)
+        indptr = np.r_[0, np.cumsum(lens)]
+        vals = rng.random((indptr[-1], 3)).astype(np.float32)
+        got = segment_reduce(np.add, vals, indptr, identity=0.0)
+        for i in range(20):
+            ref = vals[indptr[i]:indptr[i + 1]].sum(axis=0)
+            assert np.allclose(got[i], ref if lens[i] else 0.0)
+
+    def test_empty_segments_get_identity(self):
+        """The reduceat empty-segment gotcha: an empty segment must yield
+        the identity, not the element at its boundary."""
+        indptr = np.array([0, 2, 2, 3])
+        vals = np.array([1, 2, 99], dtype=np.int64)
+        got = segment_reduce(np.add, vals, indptr, identity=0)
+        assert np.array_equal(got, [3, 0, 99])
+
+    def test_bitwise_or_words(self):
+        indptr = np.array([0, 0, 3, 3, 4])
+        vals = np.array([0b001, 0b100, 0b010, 0b1000], dtype=np.uint8)
+        got = segment_reduce(np.bitwise_or, vals, indptr, identity=0)
+        assert np.array_equal(got, [0, 0b111, 0, 0b1000])
+
+    def test_minimum_with_identity(self):
+        indptr = np.array([0, 2, 2])
+        vals = np.array([3.0, 1.0], dtype=np.float32)
+        got = segment_reduce(
+            np.minimum, vals, indptr, identity=np.inf, dtype=np.float32
+        )
+        assert got[0] == 1.0 and np.isinf(got[1])
+
+    def test_all_empty(self):
+        got = segment_reduce(
+            np.add,
+            np.empty((0, 2), dtype=np.float32),
+            np.zeros(4, dtype=np.int64),
+            identity=7.0,
+        )
+        assert np.all(got == 7.0) and got.shape == (3, 2)
+
+    def test_bad_indptr(self):
+        with pytest.raises(ValueError):
+            segment_reduce(
+                np.add, np.zeros(3), np.empty(0, dtype=np.int64), identity=0
+            )
+
+
+class TestSegmentSumSequential:
+    @pytest.mark.parametrize("maxlen", (4, 200))
+    def test_bit_compatible_with_add_at(self, maxlen):
+        """Both the rank loop (short runs) and the scatter fallback (skewed
+        runs) must reproduce np.add.at's sequential float accumulation."""
+        rng = np.random.default_rng(maxlen)
+        lens = rng.integers(1, maxlen + 1, size=50)
+        starts = np.r_[0, np.cumsum(lens)[:-1]]
+        vals = (rng.random((lens.sum(), 2)) * 10).astype(np.float32)
+        got = segment_sum_sequential(vals, starts)
+        ref = np.zeros((50, 2), dtype=np.float32)
+        np.add.at(ref, np.repeat(np.arange(50), lens), vals)
+        assert np.array_equal(got, ref)
+
+    def test_empty(self):
+        got = segment_sum_sequential(
+            np.empty((0, 3), dtype=np.float32), np.empty(0, dtype=np.int64)
+        )
+        assert got.shape == (0, 3)
+
+    def test_1d_values(self):
+        vals = np.array([1.0, 2.0, 4.0], dtype=np.float32)
+        got = segment_sum_sequential(vals, np.array([0, 2]))
+        assert np.array_equal(got, [3.0, 4.0])
