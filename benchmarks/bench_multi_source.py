@@ -1,30 +1,38 @@
-"""E16 — batched multi-source BFS: one kernel sweep per level vs one
+"""E16 — batched multi-source BFS/SSSP: one kernel sweep per level vs one
 traversal per source.
 
-The batched frontier expansion reads the tile index and payloads once per
-level however many sources are in flight, so the bit backend's kernel
-launches collapse from ``Σ_j levels_j`` (independent runs) to
-``max_j levels_j`` (lockstep batch) and the modeled latency drops by
-roughly the batch width on traversal-bound graphs.  The artifact reports
-per-matrix batched-vs-independent latency, the launch-count collapse, and
-asserts exactness: the batched depths must equal the independent runs'.
+The batched frontier expansion (BFS) and batched min-plus relaxation
+(SSSP) read the tile index and payloads once per round however many
+sources are in flight, so the bit backend's kernel launches collapse from
+``Σ_j rounds_j`` (independent runs) to ``max_j rounds_j`` (lockstep
+batch) and the modeled latency drops by roughly the batch width on
+traversal-bound graphs.  The default batch width straddles the tile word
+width (``K > d``), so the sweep also exercises the multi-word plane
+striping.  The artifact reports per-matrix batched-vs-independent
+latency, the launch-count collapse, and asserts exactness: the batched
+results must equal the independent runs' bitwise.
+
+``pytest benchmarks/bench_multi_source.py --algo sssp`` restricts the run
+to one algorithm (CI uses this for the batched-SSSP smoke).
 """
 
 import numpy as np
+import pytest
 
 from benchmarks.conftest import write_artifact
-from repro.algorithms import bfs, multi_source_bfs
+from repro.algorithms import bfs, multi_source_bfs, multi_source_sssp, sssp
 from repro.analysis.report import format_table
 from repro.bench import suite_subset
 from repro.engines import BitEngine
 from repro.gpusim import GTX1080
 
 #: Batch width (sources per matrix); the acceptance workload of the
-#: multi-vector layer.
-K = 32
+#: multi-vector layer.  37 > the widest tile word (32), so the batch
+#: stripes across two word planes.
+K = 37
 
 
-def _sweep(graphs):
+def _sweep(graphs, batched_algo, single_algo, exact_kwargs):
     rows = []
     for g in graphs:
         if g.nnz == 0 or g.n < 2:
@@ -33,19 +41,21 @@ def _sweep(graphs):
         k = min(K, g.n)
         sources = rng.choice(g.n, size=k, replace=False)
         engine = BitEngine(g, device=GTX1080, tile_dim=32)
-        depth, rep = multi_source_bfs(engine, sources)
+        out, rep = batched_algo(engine, sources)
         batched = {
             "ms": rep.algorithm_ms,
             "launches": rep.kernel_stats.launches,
-            "levels": rep.iterations,
+            "rounds": rep.iterations,
         }
         single_ms = 0.0
         single_launches = 0
         for j, s in enumerate(sources):
-            d1, r1 = bfs(engine, int(s))
+            ref, r1 = single_algo(engine, int(s))
             single_ms += r1.algorithm_ms
             single_launches += r1.kernel_stats.launches
-            assert np.array_equal(depth[:, j], d1), (g.name, int(s))
+            assert np.array_equal(out[:, j], ref, **exact_kwargs), (
+                g.name, int(s),
+            )
         rows.append(
             {
                 "name": g.name,
@@ -58,15 +68,12 @@ def _sweep(graphs):
     return rows
 
 
-def test_multi_source_bfs_batching(benchmark, results_dir):
-    graphs = [e.build() for e in suite_subset(12, max_n=1024)]
-    rows = benchmark.pedantic(_sweep, args=(graphs,), rounds=1, iterations=1)
-
+def _report(rows, results_dir, algo_name, artifact):
     table = [
         [
             r["name"],
             r["k"],
-            r["batched"]["levels"],
+            r["batched"]["rounds"],
             r["batched"]["launches"],
             r["single_launches"],
             f"{r['batched']['ms']:.4f}",
@@ -76,20 +83,44 @@ def test_multi_source_bfs_batching(benchmark, results_dir):
         for r in rows
     ]
     text = format_table(
-        ["matrix", "k", "levels", "batched launches", "single launches",
+        ["matrix", "k", "rounds", "batched launches", "single launches",
          "batched ms", "k-singles ms", "speedup"],
         table,
-        title=f"multi-source BFS (k={K}): one sweep per level vs "
-              f"independent traversals (GTX1080, B2SR-32)",
+        title=f"multi-source {algo_name} (k={K}, two word planes): one "
+              f"sweep per round vs independent runs (GTX1080, B2SR-32)",
     )
-    write_artifact(results_dir, "multi_source_bfs.txt", text)
+    write_artifact(results_dir, artifact, text)
 
     assert rows, "no non-trivial suite graphs"
     for r in rows:
-        # One kernel launch per level, independent of the batch width —
+        # One kernel launch per round, independent of the batch width —
         # the launch-accounting acceptance criterion of the multi layer.
-        assert r["batched"]["launches"] == r["batched"]["levels"], r
+        assert r["batched"]["launches"] == r["batched"]["rounds"], r
         # Independent runs re-read the matrix per source: batching must
         # strictly reduce both launches and modeled latency.
         assert r["batched"]["launches"] < r["single_launches"], r
         assert r["batched"]["ms"] < r["single_ms"], r
+
+
+def test_multi_source_bfs_batching(benchmark, results_dir, algo):
+    if algo not in ("all", "bfs"):
+        pytest.skip(f"--algo {algo} excludes bfs")
+    graphs = [e.build() for e in suite_subset(12, max_n=1024)]
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(graphs, multi_source_bfs, bfs, {}),
+        rounds=1, iterations=1,
+    )
+    _report(rows, results_dir, "BFS", "multi_source_bfs.txt")
+
+
+def test_multi_source_sssp_batching(benchmark, results_dir, algo):
+    if algo not in ("all", "sssp"):
+        pytest.skip(f"--algo {algo} excludes sssp")
+    graphs = [e.build() for e in suite_subset(12, max_n=1024)]
+    rows = benchmark.pedantic(
+        _sweep,
+        args=(graphs, multi_source_sssp, sssp, {"equal_nan": True}),
+        rounds=1, iterations=1,
+    )
+    _report(rows, results_dir, "SSSP", "multi_source_sssp.txt")

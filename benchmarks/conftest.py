@@ -23,6 +23,22 @@ from repro.datasets.suite import evaluation_suite
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--algo",
+        action="store",
+        default="all",
+        help="restrict multi-source benches to one algorithm "
+             "(bfs, sssp; default: all)",
+    )
+
+
+@pytest.fixture(scope="session")
+def algo(request) -> str:
+    """Algorithm filter for the multi-source benches (``--algo``)."""
+    return request.config.getoption("--algo")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

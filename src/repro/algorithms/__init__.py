@@ -10,12 +10,22 @@ Bit-GraphBLAS backend and the GraphBLAST baseline:
   auxiliary vector;
 * :func:`connected_components` — FastSV-style CC, min-second;
 * :func:`triangle_count` — masked ``L·Lᵀ`` product sum.
+
+Batched variants (``multi_source_bfs``, ``multi_source_sssp``,
+``pagerank_multi``, ``connected_components_multi``, ``landmark_diameter``)
+advance ``k`` queries in lockstep through the engines' multi-vector
+operations — one kernel sweep per round on the bit backend, striped
+across ``⌈k/d⌉`` word planes when the batch exceeds the tile word width —
+and are bitwise identical to ``k`` independent runs.
 """
 
 from repro.algorithms.bfs import bfs, multi_source_bfs
-from repro.algorithms.sssp import sssp
+from repro.algorithms.sssp import multi_source_sssp, sssp
 from repro.algorithms.pagerank import pagerank, pagerank_multi
-from repro.algorithms.cc import connected_components
+from repro.algorithms.cc import (
+    connected_components,
+    connected_components_multi,
+)
 from repro.algorithms.tc import triangle_count
 from repro.algorithms.mis import maximal_independent_set
 from repro.algorithms.coloring import greedy_coloring
@@ -25,9 +35,11 @@ __all__ = [
     "bfs",
     "multi_source_bfs",
     "sssp",
+    "multi_source_sssp",
     "pagerank",
     "pagerank_multi",
     "connected_components",
+    "connected_components_multi",
     "triangle_count",
     "maximal_independent_set",
     "greedy_coloring",

@@ -1,4 +1,4 @@
-"""Connected components (§V CC).
+"""Connected components (§V CC), single and batched.
 
 Follows GraphBLAST's FastSV formulation [Zhang, Azad, Buluç]: every vertex
 carries a component label (initially its own id); each round pulls the
@@ -6,6 +6,22 @@ minimum label across incoming edges (min-second semiring — the tropical
 min family of Table IV), hooks onto it, and shortcuts by pointer jumping
 (``p ← p[p]``) until a fixed point.  On the bit backend the pull is
 ``bmv_bin_full_full`` with the Min() reduction, exactly §V's description.
+
+Labels are vertex ids, so they are carried in ``float64``: ``float32``
+represents integers contiguously only up to 2²⁴, and rounding a label
+silently merges or splits components on graphs beyond ~16.7M vertices
+(``float64`` is exact through 2⁵³ — far past any addressable vertex
+count).  The pull kernels preserve the ``float64`` payload end to end.
+
+:func:`connected_components_multi` advances ``k`` independent FastSV
+instances in lockstep through the batched numeric pull
+(:meth:`repro.engines.base.Engine.pull_multi`): one min-second kernel
+sweep per round serves every column instead of ``k`` launches.  It is
+the lockstep primitive behind label-domain batching and the widest
+exerciser of the multi-word value planes (each column must come out
+bitwise identical to an isolated run wherever it lands in the stripe);
+the serving batcher answers concurrent CC requests by deduplication —
+one single run fanned out — since the query is graph-global.
 
 The graph is symmetrized first (components are defined on the undirected
 view); for already-symmetric inputs this is free.
@@ -41,11 +57,12 @@ def connected_components(
     # The pull must traverse the undirected view.  Engines operate on their
     # construction graph; callers pass a symmetrized graph for directed
     # inputs (the benches do), but we also guard here functionally.
-    parent = np.arange(n, dtype=np.float32)
+    # float64: vertex ids stay exact past float32's 2^24 integer ceiling.
+    parent = np.arange(n, dtype=np.float64)
 
     for _ in range(max_iterations):
         engine.note_iteration()
-        neighbour_min = engine.pull(parent, MIN_SECOND).astype(np.float32)
+        neighbour_min = engine.pull(parent, MIN_SECOND).astype(np.float64)
         new = np.minimum(parent, neighbour_min)
         # FastSV shortcutting: two pointer-jump hops per round.
         idx = new.astype(np.int64)
@@ -58,6 +75,57 @@ def connected_components(
         parent = new
 
     return parent.astype(np.int64), engine.report()
+
+
+def connected_components_multi(
+    engine: Engine, k: int, *, max_iterations: int | None = None
+) -> tuple[np.ndarray, EngineReport]:
+    """``k`` independent FastSV runs in lockstep — one batched pull per
+    round.
+
+    Each column starts from the identity labeling and hooks/shortcuts on
+    its own; the only shared work is the kernel sweep (one
+    ``pull_multi`` launch per round on the bit backend, striped across
+    value planes when ``k`` exceeds the tile word width).  A column at its
+    fixed point is left unchanged by further rounds, so column ``j`` of
+    the result is **bitwise identical** to ``connected_components(engine)``
+    — the exactness contract of the batched numeric-pull layer, asserted
+    by the property tests across every tile dim and plane boundary.
+
+    Returns
+    -------
+    labels:
+        ``int64`` array of shape ``(n, k)``; every column equals the
+        single-run label vector.
+    report:
+        Combined cost report for the batched run.
+    """
+    if k < 1:
+        raise ValueError(f"batch width k must be >= 1, got {k}")
+    n = engine.n
+    if max_iterations is None:
+        max_iterations = max(2, n)
+    engine.reset_stats()
+
+    parent = np.tile(np.arange(n, dtype=np.float64)[:, None], (1, k))
+
+    for _ in range(max_iterations):
+        engine.note_iteration()
+        neighbour_min = engine.pull_multi(parent, MIN_SECOND).astype(
+            np.float64
+        )
+        new = np.minimum(parent, neighbour_min)
+        # Per-column pointer jumping: labels index within their own column.
+        idx = new.astype(np.int64)
+        new = np.minimum(new, np.take_along_axis(new, idx, axis=0))
+        idx = new.astype(np.int64)
+        new = np.minimum(new, np.take_along_axis(new, idx, axis=0))
+        engine.note_ewise(vectors=3 * k)  # hooking + shortcut kernels
+        if np.array_equal(new, parent):
+            break
+        parent = new
+
+    return parent.astype(np.int64), engine.report(extra={"batch": k})
 
 
 def count_components(labels: np.ndarray) -> int:

@@ -29,6 +29,8 @@ from repro.bitops.packing import (
     pack_bits_colmajor,
     pack_bits_rowmajor,
     pack_bitvector,
+    plane_count,
+    plane_slices,
     transpose_packed,
     unpack_bitmatrix,
     unpack_bits_colmajor,
@@ -55,6 +57,8 @@ __all__ = [
     "unpack_bitvector",
     "pack_bitmatrix",
     "unpack_bitmatrix",
+    "plane_count",
+    "plane_slices",
     "nibble_pack",
     "nibble_unpack",
     "transpose_packed",

@@ -14,6 +14,18 @@ A *binarized vector* packs ``d`` consecutive vector entries into one word per
 tile-column block, so a tile row and the matching vector word can be combined
 with ``popc(row & word)`` (Listing 1).
 
+**Multi-word plane layout (batched operands).**  A batch of ``k`` vectors
+packs into a ``(n_words, k)`` array — column ``j`` is vector ``j`` packed as
+above.  The batched kernels view the ``k`` columns as ``⌈k/d⌉`` *word
+planes* of at most ``d`` columns each: plane ``p`` holds batch columns
+``p·d … min((p+1)·d, k)−1``.  A plane is the register budget one tile sweep
+lane-group carries (``d`` words of ``d`` bits); batches wider than the tile
+word width stripe across planes while the tile index and payloads — the
+dominant traffic — still stream **once** per sweep, with each loaded tile
+chunk reused by every plane (:mod:`repro.kernels.bmv`).
+:func:`plane_count` / :func:`plane_slices` define the striping; they are the
+single source of truth shared by the kernels and the cost model.
+
 Nibble packing (§III.B) stores two 4-bit rows per byte, halving B2SR-4's
 storage from Table I's 16× saving to the full 32×.
 """
@@ -145,6 +157,34 @@ def unpack_bitvector(words: np.ndarray, tile_dim: int, n: int) -> np.ndarray:
     return bits.reshape(-1)[:n]
 
 
+def plane_count(k: int, tile_dim: int) -> int:
+    """Number of word planes a ``k``-wide batch stripes across: ``⌈k/d⌉``.
+
+    Plane ``p`` holds batch columns ``p·d … min((p+1)·d, k)−1``; batches up
+    to the tile word width fit a single plane, wider batches add one plane
+    per ``tile_dim`` extra columns (see the module docstring).
+    """
+    _check_dim(tile_dim)
+    if k < 0:
+        raise ValueError(f"batch width k must be >= 0, got {k}")
+    return (k + tile_dim - 1) // tile_dim
+
+
+def plane_slices(k: int, tile_dim: int) -> list[slice]:
+    """Column slices of the ``plane_count(k, tile_dim)`` word planes.
+
+    ``plane_slices(k, d)[p]`` selects plane ``p``'s batch columns from a
+    ``(n_words, k)`` packed matrix (or any ``(…, k)`` batched operand).  The
+    last plane may be partial — no physical padding columns are stored.
+    """
+    _check_dim(tile_dim)
+    if k < 0:
+        raise ValueError(f"batch width k must be >= 0, got {k}")
+    return [
+        slice(lo, min(lo + tile_dim, k)) for lo in range(0, k, tile_dim)
+    ]
+
+
 def pack_bitmatrix(x: np.ndarray, tile_dim: int) -> np.ndarray:
     """Binarize and bit-pack ``k`` vectors side-by-side (columns of ``x``).
 
@@ -154,6 +194,10 @@ def pack_bitmatrix(x: np.ndarray, tile_dim: int) -> np.ndarray:
     ``pack_bitvector(x[:, j], tile_dim)``, so word row ``w`` aligns with
     tile column ``w`` of a B2SR matrix and one gather of row ``w`` serves
     all ``k`` vectors at once (the batched-BMV layout).
+
+    ``k`` may exceed ``tile_dim``: the batched kernels then stripe the
+    columns across ``plane_count(k, tile_dim)`` word planes (plane ``p`` =
+    columns ``p·d … min((p+1)·d, k)−1``) inside one tile sweep.
     """
     _check_dim(tile_dim)
     v = np.asarray(x)
@@ -198,13 +242,20 @@ def nibble_pack(rows: np.ndarray) -> np.ndarray:
 
     ``rows`` is a 1-D uint8 array whose elements each use only their low
     nibble.  Rows ``2k`` and ``2k+1`` share byte ``k`` (low nibble = even
-    row).  An odd count is padded with an empty nibble.
+    row).  An odd count is padded with an empty nibble; the pad is never
+    observable because :func:`nibble_unpack` takes the true ``count`` —
+    ``nibble_unpack(nibble_pack(rows), len(rows))`` round-trips for every
+    length, odd counts included.
     """
     arr = np.asarray(rows, dtype=np.uint8)
     if arr.ndim != 1:
         raise ValueError(f"expected 1-D rows, got shape {arr.shape}")
     if np.any(arr > 0xF):
-        raise ValueError("nibble rows must fit in 4 bits")
+        bad = int(arr[arr > 0xF][0])
+        raise ValueError(
+            f"nibble rows must fit in 4 bits (values 0..15); got {bad} — "
+            "only B2SR-4 tile rows are nibble-packable"
+        )
     n = arr.shape[0]
     padded = np.zeros(n + (n % 2), dtype=np.uint8)
     padded[:n] = arr
@@ -213,12 +264,25 @@ def nibble_pack(rows: np.ndarray) -> np.ndarray:
 
 
 def nibble_unpack(packed: np.ndarray, count: int) -> np.ndarray:
-    """Inverse of :func:`nibble_pack`; returns ``count`` 4-bit rows."""
+    """Inverse of :func:`nibble_pack`; returns ``count`` 4-bit rows.
+
+    The byte count must be exactly ``ceil(count / 2)`` — the length
+    :func:`nibble_pack` produces.  Under- *and* over-length inputs are
+    rejected (same discipline as :func:`unpack_bitvector`): a surplus byte
+    almost always means ``count`` disagrees with the rows that were packed,
+    which would silently drop or invent tile rows at the B2SR-4 call sites.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
     arr = np.asarray(packed, dtype=np.uint8)
     if arr.ndim != 1:
         raise ValueError(f"expected 1-D packed bytes, got shape {arr.shape}")
-    if arr.shape[0] * 2 < count:
-        raise ValueError(f"{arr.shape[0]} bytes cannot hold {count} nibbles")
+    nbytes = (count + 1) // 2
+    if arr.shape[0] != nbytes:
+        raise ValueError(
+            f"packed nibbles must hold exactly {nbytes} bytes for {count} "
+            f"rows, got {arr.shape[0]} bytes"
+        )
     out = np.empty(arr.shape[0] * 2, dtype=np.uint8)
     out[0::2] = arr & 0xF
     out[1::2] = arr >> 4

@@ -9,6 +9,10 @@ without writing Python:
   per-matrix view) plus the Table V pattern class;
 * ``run``      — execute a graph algorithm on both backends and report
   modeled latencies (a one-matrix Table VII row);
+* ``multi``    — batched multi-source algorithms (one sweep, k queries);
+* ``serve``    — coalesce a synthetic BFS/SSSP/CC request stream into
+  batched launches and report per-query latency vs the k-independent
+  baseline (every answer verified bit-identical);
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -218,8 +222,8 @@ def _combined_report(engine, reports):
 
 def cmd_multi(args: argparse.Namespace) -> int:
     from repro.algorithms import (
-        bfs, landmark_diameter, multi_source_bfs, pagerank_multi,
-        pseudo_diameter,
+        bfs, landmark_diameter, multi_source_bfs, multi_source_sssp,
+        pagerank_multi, pseudo_diameter, sssp,
     )
     from repro.engines import BitEngine, GraphBLASTEngine
 
@@ -248,6 +252,22 @@ def cmd_multi(args: argparse.Namespace) -> int:
         gb_rep = _combined_report(gb, singles)
         reached = int((db >= 0).sum())
         summary = f"{reached} (vertex, source) pairs reached"
+    elif args.algorithm == "sssp":
+        dist, bit_rep = multi_source_sssp(bit, sources)
+        singles = []
+        for j, s in enumerate(sources):
+            d1, r1 = sssp(gb, int(s))
+            singles.append(r1)
+            if not np.array_equal(dist[:, j], d1, equal_nan=True):
+                print(
+                    f"warning: backends disagree on distances from {s}",
+                    file=sys.stderr,
+                )
+        gb_rep = _combined_report(gb, singles)
+        summary = (
+            f"{int(np.isfinite(dist).sum())} (vertex, source) pairs "
+            f"reachable"
+        )
     elif args.algorithm == "diameter":
         est_b, bit_rep = landmark_diameter(
             bit, landmarks=k, seed=args.seed
@@ -297,6 +317,74 @@ def cmd_multi(args: argparse.Namespace) -> int:
             rows,
             title=f"multi-source {args.algorithm} (modeled, k={k})",
         )
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engines import BitEngine
+    from repro.serving import QueryBatcher
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    g = load_matrix(args.matrix)
+    device = device_by_name(args.device)
+    rng = np.random.default_rng(args.seed)
+
+    engine = BitEngine(g, device=device, tile_dim=args.tile_dim)
+    cc_engine = BitEngine(
+        g.symmetrized(), device=device, tile_dim=args.tile_dim
+    )
+    batcher = QueryBatcher(
+        engine, cc_engine=cc_engine, max_batch=args.max_batch
+    )
+
+    # Synthetic request stream: a weighted mix of query kinds with random
+    # sources (the stand-in for a client frontier).
+    kinds = ("bfs", "sssp", "cc")
+    weights = np.array([0.5, 0.4, 0.1])
+    for _ in range(args.requests):
+        kind = kinds[int(rng.choice(3, p=weights))]
+        if kind == "cc":
+            batcher.submit("cc")
+        else:
+            batcher.submit(kind, int(rng.integers(g.n)))
+    results, reports = batcher.flush(verify=True)
+
+    print(
+        f"matrix: {g.name} (n={g.n}, nnz={g.nnz})  device: {device.name}  "
+        f"requests: {len(results)}  max batch: {args.max_batch}"
+    )
+    rows = []
+    for rep in reports:
+        rows.append(
+            [
+                rep.kind, rep.width, rep.iterations, rep.launches,
+                rep.singles_launches,
+                f"{rep.batched_ms:.4f}", f"{rep.singles_ms:.4f}",
+                f"{rep.speedup:.1f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["kind", "k", "rounds", "batched launches", "single launches",
+             "batched ms", "k-singles ms", "speedup"],
+            rows,
+            title="coalesced query serving (modeled; every answer verified "
+                  "bit-identical to its standalone run)",
+        )
+    )
+    mean_batched = float(
+        np.mean([r.batched_ms for r in results.values()])
+    )
+    mean_single = float(
+        np.mean([r.baseline_ms for r in results.values()])
+    )
+    print(
+        f"\nmean per-query latency: {mean_batched:.4f} ms batched vs "
+        f"{mean_single:.4f} ms standalone "
+        f"(k-independent total {sum(r.baseline_ms for r in results.values()):.4f} ms)"
     )
     return 0
 
@@ -372,7 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("matrix")
     sp.add_argument("--algorithm", default="bfs",
-                    choices=("bfs", "diameter", "pagerank"))
+                    choices=("bfs", "sssp", "diameter", "pagerank"))
     sp.add_argument("--sources", type=int, default=32,
                     help="batch width k (sources / landmarks / seeds)")
     sp.add_argument("--tile-dim", type=int, default=32,
@@ -380,6 +468,23 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--device", default="pascal")
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=cmd_multi)
+
+    sp = sub.add_parser(
+        "serve",
+        help="coalesce a stream of BFS/SSSP/CC requests into batched "
+             "launches and report per-query latency vs k singles",
+    )
+    sp.add_argument("matrix")
+    sp.add_argument("--requests", type=int, default=48,
+                    help="number of synthetic client requests")
+    sp.add_argument("--max-batch", type=int, default=64,
+                    help="widest coalesced batch (requests beyond this "
+                         "split into further batches)")
+    sp.add_argument("--tile-dim", type=int, default=32,
+                    choices=list(TILE_DIMS))
+    sp.add_argument("--device", default="pascal")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=cmd_serve)
 
     sp = sub.add_parser("matrices", help="list named stand-ins")
     sp.add_argument("--build", action="store_true",

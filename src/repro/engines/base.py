@@ -18,7 +18,7 @@ from repro.gpusim.counters import KernelStats
 from repro.gpusim.device import GTX1080, DeviceSpec
 from repro.gpusim.timing import time_ms
 from repro.kernels.costmodel import ewise_dense_stats
-from repro.semiring import Semiring
+from repro.semiring import Semiring, value_dtype
 
 
 @dataclass
@@ -154,14 +154,16 @@ class Engine:
     def pull_multi(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
         """Batched :meth:`pull` over the columns of the ``(n, k)`` operand.
 
-        Default: ``k`` single pulls; batched backends override.
+        Default: ``k`` single pulls; batched backends override.  Like
+        :meth:`pull`, a ``float64`` operand is pulled in ``float64``
+        (exact numeric labels past 2²⁴); anything else uses float32.
         """
         X = np.asarray(x)
         if X.ndim != 2 or X.shape[0] != self.n:
             raise ValueError(
                 f"expected ({self.n}, k) vectors, got shape {X.shape}"
             )
-        out = np.zeros(X.shape, dtype=np.float32)
+        out = np.zeros(X.shape, dtype=value_dtype(X))
         for j in range(X.shape[1]):
             out[:, j] = self.pull(X[:, j], semiring)
         return out

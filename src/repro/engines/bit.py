@@ -28,7 +28,7 @@ from repro.kernels.bmv import (
     bmv_bin_full_full_multi,
 )
 from repro.kernels.costmodel import bmm_stats, bmv_stats, ewise_dense_stats
-from repro.semiring import Semiring
+from repro.semiring import Semiring, value_dtype
 
 
 class BitEngine(Engine):
@@ -80,10 +80,15 @@ class BitEngine(Engine):
         return unpack_bitvector(yw, d, self.n).astype(bool)
 
     def pull(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
-        y = bmv_bin_full_full(self._At, x.astype(np.float32), semiring)
+        # float64 payloads (numeric labels) keep their precision; anything
+        # else runs in the kernels' native float32.
+        dt = value_dtype(x)
+        y = bmv_bin_full_full(
+            self._At, np.asarray(x).astype(dt, copy=False), semiring
+        )
         stats = bmv_stats(
             self._At, "bin_full_full", self.device,
-            locality=self._locality,
+            locality=self._locality, value_bytes=float(dt.itemsize),
         )
         self.add_kernel(stats)
         self.note_ewise(vectors=2)
@@ -117,7 +122,12 @@ class BitEngine(Engine):
         return unpack_bitmatrix(yw, d, self.n).astype(bool)
 
     def pull_multi(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
-        X = np.asarray(x, dtype=np.float32)
+        """Batched semiring pull: one ``bmv_bin_full_full_multi`` sweep
+        serves all ``k`` columns (striped across ``⌈k/d⌉`` value planes
+        when the batch exceeds the tile word width) — batched PageRank's,
+        multi-source SSSP's and batched FastSV's kernel."""
+        dt = value_dtype(x)
+        X = np.asarray(x).astype(dt, copy=False)
         if X.ndim != 2 or X.shape[0] != self.n:
             raise ValueError(
                 f"expected ({self.n}, k) vectors, got shape {X.shape}"
@@ -128,6 +138,7 @@ class BitEngine(Engine):
             bmv_stats(
                 self._At, "bin_full_full", self.device,
                 locality=self._locality, k=k,
+                value_bytes=float(dt.itemsize),
             )
         )
         # One elementwise update over all k columns, one convergence

@@ -31,7 +31,7 @@ from repro.kernels.costmodel import (
 )
 from repro.kernels.csr_spgemm import csr_spgemm_mask_sum, spgemm_flops
 from repro.kernels.csr_spmv import csr_spmspv, csr_spmv_semiring
-from repro.semiring import BOOLEAN, Semiring
+from repro.semiring import BOOLEAN, Semiring, value_dtype
 
 
 class GraphBLASTEngine(Engine):
@@ -105,11 +105,15 @@ class GraphBLASTEngine(Engine):
         return nxt
 
     def pull(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
+        # float64 payloads (numeric labels) keep their precision, matching
+        # the bit backend's dtype discipline.
+        dt = value_dtype(x)
         y = csr_spmv_semiring(
-            self.graph.csr_t, x.astype(np.float32), semiring
+            self.graph.csr_t, np.asarray(x).astype(dt, copy=False), semiring
         )
         stats = csr_spmv_stats(
-            self.graph.csr_t, self.device, locality=self._locality
+            self.graph.csr_t, self.device, locality=self._locality,
+            value_bytes=float(dt.itemsize),
         )
         # Generalized-semiring mxv goes through GraphBLAST's descriptor
         # dispatch and a convergence read-back each iteration.

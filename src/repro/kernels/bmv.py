@@ -30,6 +30,24 @@ scheme                               A       X (n × k)   Y (n × k)
 Packed multi operands come from :func:`repro.bitops.packing.pack_bitmatrix`
 (word row ``w``, column ``j`` holds bits ``w*d … w*d+d-1`` of vector ``j``).
 
+**Multi-word planes (k > tile word width).**  A batch of ``k`` vectors is
+viewed as ``⌈k/d⌉`` *word planes*: plane ``p`` spans batch columns
+``p·d … min((p+1)·d, k)−1`` (:func:`repro.bitops.packing.plane_slices`).
+One plane is what a lane group carries in registers per stored tile —
+``d`` words of ``d`` bits (binary operands) or ``d`` value rows (numeric
+operands).  Batches wider than ``d`` therefore stripe across planes
+*inside* the tile sweep: each tile chunk is loaded once and every plane
+combines against the same resident chunk, so the tile index and payload
+traffic stays independent of ``k`` while per-plane combine work scales
+with the batch.  Striping is per-column-independent, so results are
+bitwise identical whether a column lands in plane 0 or plane 7.
+
+**Value dtypes.**  The semiring schemes compute in ``float32`` (the
+paper's precision) unless the vector operand arrives as ``float64``, which
+is preserved end to end — numeric-label algorithms (FastSV CC) carry
+vertex ids that overflow ``float32``'s exact-integer range at 2²⁴, while
+``float64`` is exact through 2⁵³.
+
 **Segment-reduce layout.**  B2SR's upper level is CSR over tile rows, so
 the stored tiles are already sorted by output tile row and ``indptr``
 delimits each row's run.  Every scheme therefore computes a per-tile
@@ -56,15 +74,17 @@ from repro.bitops.intrinsics import ballot_sync, mask_for_width
 from repro.bitops.packing import (
     pack_bitmatrix,
     pack_bitvector,
+    plane_slices,
     unpack_bits_rowmajor,
 )
 from repro.bitops.segreduce import run_starts, segment_reduce
 from repro.formats.b2sr import B2SRMatrix
-from repro.semiring import ARITHMETIC, Semiring
+from repro.semiring import ARITHMETIC, Semiring, value_dtype
 
 #: Dense-unpack scratch budget per chunk, in tile-row elements; the chunk
-#: loops divide this by the batch width ``k`` so peak scratch stays at
-#: roughly chunk × d² floats regardless of the batch size.
+#: loops divide this by the *plane width* ``min(k, d)`` — wider batches
+#: stripe plane-by-plane over each resident chunk — so peak scratch stays
+#: at roughly chunk × d² floats regardless of the batch size.
 _CHUNK_TILES = 8192
 
 
@@ -144,7 +164,12 @@ def _resolve_mask_matrix(
 
 
 def _chunk(k: int) -> int:
-    """Tiles per chunk so scratch stays ~``_CHUNK_TILES`` row-elements."""
+    """Tiles per chunk so scratch stays ~``_CHUNK_TILES`` row-elements.
+
+    The batched kernels pass the *plane width* ``min(k, d)`` rather than
+    the full batch width: planes stripe sequentially over each resident
+    chunk, so peak scratch is bounded by one plane regardless of ``k``.
+    """
     return max(1, _CHUNK_TILES // max(k, 1))
 
 
@@ -228,7 +253,9 @@ def bmv_bin_bin_bin_multi(
     ``x_words`` has shape ``(n_tile_cols, k)`` from
     :func:`repro.bitops.packing.pack_bitmatrix`; the result has shape
     ``(n_tile_rows, k)`` — column ``j`` equals
-    ``bmv_bin_bin_bin(A, x_words[:, j])``.
+    ``bmv_bin_bin_bin(A, x_words[:, j])``.  ``k`` may exceed the tile word
+    width: the batch stripes across ``⌈k/d⌉`` word planes inside the one
+    tile sweep (see the module docstring).
     """
     xw = _check_mat_words(A, x_words)
     return _bmv_bin_bin_bin_multi_core(A, xw)
@@ -243,17 +270,23 @@ def _bmv_bin_bin_bin_multi_core(
         return out
     d = A.tile_dim
     trows = A.tile_row_of()
-    step = _chunk(k)
+    step = _chunk(min(k, d))
+    stripes = plane_slices(k, d)
     for lo in range(0, A.n_tiles, step):
         hi = min(lo + step, A.n_tiles)
-        # (m, d, k): tile row r of tile t against vector j's word.
-        hits = (
-            A.tiles[lo:hi, :, None] & xw[A.indices[lo:hi], None, :]
-        ) != 0
-        contrib = ballot_sync(np.swapaxes(hits, 1, 2), width=d)  # (m, k)
+        tiles = A.tiles[lo:hi]
+        cols = A.indices[lo:hi]
         starts = run_starts(trows[lo:hi])
         rows = trows[lo:hi][starts]
-        out[rows] |= np.bitwise_or.reduceat(contrib, starts, axis=0)
+        # The chunk's tiles stay resident while every word plane combines
+        # against them — one tile sweep however wide the batch.
+        for sl in stripes:
+            # (m, d, kp): tile row r of tile t against vector j's word.
+            hits = (tiles[:, :, None] & xw[:, sl][cols, None, :]) != 0
+            contrib = ballot_sync(
+                np.swapaxes(hits, 1, 2), width=d
+            )  # (m, kp)
+            out[rows, sl] |= np.bitwise_or.reduceat(contrib, starts, axis=0)
     return out
 
 
@@ -314,7 +347,9 @@ def bmv_bin_bin_full_multi(
     A: B2SRMatrix, x_words: np.ndarray
 ) -> np.ndarray:
     """Batched counting SpMV: ``Y[i, j] = popc(A_i & X_j)`` in one tile
-    sweep; returns float32 of shape ``(nrows, k)``."""
+    sweep; returns float32 of shape ``(nrows, k)``.  Batches wider than
+    the tile word width stripe across word planes over each resident tile
+    chunk (module docstring)."""
     xw = _check_mat_words(A, x_words)
     k = xw.shape[1]
     d = A.tile_dim
@@ -322,15 +357,19 @@ def bmv_bin_bin_full_multi(
     if A.n_tiles == 0 or k == 0:
         return y.reshape(-1, k)[: A.nrows]
     trows = A.tile_row_of()
-    step = _chunk(k)
+    step = _chunk(min(k, d))
+    stripes = plane_slices(k, d)
     for lo in range(0, A.n_tiles, step):
         hi = min(lo + step, A.n_tiles)
-        counts = np.bitwise_count(
-            A.tiles[lo:hi, :, None] & xw[A.indices[lo:hi], None, :]
-        ).astype(np.float32)  # (m, d, k)
+        tiles = A.tiles[lo:hi]
+        cols = A.indices[lo:hi]
         starts = run_starts(trows[lo:hi])
         rows = trows[lo:hi][starts]
-        y[rows] += np.add.reduceat(counts, starts, axis=0)
+        for sl in stripes:
+            counts = np.bitwise_count(
+                tiles[:, :, None] & xw[:, sl][cols, None, :]
+            ).astype(np.float32)  # (m, d, kp)
+            y[rows, :, sl] += np.add.reduceat(counts, starts, axis=0)
     return y.reshape(-1, k)[: A.nrows]
 
 
@@ -348,20 +387,27 @@ def bmv_bin_full_full(
     semiring: arithmetic gives the weighted sums PageRank needs, min-plus
     treats absent bits as +∞ and stored bits as weight-1 edges (SSSP's
     relaxation, §V).
+
+    A ``float64`` vector is computed in ``float64`` end to end (exact
+    integer payloads through 2⁵³ — FastSV's label pulls); every other
+    dtype computes in the native ``float32``.
     """
-    xv = np.asarray(x, dtype=np.float32)
+    dt = value_dtype(x)
+    xv = np.asarray(x).astype(dt, copy=False)
     if xv.shape != (A.ncols,):
         raise ValueError(
             f"vector must have shape ({A.ncols},), got {xv.shape}"
         )
     d = A.tile_dim
-    y = semiring.empty_output(A.n_tile_rows * d).reshape(A.n_tile_rows, d)
+    y = semiring.empty_output(A.n_tile_rows * d, dtype=dt).reshape(
+        A.n_tile_rows, d
+    )
     if A.n_tiles == 0:
         return y.reshape(-1)[: A.nrows]
 
     # Pad x to whole tiles; padded entries are never selected because the
     # corresponding matrix bits are structurally absent.
-    xpad = np.zeros(A.n_tile_cols * d, dtype=np.float32)
+    xpad = np.zeros(A.n_tile_cols * d, dtype=dt)
     xpad[: A.ncols] = xv
     col_offsets = np.arange(d, dtype=np.int64)
     trows = A.tile_row_of()
@@ -373,7 +419,7 @@ def bmv_bin_full_full(
         # Broadcast the multiplier across tile rows, reduce over columns.
         vals = semiring.reduce_masked(
             np.broadcast_to(m[:, None, :], bits.shape), bits, axis=-1
-        ).astype(np.float32)
+        ).astype(dt)
         # Chunks are row-aligned, so each output row is folded exactly once.
         starts = run_starts(trows[lo:hi])
         rows = trows[lo:hi][starts]
@@ -402,48 +448,58 @@ def bmv_bin_full_full_multi(
     semiring: Semiring = ARITHMETIC,
 ) -> np.ndarray:
     """Batched semiring SpMV over ``k`` full-precision vectors (columns of
-    ``x``, shape ``(ncols, k)``) in one tile sweep — batched PageRank's
-    kernel.  Returns float32 of shape ``(nrows, k)``."""
-    xv = np.asarray(x, dtype=np.float32)
+    ``x``, shape ``(ncols, k)``) in one tile sweep — batched PageRank's,
+    SSSP's and FastSV's kernel.  Returns shape ``(nrows, k)`` in the
+    operand's value dtype (float32, or float64 when ``x`` is float64).
+
+    ``k`` may exceed the tile word width: value planes of at most ``d``
+    columns stripe over each resident tile chunk, so scratch stays one
+    plane deep and the tile payloads stream once per sweep.
+    """
+    dt = value_dtype(x)
+    xv = np.asarray(x).astype(dt, copy=False)
     if xv.ndim != 2 or xv.shape[0] != A.ncols:
         raise ValueError(
             f"vectors must have shape ({A.ncols}, k), got {xv.shape}"
         )
     k = xv.shape[1]
     d = A.tile_dim
-    y = semiring.empty_output(A.n_tile_rows * d * k).reshape(
+    y = semiring.empty_output(A.n_tile_rows * d * k, dtype=dt).reshape(
         A.n_tile_rows, d, k
     )
     if A.n_tiles == 0 or k == 0:
         return y.reshape(-1, k)[: A.nrows]
 
-    xpad = np.zeros((A.n_tile_cols * d, k), dtype=np.float32)
+    xpad = np.zeros((A.n_tile_cols * d, k), dtype=dt)
     xpad[: A.ncols] = xv
     col_offsets = np.arange(d, dtype=np.int64)
     trows = A.tile_row_of()
+    stripes = plane_slices(k, d)
+    zero = dt.type(semiring.zero)
 
-    for lo, hi in _row_aligned_chunks(A, _chunk(k)):
+    for lo, hi in _row_aligned_chunks(A, _chunk(min(k, d))):
         bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
-        seg = xpad[A.indices[lo:hi, None] * d + col_offsets]  # (m, d, k)
-        m = semiring.mult_matrix_one(seg)  # (m, d, k)
-        # Reduce over the tile-column axis kept *last*, on a C-contiguous
-        # buffer, so the float summation tree matches the single-vector
-        # kernel's exactly (np.where's broadcast output can come back
-        # strided, which changes the reduction's pairwise chunking).
-        mt = np.swapaxes(m, 1, 2)  # (m, k, d)
-        filled = np.ascontiguousarray(
-            np.where(
-                bits[:, :, None, :],
-                mt[:, None, :, :],
-                np.float32(semiring.zero),
-            )
-        )
-        vals = semiring.add_reduce(filled, axis=-1).astype(
-            np.float32
-        )  # (m, d, k)
+        idx = A.indices[lo:hi, None] * d + col_offsets
         starts = run_starts(trows[lo:hi])
         rows = trows[lo:hi][starts]
-        y[rows] = semiring.add(y[rows], semiring.add_reduceat(vals, starts))
+        for sl in stripes:
+            seg = xpad[:, sl][idx]  # (m, d, kp)
+            m = semiring.mult_matrix_one(seg)  # (m, d, kp)
+            # Reduce over the tile-column axis kept *last*, on a
+            # C-contiguous buffer, so the float summation tree matches the
+            # single-vector kernel's exactly (np.where's broadcast output
+            # can come back strided, which changes the reduction's
+            # pairwise chunking).
+            mt = np.swapaxes(m, 1, 2)  # (m, kp, d)
+            filled = np.ascontiguousarray(
+                np.where(bits[:, :, None, :], mt[:, None, :, :], zero)
+            )
+            vals = semiring.add_reduce(filled, axis=-1).astype(
+                dt
+            )  # (m, d, kp)
+            y[rows, :, sl] = semiring.add(
+                y[rows, :, sl], semiring.add_reduceat(vals, starts)
+            )
     return y.reshape(-1, k)[: A.nrows]
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitops.packing import plane_count
 from repro.formats.b2sr import B2SRMatrix, bytes_per_tile
 from repro.formats.csr import CSRMatrix
 from repro.formats.stats import bandwidth_profile
@@ -74,8 +75,13 @@ def csr_spmv_stats(
     device: DeviceSpec,
     *,
     locality: float | None = None,
+    value_bytes: float = 4.0,
 ) -> KernelStats:
-    """Modeled cost of ``cusparseScsrmv`` (warp-per-row vector kernel)."""
+    """Modeled cost of ``cusparseScsrmv`` (warp-per-row vector kernel).
+
+    ``value_bytes`` is the vector element width — 4 for the float32
+    default, 8 when the pull carries float64 payloads (numeric labels).
+    """
     if locality is None:
         locality = _locality(csr)
     lens = np.diff(csr.indptr).astype(np.float64)
@@ -84,16 +90,16 @@ def csr_spmv_stats(
 
     # Row pointers and output vector: streamed; each processed row also
     # pays a small fixed fetch (row extent pair).
-    stats.dram_bytes += 8.0 * (csr.nrows + 1) + 4.0 * csr.nrows
+    stats.dram_bytes += 8.0 * (csr.nrows + 1) + value_bytes * csr.nrows
     # Column indices + values: 8 B per nonzero (merge-path style balance,
     # which is what cuSPARSE's csrmv achieves).
     stats.dram_bytes += 8.0 * nnz
     # x gather: hit rate from working set + locality; misses fetch sectors.
-    ws = 4.0 * csr.ncols
+    ws = value_bytes * csr.ncols
     hit = gather_hit_fraction(ws, device.l2_bytes, locality)
     stats.dram_bytes += nnz * 32.0 * (1.0 - hit) * 0.5
-    stats.l2_bytes += nnz * 4.0 * hit
-    stats.l1_bytes += nnz * 4.0 * hit * 0.5
+    stats.l2_bytes += nnz * value_bytes * hit
+    stats.l1_bytes += nnz * value_bytes * hit * 0.5
 
     # Instructions: per-row setup + per-32-nnz segment work + warp reduce.
     seg = np.ceil(lens / 32.0)
@@ -117,12 +123,18 @@ def bmv_stats(
     *,
     locality: float = 0.5,
     k: int = 1,
+    value_bytes: float = 4.0,
 ) -> KernelStats:
     """Modeled cost of a B2SR BMV scheme (Listing 1 / Figure 4 mapping).
 
     ``locality`` describes the tile-column access pattern (reuse of vector
     words across a tile row); B2SR's tile-row-major traversal gives decent
     locality by construction (§III.A merit 2).
+
+    ``value_bytes`` is the full-precision element width — 4 for the
+    float32 default, 8 when the pull carries float64 payloads (numeric
+    labels); it scales the value-vector gather and the full-precision
+    output store (packed binary operands are unaffected).
 
     ``k > 1`` models one *batched* sweep serving ``k`` vectors (the
     ``bmv_*_multi`` kernels): the tile index and payloads — the dominant
@@ -131,6 +143,13 @@ def bmv_stats(
     combine instructions scale with ``k``.  Against ``k`` separate
     launches this saves ``(k-1)×`` the matrix traffic and ``k-1`` launch
     overheads, and amortizes the per-tile indexing work across the batch.
+
+    Batches wider than the tile word width stripe across
+    ``⌈k/d⌉`` word planes (:func:`repro.bitops.packing.plane_count`): each
+    plane beyond the first re-issues the per-tile word fetch/indexing
+    instructions against the resident chunk — a small per-plane term on
+    top of the ``k``-proportional combine work.  ``k ≤ d`` costs are
+    unchanged (one plane).
     """
     if scheme not in BMV_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; valid: {BMV_SCHEMES}")
@@ -161,14 +180,14 @@ def bmv_stats(
         stats.dram_bytes += n_tiles * word_bytes * k * (1.0 - hit)
         stats.l1_bytes += n_tiles * word_bytes * k * hit
     if full_vec:
-        # Full-precision vector(s), d consecutive floats per tile; the
+        # Full-precision vector(s), d consecutive values per tile; the
         # 32-warp shared-memory layout (§IV) boosts reuse across
         # neighbouring rows.
-        ws = 4.0 * A.ncols * k
+        ws = value_bytes * A.ncols * k
         hit = gather_hit_fraction(
             ws, device.l2_bytes, min(1.0, locality + 0.3)
         )
-        requested = n_tiles * d * 4.0 * k
+        requested = n_tiles * d * value_bytes * k
         stats.dram_bytes += requested * (1.0 - hit)
         stats.l2_bytes += requested * hit * 0.5
         stats.l1_bytes += requested * hit * 0.5
@@ -178,7 +197,7 @@ def bmv_stats(
     if binary_out:
         stats.dram_bytes += A.n_tile_rows * word_bytes * k
     else:
-        stats.dram_bytes += 4.0 * A.nrows * k
+        stats.dram_bytes += value_bytes * A.nrows * k
     if scheme.endswith("_masked"):
         stats.dram_bytes += (
             A.nrows / 8.0 if binary_out else A.nrows * 1.0
@@ -191,8 +210,13 @@ def bmv_stats(
     # scale with k.
     lanes_fraction = d / 32.0
     per_tile_combine = (6.0 if binary_vec else 10.0) * lanes_fraction
+    # Multi-word planes: each plane beyond the first replays the per-tile
+    # word fetch/indexing against the resident chunk (§III.C's fixed
+    # per-tile term, paid once per plane rather than once per vector).
+    planes = plane_count(k, d)
     stats.warp_instructions += (
-        6.0 * A.n_tile_rows + (per_tile_combine * k + 1.5) * n_tiles
+        6.0 * A.n_tile_rows
+        + (per_tile_combine * k + 1.5 * planes) * n_tiles
     )
     # Sub-warp tiles need atomic combines in the full-precision schemes
     # (§V: atomicMin/atomicAdd for B2SR-4/8/16) — one combine per

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
-from repro.semiring import ARITHMETIC, Semiring
+from repro.semiring import ARITHMETIC, Semiring, value_dtype
 
 
 def _row_of(csr: CSRMatrix) -> np.ndarray:
@@ -43,17 +43,20 @@ def csr_spmv_semiring(
 
     Matches the binary-matrix semantics of
     :func:`repro.kernels.bmv.bmv_bin_full_full` when the CSR values are all
-    1.0, so the two backends can be compared entry for entry.
+    1.0, so the two backends can be compared entry for entry.  Like the bit
+    kernel, a ``float64`` vector computes in ``float64`` end to end (exact
+    label payloads past 2²⁴); anything else uses the native ``float32``.
     """
-    xv = np.asarray(x, dtype=np.float32)
+    dt = value_dtype(x)
+    xv = np.asarray(x).astype(dt, copy=False)
     if xv.shape != (csr.ncols,):
         raise ValueError(
             f"vector must have shape ({csr.ncols},), got {xv.shape}"
         )
-    y = semiring.empty_output(csr.nrows)
+    y = semiring.empty_output(csr.nrows, dtype=dt)
     if csr.nnz:
         contrib = semiring.mult_matrix_one(xv[csr.indices]).astype(
-            np.float32
+            dt, copy=False
         )
         semiring.add_at(y, _row_of(csr), contrib)
     return y

@@ -15,6 +15,7 @@ from repro.semiring.semirings import (
     SEMIRINGS,
     Semiring,
     semiring_by_name,
+    value_dtype,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "MIN_SECOND",
     "SEMIRINGS",
     "semiring_by_name",
+    "value_dtype",
 ]

@@ -15,6 +15,12 @@ domain (§V) are:
 
 Each semiring exposes both scalar identities and vectorized NumPy reduce /
 combine hooks so the functional kernels stay loop-free.
+
+``mult_matrix_one`` preserves a ``float64`` operand's precision (anything
+else is computed in the kernels' native ``float32``): numeric-label
+algorithms — FastSV connected components carrying vertex ids — need exact
+integer arithmetic past ``float32``'s 2²⁴ contiguous-integer ceiling, and
+``float64`` is exact through 2⁵³.
 """
 
 from __future__ import annotations
@@ -82,6 +88,30 @@ class Semiring:
         return self.add_reduce(filled, axis=axis)
 
 
+def value_dtype(x: np.ndarray) -> np.dtype:
+    """Kernel value dtype for a numeric operand.
+
+    ``float64`` is preserved, and so are integer dtypes wide enough to
+    hold values past ``float32``'s 2²⁴ exact-integer ceiling (≥ 32-bit
+    ints — e.g. ``int64`` vertex labels fed to a pull directly): both
+    route to ``float64`` (exact through 2⁵³).  Everything else — float32,
+    bools, narrow ints — computes in the kernels' native ``float32``.
+
+    The single source of truth for the dtype rule — the BMV/CSR kernels
+    and every engine ``pull`` consult this, so the operand dtype an
+    algorithm chooses selects the same precision on every layer (the
+    bitwise-identity contracts depend on that agreement).
+    """
+    dt = np.asarray(x).dtype
+    wide = dt == np.float64 or (dt.kind in "iu" and dt.itemsize >= 4)
+    return np.dtype(np.float64 if wide else np.float32)
+
+
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """Cast to :func:`value_dtype` (no copy when already there)."""
+    return np.asarray(x).astype(value_dtype(x), copy=False)
+
+
 def _minimum_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
     np.minimum.at(out, idx, vals)
 
@@ -98,12 +128,26 @@ def _or_at(out: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
     np.logical_or.at(out, idx, vals.astype(bool))
 
 
+def _mult_bool(x: np.ndarray) -> np.ndarray:
+    arr = _as_float(x)
+    return (arr != 0).astype(arr.dtype)
+
+
+def _mult_identity(x: np.ndarray) -> np.ndarray:
+    return _as_float(x)
+
+
+def _mult_plus_one(x: np.ndarray) -> np.ndarray:
+    arr = _as_float(x)
+    return arr + arr.dtype.type(1.0)
+
+
 BOOLEAN = Semiring(
     name="boolean",
     zero=0.0,
     add=lambda a, b: np.logical_or(a, b).astype(a.dtype),
     add_reduce=lambda x, axis=-1: np.any(x, axis=axis).astype(np.float32),
-    mult_matrix_one=lambda x: (np.asarray(x) != 0).astype(np.float32),
+    mult_matrix_one=_mult_bool,
     add_at=_or_at,
     add_reduceat=lambda v, starts: np.logical_or.reduceat(
         v, starts, axis=0
@@ -115,7 +159,7 @@ ARITHMETIC = Semiring(
     zero=0.0,
     add=np.add,
     add_reduce=lambda x, axis=-1: np.sum(x, axis=axis),
-    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    mult_matrix_one=_mult_identity,
     add_at=_add_at,
     # Sequential-order segmented sum: float addition is not associative, so
     # staying bit-compatible with the historical np.add.at accumulation
@@ -129,7 +173,7 @@ MIN_PLUS = Semiring(
     add=np.minimum,
     add_reduce=lambda x, axis=-1: np.min(x, axis=axis),
     # A stored bit is an edge of weight 1, so mult(1, x) = x + 1 (§V SSSP).
-    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32) + 1.0,
+    mult_matrix_one=_mult_plus_one,
     add_at=_minimum_at,
     add_reduceat=lambda v, starts: np.minimum.reduceat(v, starts, axis=0),
 )
@@ -139,7 +183,7 @@ MAX_TIMES = Semiring(
     zero=-np.inf,
     add=np.maximum,
     add_reduce=lambda x, axis=-1: np.max(x, axis=axis),
-    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    mult_matrix_one=_mult_identity,
     add_at=_maximum_at,
     add_reduceat=lambda v, starts: np.maximum.reduceat(v, starts, axis=0),
 )
@@ -152,7 +196,7 @@ MIN_SECOND = Semiring(
     zero=np.inf,
     add=np.minimum,
     add_reduce=lambda x, axis=-1: np.min(x, axis=axis),
-    mult_matrix_one=lambda x: np.asarray(x, dtype=np.float32),
+    mult_matrix_one=_mult_identity,
     add_at=_minimum_at,
     add_reduceat=lambda v, starts: np.minimum.reduceat(v, starts, axis=0),
 )

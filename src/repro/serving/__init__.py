@@ -1,0 +1,22 @@
+"""Query-serving front end: request batching over the multi-vector layer.
+
+A server answering graph queries (BFS depths, SSSP distances, CC labels)
+for many concurrent clients leaves most of the batched substrate idle if
+it launches one traversal per request.  :class:`QueryBatcher` accumulates
+requests, coalesces same-kind requests into one batched launch
+(:func:`repro.algorithms.multi_source_bfs` /
+:func:`repro.algorithms.multi_source_sssp` — one kernel sweep per round
+however many queries ride along; graph-global CC requests dedup onto a
+single run), and reports per-query latency against the k-independent
+baseline.  Every coalesced answer is bitwise identical to the answer an
+isolated run would have produced.
+"""
+
+from repro.serving.batcher import (
+    BatchReport,
+    Query,
+    QueryBatcher,
+    QueryResult,
+)
+
+__all__ = ["Query", "QueryBatcher", "QueryResult", "BatchReport"]

@@ -1,0 +1,259 @@
+"""Property tests for the batched SSSP/CC layer and the numeric-label
+correctness fixes.
+
+The acceptance contract of the multi-vector subsystem: every batched
+result is **bitwise identical** to k independent single runs, for batch
+widths straddling the tile word width (k ∈ {1, d, d+1, 2d+3} stripes
+across one or two word planes), with one batched kernel launch per round
+on the bit backend.
+"""
+
+import numpy as np
+import pytest
+from types import SimpleNamespace
+
+from repro.algorithms import (
+    connected_components,
+    connected_components_multi,
+    multi_source_sssp,
+    sssp,
+)
+from repro.datasets.generators import dot_pattern, hybrid_pattern
+from repro.engines import BitEngine, GraphBLASTEngine
+from repro.engines.base import Engine
+from repro.formats.b2sr import TILE_DIMS
+from repro.gpusim.counters import KernelStats
+from repro.gpusim.device import GTX1080
+
+
+def batch_widths(d):
+    """Widths straddling the word-width boundary: one plane, a full
+    plane, one column into plane 2, and well into plane 3."""
+    return (1, d, d + 1, 2 * d + 3)
+
+
+# ---------------------------------------------------------------------------
+# multi_source_sssp == k independent runs, bit for bit
+# ---------------------------------------------------------------------------
+class TestMultiSourceSSSP:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_equals_singles_all_widths(self, d):
+        g = hybrid_pattern(150, seed=3)
+        engine = BitEngine(g, tile_dim=d)
+        max_k = 2 * d + 3
+        rng = np.random.default_rng(d)
+        sources = rng.choice(g.n, size=min(max_k, g.n), replace=False)
+        ref = {int(s): sssp(engine, int(s))[0] for s in sources}
+        for k in batch_widths(d):
+            if k > sources.shape[0]:
+                continue
+            dist, rep = multi_source_sssp(engine, sources[:k])
+            # One batched kernel launch per relaxation round, whatever k.
+            assert rep.kernel_stats.launches == rep.iterations
+            for j in range(k):
+                assert np.array_equal(
+                    dist[:, j], ref[int(sources[j])], equal_nan=True
+                ), (d, k, int(sources[j]))
+
+    def test_backends_agree(self):
+        g = dot_pattern(200, 0.02, seed=2)
+        sources = np.array([0, 3, 11, 42])
+        db, _ = multi_source_sssp(BitEngine(g, tile_dim=16), sources)
+        dg, _ = multi_source_sssp(GraphBLASTEngine(g), sources)
+        assert np.array_equal(db, dg, equal_nan=True)
+
+    def test_graphblast_fallback_equals_singles(self):
+        g = hybrid_pattern(120, seed=9)
+        engine = GraphBLASTEngine(g)
+        sources = np.array([1, 7, 50])
+        dist, _ = multi_source_sssp(engine, sources)
+        for j, s in enumerate(sources):
+            ref, _ = sssp(engine, int(s))
+            assert np.array_equal(dist[:, j], ref, equal_nan=True)
+
+    def test_validates_sources(self):
+        g = dot_pattern(50, 0.05, seed=3)
+        engine = BitEngine(g, tile_dim=8)
+        with pytest.raises(ValueError):
+            multi_source_sssp(engine, np.array([0, g.n]))
+        with pytest.raises(ValueError):
+            multi_source_sssp(engine, np.empty(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            multi_source_sssp(engine, np.array([-1]))
+
+
+# ---------------------------------------------------------------------------
+# Single-source SSSP semantics (convergence-check fix)
+# ---------------------------------------------------------------------------
+class TestSSSPIterationSemantics:
+    @pytest.mark.parametrize("Eng", (BitEngine, GraphBLASTEngine))
+    def test_zero_iterations_returns_initialization(self, Eng):
+        g = hybrid_pattern(60, seed=1)
+        dist, rep = sssp(Eng(g), 4, max_iterations=0)
+        assert rep.iterations == 0
+        assert dist[4] == 0.0
+        mask = np.ones(g.n, dtype=bool)
+        mask[4] = False
+        assert np.all(np.isinf(dist[mask]))
+
+    def test_default_cap_upper_bounds_bellman_ford(self):
+        # A path graph needs the full n-1 relaxation rounds; the default
+        # cap (n) must not truncate them.
+        n = 12
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n - 1):
+            dense[i, i + 1] = 1.0
+        from repro.graph import Graph
+
+        g = Graph.from_dense(dense, name="path")
+        dist, rep = sssp(BitEngine(g, tile_dim=4), 0)
+        assert np.array_equal(dist, np.arange(n, dtype=np.float32))
+        assert rep.iterations <= n
+
+    def test_capped_iterations_truncate_distances(self):
+        n = 12
+        dense = np.zeros((n, n), dtype=np.float32)
+        for i in range(n - 1):
+            dense[i, i + 1] = 1.0
+        from repro.graph import Graph
+
+        g = Graph.from_dense(dense, name="path")
+        dist, rep = sssp(BitEngine(g, tile_dim=4), 0, max_iterations=3)
+        assert rep.iterations == 3
+        assert np.array_equal(dist[:4], [0.0, 1.0, 2.0, 3.0])
+        assert np.all(np.isinf(dist[4:]))
+
+
+# ---------------------------------------------------------------------------
+# Batched FastSV CC == the single run, bit for bit, in every column
+# ---------------------------------------------------------------------------
+class TestBatchedCC:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_columns_equal_single_run(self, d):
+        g = hybrid_pattern(150, seed=5).symmetrized()
+        engine = BitEngine(g, tile_dim=d)
+        ref, _ = connected_components(engine)
+        for k in batch_widths(d):
+            labels, rep = connected_components_multi(engine, k)
+            assert labels.shape == (g.n, k)
+            assert rep.kernel_stats.launches == rep.iterations
+            for j in range(k):
+                assert np.array_equal(labels[:, j], ref), (d, k, j)
+
+    def test_backends_agree(self):
+        g = dot_pattern(120, 0.03, seed=7).symmetrized()
+        lb, _ = connected_components_multi(BitEngine(g, tile_dim=8), 5)
+        lg, _ = connected_components_multi(GraphBLASTEngine(g), 5)
+        assert np.array_equal(lb, lg)
+
+    def test_rejects_bad_width(self):
+        g = dot_pattern(40, 0.05, seed=0).symmetrized()
+        with pytest.raises(ValueError):
+            connected_components_multi(BitEngine(g, tile_dim=8), 0)
+
+
+# ---------------------------------------------------------------------------
+# Numeric-label regression: ids past float32's 2^24 integer ceiling
+# ---------------------------------------------------------------------------
+class _EdgeListEngine(Engine):
+    """Minimal exact pull engine over an explicit undirected edge list —
+    lets CC run at vertex counts where building B2SR/CSR structures would
+    dwarf the test, while exercising the algorithm's label arithmetic."""
+
+    backend_name = "edgelist"
+
+    def __init__(self, n, edges):
+        self.graph = SimpleNamespace(n=n)
+        self.device = GTX1080
+        self.algorithm_stats = KernelStats()
+        self.kernel_stats = KernelStats()
+        self._iterations = 0
+        e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self._src = np.concatenate([e[:, 0], e[:, 1]])
+        self._dst = np.concatenate([e[:, 1], e[:, 0]])
+
+    def pull(self, x, semiring):
+        x = np.asarray(x)
+        dt = np.float64 if x.dtype == np.float64 else np.float32
+        y = np.full(self.n, semiring.zero, dtype=dt)
+        semiring.add_at(
+            y, self._dst, semiring.mult_matrix_one(x[self._src]).astype(dt)
+        )
+        return y
+
+
+class TestLargeIdLabels:
+    def test_cc_labels_exact_past_2_24(self):
+        """Regression: float32 label storage collapsed ids above 2^24
+        (2^24 + 1 rounds to 2^24), silently merging distinct components.
+        Labels must now be exact — the component {2^24+1, 2^24+3} keeps
+        the odd label float32 cannot represent."""
+        B = 2 ** 24
+        n = B + 8
+        engine = _EdgeListEngine(n, [(B + 1, B + 3), (5, B + 5)])
+        # One hooking round settles pair components; capping keeps the
+        # O(n)-sized iteration count down for this deliberately huge n.
+        labels, _ = connected_components(engine, max_iterations=1)
+        assert labels[B + 1] == B + 1  # not representable in float32
+        assert labels[B + 3] == B + 1
+        assert labels[5] == 5 and labels[B + 5] == 5
+        assert labels[B + 2] == B + 2  # isolated vertex keeps its own id
+
+    def test_pull_kernels_preserve_float64_labels(self):
+        """The B2SR and CSR pull kernels must carry float64 payloads
+        without rounding them through float32."""
+        from repro.formats.convert import b2sr_from_dense, csr_from_dense
+        from repro.kernels.bmv import (
+            bmv_bin_full_full,
+            bmv_bin_full_full_multi,
+        )
+        from repro.kernels.csr_spmv import csr_spmv_semiring
+        from repro.semiring import MIN_SECOND
+
+        rng = np.random.default_rng(0)
+        dense = (rng.random((40, 40)) < 0.15).astype(np.float32)
+        labels = np.arange(40, dtype=np.float64) + 2.0 ** 24 - 20
+        # Exact reference in integer arithmetic.
+        ref = np.full(40, np.inf)
+        for i, j in zip(*np.nonzero(dense)):
+            ref[i] = min(ref[i], labels[j])
+
+        A = b2sr_from_dense(dense, 8)
+        y = bmv_bin_full_full(A, labels, MIN_SECOND)
+        assert y.dtype == np.float64
+        assert np.array_equal(y, ref)
+
+        Y = bmv_bin_full_full_multi(
+            A, np.tile(labels[:, None], (1, 19)), MIN_SECOND
+        )
+        assert Y.dtype == np.float64
+        assert all(np.array_equal(Y[:, j], ref) for j in range(19))
+
+        c = csr_from_dense(dense)
+        yc = csr_spmv_semiring(c, labels, MIN_SECOND)
+        assert yc.dtype == np.float64
+        assert np.array_equal(yc, ref)
+
+    def test_narrow_payloads_keep_float32_path(self):
+        """float32 and narrow-int operands must keep the kernels' native
+        float32 path (dtype and values); wide ints — which can hold
+        labels past 2^24 — route to float64 like float64 itself."""
+        from repro.formats.convert import b2sr_from_dense
+        from repro.kernels.bmv import bmv_bin_full_full
+        from repro.semiring import ARITHMETIC, value_dtype
+
+        rng = np.random.default_rng(1)
+        dense = (rng.random((30, 30)) < 0.2).astype(np.float32)
+        A = b2sr_from_dense(dense, 8)
+        x32 = rng.integers(0, 9, size=30).astype(np.float32)
+        y = bmv_bin_full_full(A, x32, ARITHMETIC)
+        assert y.dtype == np.float32
+        yi = bmv_bin_full_full(A, x32.astype(np.int16), ARITHMETIC)
+        assert yi.dtype == np.float32
+        assert np.array_equal(y, yi)
+        # Wide integers are label-capable: preserved exactly via float64.
+        assert value_dtype(x32.astype(np.int64)) == np.float64
+        assert value_dtype(x32.astype(np.uint32)) == np.float64
+        y64 = bmv_bin_full_full(A, x32.astype(np.int64), ARITHMETIC)
+        assert y64.dtype == np.float64
+        assert np.array_equal(y64, y.astype(np.float64))

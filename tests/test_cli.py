@@ -78,6 +78,45 @@ class TestCommands:
             ["run", "bfs", "gen:diagonal:128:2", "--tile-dim", "8"]
         ) == 0
 
+    def test_multi_sssp(self, capsys):
+        assert main(
+            ["multi", "gen:hybrid:200:1", "--algorithm", "sssp",
+             "--sources", "12"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "multi-source sssp" in out
+        assert "speedup" in out
+
+    def test_multi_sssp_wider_than_word_plane(self, capsys):
+        """Batch width past the 32-bit tile word: stripes across planes
+        and must still agree with the k independent baseline runs (the
+        command warns on stderr if any column disagrees)."""
+        assert main(
+            ["multi", "gen:hybrid:200:1", "--algorithm", "sssp",
+             "--sources", "40"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "batch k=40" in captured.out
+        assert "disagree" not in captured.err
+
+    def test_serve(self, capsys):
+        assert main(["serve", "gen:hybrid:200:1", "--requests", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "coalesced query serving" in out
+        assert "mean per-query latency" in out
+        assert "speedup" in out
+
+    def test_serve_max_batch_split(self, capsys):
+        assert main(
+            ["serve", "gen:hybrid:200:1", "--requests", "10",
+             "--max-batch", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "max batch: 3" in out
+
+    def test_serve_rejects_bad_requests(self, capsys):
+        assert main(["serve", "gen:hybrid:64:1", "--requests", "0"]) == 2
+
     def test_matrices_listing(self, capsys):
         assert main(["matrices"]) == 0
         out = capsys.readouterr().out

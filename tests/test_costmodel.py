@@ -70,6 +70,50 @@ class TestBmvStats:
         assert s4.atomics > 0
         assert s32.atomics == 0
 
+    def test_float64_payloads_double_value_traffic(self):
+        """CC's float64 label pulls move 8-byte values; the model must
+        charge them (packed binary operands are unaffected)."""
+        g = diagonal_pattern(256, bandwidth=2, seed=9)
+        A = g.b2sr(32)
+        f32 = bmv_stats(A, "bin_full_full", GTX1080)
+        f64 = bmv_stats(A, "bin_full_full", GTX1080, value_bytes=8.0)
+        assert f64.total_bytes > f32.total_bytes
+        b32 = bmv_stats(A, "bin_bin_bin", GTX1080)
+        b64 = bmv_stats(A, "bin_bin_bin", GTX1080, value_bytes=8.0)
+        assert b32.total_bytes == b64.total_bytes
+
+    def test_batched_sweep_cheaper_than_k_singles(self):
+        g = diagonal_pattern(256, bandwidth=2, seed=7)
+        A = g.b2sr(8)
+        one = bmv_stats(A, "bin_bin_bin", GTX1080)
+        k = 12
+        batched = bmv_stats(A, "bin_bin_bin", GTX1080, k=k)
+        assert batched.launches == 1
+        # The tile index/payload traffic is paid once, not k times.
+        assert batched.dram_bytes < k * one.dram_bytes
+        with pytest.raises(ValueError):
+            bmv_stats(A, "bin_bin_bin", GTX1080, k=0)
+
+    def test_multi_word_planes_add_per_plane_work(self):
+        """Past the tile word width the batch stripes across ⌈k/d⌉
+        planes; crossing a plane boundary re-issues the per-tile fixed
+        work, so the instruction increment is strictly larger there than
+        within a plane.  k ≤ d costs stay single-plane."""
+        g = diagonal_pattern(256, bandwidth=2, seed=8)
+        A = g.b2sr(8)
+        d = 8
+
+        def instr(k):
+            return bmv_stats(
+                A, "bin_full_full", GTX1080, k=k
+            ).warp_instructions
+
+        within = instr(d) - instr(d - 1)  # same plane
+        crossing = instr(d + 1) - instr(d)  # opens plane 2
+        assert crossing > within
+        # Launches stay one sweep regardless of plane count.
+        assert bmv_stats(A, "bin_full_full", GTX1080, k=3 * d).launches == 1
+
 
 class TestCsrBaselineStats:
     def test_spmv_positive(self):

@@ -8,6 +8,8 @@ import pytest
 from repro.bitops.packing import (
     pack_bitmatrix,
     pack_bitvector,
+    plane_count,
+    plane_slices,
     unpack_bitmatrix,
     unpack_bitvector,
 )
@@ -77,6 +79,124 @@ class TestBitmatrixPacking:
             unpack_bitvector(words, 8, 24)  # too few words for n
         with pytest.raises(ValueError):
             unpack_bitvector(words, 8, 8)  # surplus word
+
+
+# ---------------------------------------------------------------------------
+# Multi-word plane layout (k > tile word width)
+# ---------------------------------------------------------------------------
+class TestWordPlanes:
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_plane_count_boundaries(self, d):
+        assert plane_count(0, d) == 0
+        assert plane_count(1, d) == 1
+        assert plane_count(d, d) == 1
+        assert plane_count(d + 1, d) == 2
+        assert plane_count(2 * d + 3, d) == 3
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_plane_slices_cover_batch_disjointly(self, d):
+        for k in (0, 1, d, d + 1, 2 * d + 3):
+            slices = plane_slices(k, d)
+            assert len(slices) == plane_count(k, d)
+            cols = [j for sl in slices for j in range(k)[sl]]
+            assert cols == list(range(k))  # disjoint, ordered, complete
+            for sl in slices:
+                assert sl.stop - sl.start <= d  # at most one word wide
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plane_count(-1, 8)
+        with pytest.raises(ValueError):
+            plane_count(4, 5)
+        with pytest.raises(ValueError):
+            plane_slices(-1, 8)
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    def test_pack_bitmatrix_wider_than_word(self, d):
+        """Packing accepts k > d; columns stay independent vectors."""
+        rng = np.random.default_rng(d)
+        n, k = 2 * d + 5, 2 * d + 3
+        X = (rng.random((n, k)) < 0.4).astype(np.uint8)
+        words = pack_bitmatrix(X, d)
+        assert words.shape == ((n + d - 1) // d, k)
+        assert np.array_equal(unpack_bitmatrix(words, d, n), X)
+        for j in range(k):
+            assert np.array_equal(words[:, j], pack_bitvector(X[:, j], d))
+
+    @pytest.mark.parametrize("d", TILE_DIMS)
+    @pytest.mark.parametrize("k_kind", ("d", "d+1", "2d+3"))
+    def test_kernels_stripe_across_planes(self, d, k_kind):
+        """Every multi kernel must be bitwise identical to per-column
+        singles when the batch straddles the word-width boundary."""
+        k = {"d": d, "d+1": d + 1, "2d+3": 2 * d + 3}[k_kind]
+        dense, _, _, _ = setup(seed=d)
+        rng = np.random.default_rng(100 + d + k)
+        ncols = dense.shape[1]
+        Xb = (rng.random((ncols, k)) < 0.35).astype(np.float32)
+        Xf = (rng.random((ncols, k)) * 10).astype(np.float32)
+        masks = rng.random((dense.shape[0], k)) < 0.5
+        A = b2sr_from_dense(dense, d)
+        Xw = pack_bitmatrix(Xb, d)
+
+        Yb = bmv_bin_bin_bin_multi(A, Xw)
+        Ym = bmv_bin_bin_bin_multi_masked(A, Xw, masks, complement=True)
+        Yc = bmv_bin_bin_full_multi(A, Xw)
+        Yf = bmv_bin_full_full_multi(A, Xf, MIN_PLUS)
+        for j in range(k):
+            xw = pack_bitvector(Xb[:, j], d)
+            assert np.array_equal(Yb[:, j], bmv_bin_bin_bin(A, xw))
+            assert np.array_equal(
+                Ym[:, j],
+                bmv_bin_bin_bin_masked(
+                    A, xw, masks[:, j], complement=True
+                ),
+            )
+            assert np.array_equal(Yc[:, j], bmv_bin_bin_full(A, xw))
+            assert np.array_equal(
+                Yf[:, j], bmv_bin_full_full(A, Xf[:, j], MIN_PLUS)
+            )
+
+    def test_plane_boundary_independent_of_chunking(self):
+        """Plane striping composes with tile chunking: shrinking the
+        chunk budget must not change any column of a multi-plane batch."""
+        import repro.kernels.bmv as bmv_mod
+
+        old = bmv_mod._CHUNK_TILES
+        bmv_mod._CHUNK_TILES = 7
+        try:
+            dense, _, _, _ = setup(seed=41, density=0.3)
+            rng = np.random.default_rng(4)
+            k = 19  # three planes at d=8
+            Xb = (rng.random((dense.shape[1], k)) < 0.4).astype(np.float32)
+            Xf = (rng.random((dense.shape[1], k)) * 5).astype(np.float32)
+            A = b2sr_from_dense(dense, 8)
+            Yw = bmv_bin_bin_bin_multi(A, pack_bitmatrix(Xb, 8))
+            Yf = bmv_bin_full_full_multi(A, Xf, ARITHMETIC)
+        finally:
+            bmv_mod._CHUNK_TILES = old
+        for j in range(k):
+            assert np.array_equal(
+                Yw[:, j], bmv_bin_bin_bin(A, pack_bitvector(Xb[:, j], 8))
+            )
+            assert np.array_equal(
+                Yf[:, j], bmv_bin_full_full(A, Xf[:, j], ARITHMETIC)
+            )
+
+    def test_engine_multi_expand_wide_batch(self):
+        """Engine-level batched expansion equals the per-column fallback
+        past the word width."""
+        from repro.datasets.generators import dot_pattern
+
+        g = dot_pattern(120, 0.04, seed=13)
+        rng = np.random.default_rng(0)
+        k = 21  # three planes at d=8
+        F = np.zeros((g.n, k), dtype=bool)
+        F[rng.choice(g.n, k), np.arange(k)] = True
+        V = F.copy()
+        bit = BitEngine(g, tile_dim=8)
+        batched = bit.frontier_expand_multi(F, V)
+        loop = super(BitEngine, bit).frontier_expand_multi(F, V)
+        assert np.array_equal(batched, loop)
 
 
 # ---------------------------------------------------------------------------

@@ -167,8 +167,44 @@ class TestNibblePacking:
         assert packed[0] == 0xB2
 
     def test_rejects_values_over_nibble(self):
-        with pytest.raises(ValueError):
+        """Rows ≥ 16 don't fit a nibble; the error must say so clearly
+        (only B2SR-4 tile rows are nibble-packable)."""
+        with pytest.raises(ValueError, match="fit in 4 bits"):
             nibble_pack(np.array([0x10], dtype=np.uint8))
+        with pytest.raises(ValueError, match="B2SR-4"):
+            nibble_pack(np.array([0x3, 0xFF, 0x1], dtype=np.uint8))
+
+    def test_unpack_requires_exact_byte_count(self):
+        """Round-trip discipline: the byte count must be exactly
+        ceil(count/2) — surplus or missing bytes mean the caller's count
+        disagrees with what was packed."""
+        packed = nibble_pack(np.array([0x1, 0x2, 0x3], dtype=np.uint8))
+        assert packed.shape == (2,)
+        with pytest.raises(ValueError, match="exactly"):
+            nibble_unpack(packed, 5)  # too few bytes for 5 rows
+        with pytest.raises(ValueError, match="exactly"):
+            nibble_unpack(packed, 1)  # surplus byte
+        with pytest.raises(ValueError, match="exactly"):
+            nibble_unpack(packed, 2)  # even count needs 1 byte, not 2
+        with pytest.raises(ValueError):
+            nibble_unpack(packed, -1)
+
+    def test_b2sr4_tile_rows_roundtrip(self):
+        """The B2SR-4 call-site guarantee: nibble-packing a matrix's
+        packed tile rows round-trips for even *and* odd row counts (an
+        odd count arises whenever a tile run is sliced mid-tile)."""
+        from repro.formats.convert import b2sr_from_dense
+
+        rng = np.random.default_rng(7)
+        dense = (rng.random((23, 19)) < 0.3).astype(np.float32)
+        A = b2sr_from_dense(dense, 4)
+        rows = A.tiles.reshape(-1).astype(np.uint8)
+        assert np.all(rows <= 0xF)
+        for count in (rows.shape[0], rows.shape[0] - 1, 5, 1, 0):
+            sub = rows[:count]
+            assert np.array_equal(
+                nibble_unpack(nibble_pack(sub), count), sub
+            ), count
 
     def test_halves_storage(self):
         """Table I + §III.B: nibble packing gives B2SR-4 the full 32×

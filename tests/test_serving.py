@@ -1,0 +1,137 @@
+"""Tests for the query-serving front end (repro.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, connected_components, sssp
+from repro.datasets.generators import dot_pattern, hybrid_pattern
+from repro.engines import BitEngine
+from repro.serving import QueryBatcher
+
+
+def make_batcher(n=200, seed=4, tile_dim=16, **kwargs):
+    g = hybrid_pattern(n, seed=seed)
+    engine = BitEngine(g, tile_dim=tile_dim)
+    cc_engine = BitEngine(g.symmetrized(), tile_dim=tile_dim)
+    return g, engine, cc_engine, QueryBatcher(
+        engine, cc_engine=cc_engine, **kwargs
+    )
+
+
+class TestSubmit:
+    def test_qids_are_unique_and_ordered(self):
+        _, _, _, b = make_batcher()
+        ids = [b.submit("bfs", i) for i in range(5)]
+        assert ids == sorted(set(ids))
+        assert b.pending == 5
+
+    def test_rejects_unknown_kind(self):
+        _, _, _, b = make_batcher()
+        with pytest.raises(ValueError, match="unknown query kind"):
+            b.submit("pagerank", 0)
+
+    def test_rejects_bad_sources(self):
+        g, _, _, b = make_batcher()
+        with pytest.raises(ValueError):
+            b.submit("bfs", g.n)
+        with pytest.raises(ValueError):
+            b.submit("sssp", -1)
+        with pytest.raises(ValueError):
+            b.submit("sssp")  # source required
+        with pytest.raises(ValueError):
+            b.submit("cc", 3)  # graph-global: no source
+
+    def test_rejects_bad_max_batch(self):
+        _, engine, _, _ = make_batcher()
+        with pytest.raises(ValueError):
+            QueryBatcher(engine, max_batch=0)
+
+
+class TestFlush:
+    def test_answers_bitwise_equal_standalone(self):
+        _, engine, cc_engine, b = make_batcher()
+        rng = np.random.default_rng(0)
+        qids = {}
+        for s in rng.choice(engine.n, size=6, replace=False):
+            qids[b.submit("bfs", int(s))] = ("bfs", int(s))
+        for s in rng.choice(engine.n, size=5, replace=False):
+            qids[b.submit("sssp", int(s))] = ("sssp", int(s))
+        for _ in range(2):
+            qids[b.submit("cc")] = ("cc", None)
+        results, reports = b.flush(verify=True)
+        assert b.pending == 0
+        assert set(results) == set(qids)
+        for qid, (kind, source) in qids.items():
+            if kind == "bfs":
+                ref, _ = bfs(engine, source)
+            elif kind == "sssp":
+                ref, _ = sssp(engine, source)
+            else:
+                ref, _ = connected_components(cc_engine)
+            assert np.array_equal(results[qid].result, ref, equal_nan=True)
+        # One coalesced group per kind, all verified with baselines.
+        assert sorted(r.kind for r in reports) == ["bfs", "cc", "sssp"]
+        for rep in reports:
+            assert rep.verified
+            assert rep.launches == rep.iterations  # one launch per round
+            assert rep.singles_launches > rep.launches
+            assert rep.speedup is not None and rep.speedup > 1.0
+        for res in results.values():
+            assert res.baseline_ms is not None
+
+    def test_unverified_flush_has_no_baseline(self):
+        _, _, _, b = make_batcher()
+        b.submit("bfs", 0)
+        results, reports = b.flush()
+        (res,) = results.values()
+        assert res.baseline_ms is None
+        assert reports[0].singles_ms is None
+        assert reports[0].speedup is None
+        assert not reports[0].verified
+
+    def test_max_batch_splits_groups(self):
+        _, _, _, b = make_batcher(max_batch=3)
+        for s in range(7):
+            b.submit("bfs", s)
+        results, reports = b.flush(verify=True)
+        assert [r.width for r in reports] == [3, 3, 1]
+        assert len(results) == 7
+        # Split batches still answer every query exactly.
+        for res in results.values():
+            assert res.batch_width in (1, 3)
+
+    def test_flush_empty_is_noop(self):
+        _, _, _, b = make_batcher()
+        results, reports = b.flush(verify=True)
+        assert results == {} and reports == []
+
+    def test_duplicate_sources_coalesce(self):
+        """Two clients asking the same traversal ride the same batch and
+        both get exact answers."""
+        _, engine, _, b = make_batcher()
+        q1 = b.submit("bfs", 7)
+        q2 = b.submit("bfs", 7)
+        results, reports = b.flush(verify=True)
+        assert np.array_equal(results[q1].result, results[q2].result)
+        assert reports[0].width == 2
+
+    def test_wide_batch_crosses_word_planes(self):
+        """A batch wider than the tile word width stripes across word
+        planes; answers must stay exact (verify raises otherwise)."""
+        g, engine, cc_engine, b = make_batcher(n=120, tile_dim=8)
+        rng = np.random.default_rng(1)
+        for s in rng.choice(g.n, size=19, replace=False):  # > 2 planes
+            b.submit("sssp", int(s))
+        results, reports = b.flush(verify=True)
+        assert reports[0].width == 19
+        assert reports[0].verified
+
+    def test_default_cc_engine_is_main_engine(self):
+        g = dot_pattern(60, 0.05, seed=2).symmetrized()
+        engine = BitEngine(g, tile_dim=8)
+        b = QueryBatcher(engine)
+        b.submit("cc")
+        results, _ = b.flush(verify=True)
+        (res,) = results.values()
+        ref, _ = connected_components(engine)
+        assert np.array_equal(res.result, ref)
