@@ -5,6 +5,13 @@ Jones-Plassmann in GraphBLAS form: repeatedly find an independent set of
 locally-maximal vertices among the uncolored (one max-times ``mxv`` per
 round, exactly the MIS step) and give the whole set the next color.  The
 result is a proper coloring with at most Δ+1 colors.
+
+Priorities are vertex-id permutations, so they are carried in ``float64``
+like CC's labels: ``float32`` represents integers contiguously only up to
+2²⁴, and a collided priority lets two uncolored neighbours both win a
+round and take the same color on graphs beyond ~16.7M vertices.  The
+``float64`` operand routes the pull through ``semiring.value_dtype`` onto
+the exact numeric-payload kernel path end to end.
 """
 
 from __future__ import annotations
@@ -12,7 +19,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engines.base import Engine, EngineReport
+from repro.graph import self_loop_mask
 from repro.semiring import MAX_TIMES
+
+
+def jones_plassmann_priorities(n: int, *, seed: int = 0) -> np.ndarray:
+    """The fixed random priority vector of Jones-Plassmann: a permutation
+    of ``1..n`` in ``float64``.
+
+    ``float64`` keeps every priority distinct for any addressable vertex
+    count (exact integers through 2⁵³); the former ``float32`` cast
+    collapsed distinct priorities above 2²⁴, so two adjacent uncolored
+    vertices could tie, both pass the strict local-maximum test against
+    each other's rounded value, and receive the same color.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.float64) + 1.0
 
 
 def greedy_coloring(
@@ -32,33 +54,47 @@ def greedy_coloring(
     if max_colors is None:
         max_colors = n + 1
     engine.reset_stats()
-    rng = np.random.default_rng(seed)
 
     colors = np.full(n, -1, dtype=np.int64)
     # Fixed random priorities (Jones-Plassmann uses one permutation).
-    base_prio = rng.permutation(n).astype(np.float32) + 1.0
+    base_prio = jones_plassmann_priorities(n, seed=seed)
     # The smallest-available-color step scans each winner's neighbour
     # palette on the undirected view.
     sym = engine.graph.symmetrized().csr
+    # A self-loop reflects a vertex's own priority into its
+    # neighbourhood max, so a self-looped local maximum ties itself and
+    # would never pass the strict > test (stalling into the
+    # one-per-round fallback): admit those on equality.  Priorities are
+    # a permutation — distinct — so equality cannot come from a genuine
+    # neighbour tie.
+    self_loops = self_loop_mask(sym, n)
 
     for _ in range(max_colors):
         uncolored = colors < 0
         if not uncolored.any():
             break
         engine.note_iteration()
-        prio = np.where(uncolored, base_prio, 0.0).astype(np.float32)
+        prio = np.where(uncolored, base_prio, 0.0)
         neigh_max = engine.pull(prio, MAX_TIMES)
         neigh_max = np.where(np.isfinite(neigh_max), neigh_max, 0.0)
         # Winners: local maxima among *uncolored* vertices — colored
         # neighbours no longer block, so mask their contribution out.
         winners = uncolored & (prio > neigh_max)
+        if self_loops.any():
+            winners |= uncolored & self_loops & (prio == neigh_max)
         if not winners.any():
             idx = int(np.argmax(np.where(uncolored, base_prio, -1.0)))
             winners = np.zeros(n, dtype=bool)
             winners[idx] = True
         # Each winner takes the smallest color absent from its (already
         # colored) neighbourhood — the GraphBLAS masked-reduce step.
-        for v in np.nonzero(winners)[0]:
+        # Winners without neighbours take color 0 directly; only winners
+        # with a non-empty palette need the scan (keeps the host loop
+        # proportional to the edge-bearing winners, not n).
+        win_idx = np.nonzero(winners)[0]
+        degrees = sym.indptr[win_idx + 1] - sym.indptr[win_idx]
+        colors[win_idx[degrees == 0]] = 0
+        for v in win_idx[degrees > 0]:
             neigh = sym.indices[sym.indptr[v] : sym.indptr[v + 1]]
             used = colors[neigh]
             used = np.unique(used[used >= 0])

@@ -9,6 +9,16 @@ O(log n) rounds.
 The engine's :meth:`pull` supplies the neighbourhood-max reduction, so
 the same code runs on the bit backend (``bmv_bin_full_full`` with the
 Max() reduction) and on the CSR baseline.
+
+Draws are carried in ``float64`` end to end (the operand dtype routes the
+pull through ``semiring.value_dtype``): the former ``float32`` draws
+could collide across neighbours — a tied pair stalls the round, and the
+old single-vertex fallback made stalled rounds O(n) — and its ``+ 1e-6``
+candidate fudge was below ``float32``'s resolution near 1.0.  Exact ties
+are now *detected* against the neighbourhood max and *redrawn*; an
+adversarial RNG that keeps tying falls back to distinct vertex-id
+priorities, which are id-carrying and therefore also need ``float64``
+past the 2²⁴ integer ceiling.
 """
 
 from __future__ import annotations
@@ -16,17 +26,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engines.base import Engine, EngineReport
+from repro.graph import csr_row_indices, self_loop_mask
 from repro.semiring import MAX_TIMES
+
+#: Re-draw attempts per round before falling back to index priorities.
+_MAX_TIE_REDRAWS = 4
 
 
 def maximal_independent_set(
-    engine: Engine, *, seed: int = 0, max_rounds: int | None = None
+    engine: Engine,
+    *,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> tuple[np.ndarray, EngineReport]:
     """Compute a maximal independent set of the engine's graph.
 
     The graph is treated as undirected (callers pass a symmetrized graph
     for directed inputs, like CC).  Self-loops are ignored: a vertex is
     never its own neighbour for independence purposes.
+
+    ``rng`` overrides the seeded generator (the tie-handling tests inject
+    adversarial draw sequences through it); it needs only a
+    ``random(n)`` method.
 
     Returns
     -------
@@ -39,7 +61,22 @@ def maximal_independent_set(
     if max_rounds is None:
         max_rounds = 4 * int(np.log2(max(n, 2))) + 16
     engine.reset_stats()
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    # Self-loops reflect a vertex's own priority into its neighbourhood
+    # max (the pull cannot skip the diagonal), so a self-looped local
+    # maximum ties *itself* every round: it must win on equality, and the
+    # tie-redraw must not treat the self-reflection as a neighbour tie.
+    # The diagonal is symmetrization-invariant, so the mask comes from
+    # the engine's own view; the undirected CSR (for the demotion guard)
+    # is only built when self-loops actually exist.
+    self_loops = self_loop_mask(engine.graph.csr, n)
+    if self_loops.any():
+        sym = engine.graph.symmetrized().csr
+        loop_rows = csr_row_indices(sym, n)
+    else:
+        sym = loop_rows = None
 
     candidate = np.ones(n, dtype=bool)
     in_set = np.zeros(n, dtype=bool)
@@ -48,30 +85,67 @@ def maximal_independent_set(
         if not candidate.any():
             break
         engine.note_iteration()
-        prio = np.where(
-            candidate, rng.random(n).astype(np.float32) + 1e-6, 0.0
-        ).astype(np.float32)
+        # 1 - random() lands in (0, 1]: candidate priorities stay strictly
+        # positive so the 0.0 of retired vertices never wins a max.
+        prio = np.where(candidate, 1.0 - rng.random(n), 0.0)
         # Neighbourhood max over remaining candidates (max-times mxv).
-        neigh_max = engine.pull(prio, MAX_TIMES)
-        neigh_max = np.where(np.isfinite(neigh_max), neigh_max, 0.0)
-        winners = candidate & (prio > neigh_max)
-        if not winners.any():
-            # Ties (isolated duplicates) — resolve by index priority.
-            tied = candidate & (prio == neigh_max) & (prio > 0)
-            if tied.any():
-                winners = np.zeros(n, dtype=bool)
-                winners[np.argmax(tied)] = True
-            else:  # pragma: no cover - defensive
+        neigh_max = _neighbourhood_max(engine, prio)
+        # A candidate whose draw *equals* its neighbourhood max is tied
+        # with a neighbour: neither side passes the strict > test, so the
+        # pair would stall.  Redraw just the tied vertices (fresh float64
+        # draws collide with probability ~2^-52); an RNG adversarial
+        # enough to keep tying gets deterministic vertex-id priorities,
+        # which are distinct by construction.
+        for attempt in range(_MAX_TIE_REDRAWS + 1):
+            tied = candidate & (prio > 0) & (prio == neigh_max) & ~self_loops
+            if not tied.any():
                 break
+            if attempt == _MAX_TIE_REDRAWS:
+                prio = np.where(
+                    candidate, np.arange(n, dtype=np.float64) + 1.0, 0.0
+                )
+            else:
+                prio[tied] = 1.0 - rng.random(int(tied.sum()))
+            neigh_max = _neighbourhood_max(engine, prio)
+        winners = candidate & (prio > neigh_max)
+        if self_loops.any():
+            # Self-looped local maxima win on equality (the max they tie
+            # is their own reflection) …
+            winners |= (
+                candidate & self_loops & (prio > 0) & (prio == neigh_max)
+            )
+            # … and the only way two *adjacent* winners can now coexist
+            # is an exact cross-neighbour draw collision hiding behind a
+            # self-loop.  Enforce independence outright: demote the
+            # smaller endpoint of every winner-winner edge (each edge
+            # keeps its larger endpoint, so winners stay non-empty).
+            cols = sym.indices
+            both = (
+                winners[loop_rows] & winners[cols] & (loop_rows != cols)
+            )
+            if both.any():
+                winners[np.minimum(loop_rows[both], cols[both])] = False
+        if not winners.any():  # pragma: no cover - defensive
+            break
         in_set |= winners
-        # Winners and their neighbours leave the candidate pool.
-        winner_vec = winners.astype(np.float32)
+        # Winners and their neighbours leave the candidate pool.  The
+        # winner indicator is 0/1-valued (not id-carrying), but it rides
+        # the same float64 pull path so the whole algorithm keeps one
+        # kernel dtype.
+        winner_vec = winners.astype(np.float64)
         touched = engine.pull(winner_vec, MAX_TIMES)
         touched = np.where(np.isfinite(touched), touched, 0.0) > 0
         candidate &= ~(winners | touched)
         engine.note_ewise(vectors=3)
 
     return in_set, engine.report()
+
+
+def _neighbourhood_max(engine: Engine, prio: np.ndarray) -> np.ndarray:
+    """Max-times pull of the priority vector, with the empty-neighbourhood
+    identity (−inf) mapped to 0 so isolated candidates always win."""
+    neigh_max = engine.pull(prio, MAX_TIMES)
+    return np.where(np.isfinite(neigh_max), neigh_max, 0.0)
 
 
 def verify_mis(adjacency_dense: np.ndarray, in_set: np.ndarray) -> bool:

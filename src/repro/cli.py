@@ -13,6 +13,9 @@ without writing Python:
 * ``serve``    — coalesce a synthetic BFS/SSSP/CC request stream into
   batched launches and report per-query latency vs the k-independent
   baseline (every answer verified bit-identical);
+* ``schedule`` — simulate a timestamped Poisson arrival stream with
+  per-query latency SLOs and urgent/bulk priority lanes; compare the
+  SLO-aware online scheduler against flush-everything and FCFS;
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -389,6 +392,96 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.engines import BitEngine
+    from repro.serving import Scheduler, poisson_stream
+    from repro.serving.scheduler import POLICIES
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if not args.rate > 0:
+        print("error: --rate must be > 0", file=sys.stderr)
+        return 2
+    if not (args.slo > 0 and args.urgent_slo > 0):
+        print("error: --slo/--urgent-slo must be > 0", file=sys.stderr)
+        return 2
+    if not 0 <= args.urgent_fraction <= 1:
+        print("error: --urgent-fraction must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    if not args.slack_factor >= 1.0:
+        print("error: --slack-factor must be >= 1.0", file=sys.stderr)
+        return 2
+    g = load_matrix(args.matrix)
+    device = device_by_name(args.device)
+
+    engine = BitEngine(g, device=device, tile_dim=args.tile_dim)
+    cc_engine = BitEngine(
+        g.symmetrized(), device=device, tile_dim=args.tile_dim
+    )
+    scheduler = Scheduler(
+        engine,
+        cc_engine=cc_engine,
+        max_batch=args.max_batch,
+        slack_factor=args.slack_factor,
+    )
+    stream = poisson_stream(
+        g.n,
+        requests=args.requests,
+        rate_qps=args.rate,
+        slo_ms=args.slo,
+        urgent_slo_ms=args.urgent_slo,
+        urgent_fraction=args.urgent_fraction,
+        seed=args.seed,
+    )
+    policies = (
+        tuple(POLICIES) if args.policy == "all" else (args.policy,)
+    )
+    verify = not args.no_verify
+
+    print(
+        f"matrix: {g.name} (n={g.n}, nnz={g.nnz})  device: {device.name}\n"
+        f"stream: {args.requests} Poisson arrivals @ {args.rate:g} q/s, "
+        f"SLO {args.slo:g} ms bulk / {args.urgent_slo:g} ms urgent "
+        f"({100 * args.urgent_fraction:.0f}% urgent), "
+        f"max batch {args.max_batch}"
+    )
+    rows = []
+    for name in policies:
+        _, rep = scheduler.run(stream, policy=name, verify=verify)
+        lanes = " ".join(
+            f"{lane}={100 * att:.0f}%"
+            for lane, att in sorted(rep.lane_attainment.items())
+        )
+        rows.append(
+            [
+                name,
+                f"{100 * rep.slo_attainment:.1f}%",
+                lanes,
+                rep.batches,
+                f"{rep.mean_batch_width:.1f}",
+                rep.joins,
+                f"{rep.mean_queue_ms:.2f}",
+                f"{rep.p95_queue_ms:.2f}",
+                f"{rep.mean_latency_ms:.2f}",
+                f"{rep.busy_ms:.2f}",
+            ]
+        )
+    title = "online query scheduling (modeled)"
+    if verify:
+        title += "; every answer verified bit-identical to its solo run"
+    print(
+        format_table(
+            ["policy", "SLO att.", "per lane", "batches", "mean k",
+             "joins", "queue ms", "p95 queue", "latency ms", "busy ms"],
+            rows,
+            title=title,
+        )
+    )
+    return 0
+
+
 def cmd_matrices(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(NAMED_MATRICES):
@@ -485,6 +578,39 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--device", default="pascal")
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=cmd_serve)
+
+    sp = sub.add_parser(
+        "schedule",
+        help="simulate an online arrival stream with latency SLOs and "
+             "priority lanes; compare the SLO-aware scheduler against "
+             "flush-everything and FCFS baselines",
+    )
+    sp.add_argument("matrix")
+    sp.add_argument("--requests", type=int, default=48,
+                    help="number of Poisson arrivals")
+    sp.add_argument("--rate", type=float, default=2000.0,
+                    help="arrival rate in queries per second "
+                         "(modeled-time domain)")
+    sp.add_argument("--slo", type=float, default=20.0,
+                    help="bulk-lane latency budget in modeled ms")
+    sp.add_argument("--urgent-slo", type=float, default=5.0,
+                    help="urgent-lane latency budget in modeled ms")
+    sp.add_argument("--urgent-fraction", type=float, default=0.1,
+                    help="fraction of requests in the urgent lane")
+    sp.add_argument("--max-batch", type=int, default=32,
+                    help="widest coalesced launch / join capacity")
+    sp.add_argument("--slack-factor", type=float, default=1.5,
+                    help="safety multiplier on service estimates when "
+                         "computing launch deadlines")
+    sp.add_argument("--policy", default="all",
+                    choices=("all", "slo", "flush", "fcfs"))
+    sp.add_argument("--no-verify", action="store_true",
+                    help="skip the standalone bitwise-equality check")
+    sp.add_argument("--tile-dim", type=int, default=32,
+                    choices=list(TILE_DIMS))
+    sp.add_argument("--device", default="pascal")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=cmd_schedule)
 
     sp = sub.add_parser("matrices", help="list named stand-ins")
     sp.add_argument("--build", action="store_true",

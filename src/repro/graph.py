@@ -142,10 +142,8 @@ class Graph:
             return self
         t = self.csr_t
         rows = np.r_[
-            np.repeat(
-                np.arange(self.n, dtype=np.int64), np.diff(self.csr.indptr)
-            ),
-            np.repeat(np.arange(self.n, dtype=np.int64), np.diff(t.indptr)),
+            csr_row_indices(self.csr, self.n),
+            csr_row_indices(t, self.n),
         ]
         cols = np.r_[self.csr.indices, t.indices]
         coo = COOMatrix(self.n, self.n, rows, cols).deduplicate()
@@ -161,8 +159,30 @@ class Graph:
 
         g = nx.DiGraph()
         g.add_nodes_from(range(self.n))
-        rows = np.repeat(
-            np.arange(self.n, dtype=np.int64), np.diff(self.csr.indptr)
-        )
+        rows = csr_row_indices(self.csr, self.n)
         g.add_edges_from(zip(rows.tolist(), self.csr.indices.tolist()))
         return g
+
+
+def csr_row_indices(csr, n: int) -> np.ndarray:
+    """Row id of every stored entry — the COO expansion of a CSR's row
+    structure.  Works on any object exposing ``indptr``."""
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
+
+
+def self_loop_mask(csr, n: int) -> np.ndarray:
+    """Boolean mask of vertices with a stored diagonal entry.
+
+    Works on any CSR-shaped object exposing ``indptr``/``indices``.
+    Algorithms whose winner rule compares a vertex against its
+    neighbourhood reduction (MIS, Jones-Plassmann coloring) need this:
+    a self-loop reflects the vertex's own value into the reduction, so
+    a local maximum with a self-loop *ties itself* and must be admitted
+    on equality instead of strict dominance.  The diagonal is invariant
+    under symmetrization, so the directed and undirected views give the
+    same mask.
+    """
+    rows = csr_row_indices(csr, n)
+    mask = np.zeros(n, dtype=bool)
+    mask[csr.indices[csr.indices == rows]] = True
+    return mask

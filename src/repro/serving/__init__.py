@@ -1,22 +1,59 @@
-"""Query-serving front end: request batching over the multi-vector layer.
+"""Query-serving front end: batching and online scheduling over the
+multi-vector layer.
 
 A server answering graph queries (BFS depths, SSSP distances, CC labels)
 for many concurrent clients leaves most of the batched substrate idle if
-it launches one traversal per request.  :class:`QueryBatcher` accumulates
-requests, coalesces same-kind requests into one batched launch
-(:func:`repro.algorithms.multi_source_bfs` /
-:func:`repro.algorithms.multi_source_sssp` — one kernel sweep per round
-however many queries ride along; graph-global CC requests dedup onto a
-single run), and reports per-query latency against the k-independent
-baseline.  Every coalesced answer is bitwise identical to the answer an
-isolated run would have produced.
+it launches one traversal per request.  Two layers close that gap:
+
+* :class:`QueryBatcher` — the synchronous core: accumulate requests,
+  coalesce same-kind requests into one batched launch
+  (:func:`repro.algorithms.multi_source_bfs` /
+  :func:`repro.algorithms.multi_source_sssp` — one kernel sweep per
+  round however many queries ride along; graph-global CC requests dedup
+  onto a single run), and report per-query latency against the
+  k-independent baseline.
+* :class:`Scheduler` — the online front end: consume a timestamped
+  arrival stream (:mod:`repro.serving.arrivals`), decide batch-now vs
+  wait-for-riders against per-query latency SLOs, let late arrivals join
+  still-open batches mid-flight, and run urgent/bulk priority lanes —
+  every launch served through the batcher.
+
+Every coalesced answer is bitwise identical to the answer an isolated
+run would have produced; ``verify=True`` enforces it.
 """
 
+from repro.serving.arrivals import (
+    LANES,
+    Arrival,
+    poisson_stream,
+    trace_stream,
+)
 from repro.serving.batcher import (
     BatchReport,
     Query,
     QueryBatcher,
     QueryResult,
 )
+from repro.serving.scheduler import (
+    POLICIES,
+    Policy,
+    QueryOutcome,
+    ScheduleReport,
+    Scheduler,
+)
 
-__all__ = ["Query", "QueryBatcher", "QueryResult", "BatchReport"]
+__all__ = [
+    "Arrival",
+    "BatchReport",
+    "LANES",
+    "POLICIES",
+    "Policy",
+    "Query",
+    "QueryBatcher",
+    "QueryOutcome",
+    "QueryResult",
+    "ScheduleReport",
+    "Scheduler",
+    "poisson_stream",
+    "trace_stream",
+]

@@ -1,0 +1,157 @@
+"""Arrival streams for the online scheduler.
+
+The scheduler consumes a *timestamped* request stream: each
+:class:`Arrival` carries the query itself (kind + source), the simulated
+clock time it enters the system, a latency budget (its SLO — the query
+must finish by ``time_ms + slo_ms``), and a priority lane.  Two
+generators produce streams:
+
+* :func:`poisson_stream` — the open-loop client model: exponential
+  inter-arrival gaps at a configurable rate, a weighted kind mix, and a
+  fraction of urgent-lane requests with a tighter budget;
+* :func:`trace_stream` — explicit ``(time, kind, source, slo[, lane])``
+  rows for replaying a recorded trace or constructing adversarial test
+  schedules.
+
+All times are in the modeled-millisecond domain the cost reports use, so
+budgets compare directly against ``EngineReport.algorithm_ms``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.batcher import KINDS
+
+#: Priority lanes, most urgent first.  The urgent lane launches as soon
+#: as the server frees (it never waits for riders); the bulk lane waits
+#: out its deadline slack to accumulate them.
+LANES = ("urgent", "bulk")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One timestamped client request with its latency SLO."""
+
+    time_ms: float
+    kind: str
+    source: int | None
+    slo_ms: float
+    lane: str = "bulk"
+
+    @property
+    def deadline_ms(self) -> float:
+        """Absolute completion deadline: arrival plus budget."""
+        return self.time_ms + self.slo_ms
+
+    def validate(self, n: int | None = None) -> None:
+        """Raise ``ValueError`` on any malformed field."""
+        if not np.isfinite(self.time_ms) or self.time_ms < 0:
+            raise ValueError(f"arrival time must be >= 0, got {self.time_ms}")
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; valid: {KINDS}"
+            )
+        if not self.slo_ms > 0:
+            raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.lane not in LANES:
+            raise ValueError(f"unknown lane {self.lane!r}; valid: {LANES}")
+        if self.kind == "cc":
+            if self.source is not None:
+                raise ValueError("cc queries are graph-global: source=None")
+        else:
+            if self.source is None or (
+                n is not None and not 0 <= self.source < n
+            ):
+                raise ValueError(
+                    f"{self.kind} query needs a source in [0, {n}), "
+                    f"got {self.source}"
+                )
+
+
+def poisson_stream(
+    n_vertices: int,
+    *,
+    requests: int = 64,
+    rate_qps: float = 200.0,
+    mix: tuple[float, float, float] = (0.5, 0.4, 0.1),
+    slo_ms: float = 50.0,
+    urgent_slo_ms: float = 10.0,
+    urgent_fraction: float = 0.1,
+    seed: int = 0,
+) -> list[Arrival]:
+    """Open-loop Poisson arrivals: ``requests`` queries at ``rate_qps``.
+
+    ``mix`` weights the (bfs, sssp, cc) kinds; ``urgent_fraction`` of the
+    requests land in the urgent lane with the ``urgent_slo_ms`` budget,
+    the rest in the bulk lane with ``slo_ms``.  Sources are uniform over
+    the vertex set.  Deterministic given ``seed``.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not rate_qps > 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    if not 0 <= urgent_fraction <= 1:
+        raise ValueError(
+            f"urgent_fraction must be in [0, 1], got {urgent_fraction}"
+        )
+    weights = np.asarray(mix, dtype=np.float64)
+    if weights.shape != (3,) or (weights < 0).any() or weights.sum() == 0:
+        raise ValueError(f"mix must be 3 non-negative weights, got {mix}")
+    weights = weights / weights.sum()
+
+    rng = np.random.default_rng(seed)
+    gaps_ms = rng.exponential(1000.0 / rate_qps, size=requests)
+    times = np.cumsum(gaps_ms)
+    kinds = rng.choice(len(KINDS), size=requests, p=weights)
+    urgent = rng.random(requests) < urgent_fraction
+    out = []
+    for t, ki, u in zip(times, kinds, urgent):
+        kind = KINDS[ki]
+        source = None if kind == "cc" else int(rng.integers(n_vertices))
+        out.append(
+            Arrival(
+                time_ms=float(t),
+                kind=kind,
+                source=source,
+                slo_ms=urgent_slo_ms if u else slo_ms,
+                lane="urgent" if u else "bulk",
+            )
+        )
+    for a in out:
+        a.validate(n_vertices)
+    return out
+
+
+def trace_stream(
+    rows, *, n_vertices: int | None = None
+) -> list[Arrival]:
+    """Build a validated, time-sorted stream from explicit rows.
+
+    Each row is ``(time_ms, kind, source, slo_ms)`` or
+    ``(time_ms, kind, source, slo_ms, lane)``; an :class:`Arrival` passes
+    through unchanged.  Rows may be unsorted; the result is sorted by
+    arrival time (stable, so equal-time rows keep their order).
+    """
+    out = []
+    for row in rows:
+        if isinstance(row, Arrival):
+            a = row
+        else:
+            row = tuple(row)
+            if len(row) == 4:
+                t, kind, source, slo = row
+                a = Arrival(float(t), kind, source, float(slo))
+            elif len(row) == 5:
+                t, kind, source, slo, lane = row
+                a = Arrival(float(t), kind, source, float(slo), lane)
+            else:
+                raise ValueError(
+                    "trace rows are (time_ms, kind, source, slo_ms[, lane])"
+                    f"; got {row!r}"
+                )
+        a.validate(n_vertices)
+        out.append(a)
+    return sorted(out, key=lambda a: a.time_ms)

@@ -147,7 +147,7 @@ class QueryBatcher:
 
     # ------------------------------------------------------------------
     def flush(
-        self, *, verify: bool = False
+        self, *, verify: bool = False, singles_cache: dict | None = None
     ) -> tuple[dict[int, QueryResult], list[BatchReport]]:
         """Serve every queued query; returns ``(results by qid, reports)``.
 
@@ -157,6 +157,11 @@ class QueryBatcher:
         run standalone; a non-bitwise-identical coalesced answer raises
         ``AssertionError`` and the singles' cost becomes the reported
         k-independent baseline.
+
+        ``singles_cache`` lets a caller flushing repeatedly (the online
+        scheduler launches one flush per batch) memoize the standalone
+        runs across flushes — valid because the engines are
+        deterministic.
         """
         queries, self._pending = self._pending, []
         results: dict[int, QueryResult] = {}
@@ -164,7 +169,8 @@ class QueryBatcher:
         # Standalone runs memoized by (kind, source): the engines are
         # deterministic, so duplicate requests verify against (and are
         # billed) one execution while each still pays its own baseline ms.
-        singles_cache: dict = {}
+        if singles_cache is None:
+            singles_cache = {}
         for kind in KINDS:
             group = [q for q in queries if q.kind == kind]
             for lo in range(0, len(group), self.max_batch):

@@ -157,13 +157,14 @@ class TestBatchedCC:
 # ---------------------------------------------------------------------------
 class _EdgeListEngine(Engine):
     """Minimal exact pull engine over an explicit undirected edge list —
-    lets CC run at vertex counts where building B2SR/CSR structures would
-    dwarf the test, while exercising the algorithm's label arithmetic."""
+    lets CC/coloring/MIS run at vertex counts where building B2SR/CSR
+    structures would dwarf the test, while exercising the algorithms'
+    label/priority arithmetic.  ``graph.symmetrized().csr`` exposes the
+    undirected adjacency in CSR form (coloring's palette scan needs it)."""
 
     backend_name = "edgelist"
 
     def __init__(self, n, edges):
-        self.graph = SimpleNamespace(n=n)
         self.device = GTX1080
         self.algorithm_stats = KernelStats()
         self.kernel_stats = KernelStats()
@@ -171,6 +172,15 @@ class _EdgeListEngine(Engine):
         e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         self._src = np.concatenate([e[:, 0], e[:, 1]])
         self._dst = np.concatenate([e[:, 1], e[:, 0]])
+        order = np.argsort(self._src, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self._src, minlength=n), out=indptr[1:]
+        )
+        csr = SimpleNamespace(indptr=indptr, indices=self._dst[order])
+        graph = SimpleNamespace(n=n, csr=csr)
+        graph.symmetrized = lambda: graph
+        self.graph = graph
 
     def pull(self, x, semiring):
         x = np.asarray(x)
@@ -233,6 +243,58 @@ class TestLargeIdLabels:
         yc = csr_spmv_semiring(c, labels, MIN_SECOND)
         assert yc.dtype == np.float64
         assert np.array_equal(yc, ref)
+
+    def test_coloring_priorities_distinct_past_2_24(self):
+        """Regression: Jones-Plassmann priorities were permutations cast
+        to float32, which collapses distinct values above 2^24 — two
+        adjacent uncolored vertices could tie and take the same color.
+        The float64 priorities must stay pairwise distinct."""
+        from repro.algorithms.coloring import jones_plassmann_priorities
+
+        n = 2 ** 24 + 4
+        prio = jones_plassmann_priorities(n, seed=3)
+        assert prio.dtype == np.float64
+        assert np.unique(prio).shape[0] == n  # all distinct
+        # The old float32 cast demonstrably collides at this size.
+        assert np.unique(prio.astype(np.float32)).shape[0] < n
+
+    def test_coloring_valid_past_2_24(self):
+        """End-to-end coloring on a >2^24-vertex fixture: adjacent
+        vertices past the float32 integer ceiling must get distinct
+        colors (rounded float32 priorities let both endpoints win)."""
+        from repro.algorithms import greedy_coloring
+
+        B = 2 ** 24
+        edges = [(B + 1, B + 3), (B + 3, B + 5), (5, B + 7)]
+        engine = _EdgeListEngine(B + 8, edges)
+        colors, rep = greedy_coloring(engine, seed=1)
+        for u, v in edges:
+            assert colors[u] != colors[v], (u, v)
+        assert (colors >= 0).all()
+        # Isolated vertices take color 0; the path uses at most 3.
+        assert colors[B + 2] == 0
+        assert colors.max() <= 2
+        assert rep.iterations >= 1
+
+    def test_mis_valid_past_2_24(self):
+        """End-to-end MIS on a >2^24-vertex fixture: the winner
+        bookkeeping must stay exact past the float32 ceiling — the set
+        must be independent across the boundary edges and maximal."""
+        from repro.algorithms import maximal_independent_set
+
+        B = 2 ** 24
+        edges = [(B + 1, B + 3), (B + 3, B + 5), (5, B + 7)]
+        engine = _EdgeListEngine(B + 8, edges)
+        in_set, _ = maximal_independent_set(engine, seed=2)
+        for u, v in edges:
+            assert not (in_set[u] and in_set[v]), (u, v)  # independent
+            assert in_set[u] or in_set[v]  # maximal along each edge
+        # Every vertex outside the set has an in-set neighbour; with this
+        # edge list, every isolated vertex must therefore be in the set.
+        touched = np.zeros(B + 8, dtype=bool)
+        for u, v in edges:
+            touched[u] = touched[v] = True
+        assert in_set[~touched].all()
 
     def test_narrow_payloads_keep_float32_path(self):
         """float32 and narrow-int operands must keep the kernels' native

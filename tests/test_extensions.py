@@ -39,6 +39,17 @@ def undirected(n=80, seed=0, density=0.06):
     return Graph.from_dense(d.astype(np.float32))
 
 
+def self_looped(n=50, seed=0, density=0.08):
+    """Undirected graph where half the vertices carry self-loops — the
+    pull reflects their own value back, which the MIS/coloring winner
+    rules must treat as a self-tie, not a blocking neighbour."""
+    rng = np.random.default_rng(seed)
+    d = rng.random((n, n)) < density
+    d = d | d.T
+    np.fill_diagonal(d, rng.random(n) < 0.5)
+    return Graph.from_dense(d.astype(np.float32))
+
+
 class TestBitPlanes:
     @pytest.mark.parametrize("bits", (1, 3, 4, 8))
     def test_roundtrip(self, bits):
@@ -111,6 +122,31 @@ class TestBitPlanes:
         )
 
 
+class _ConstantRNG:
+    """Adversarial generator: every draw collides with every other."""
+
+    def __init__(self, value: float = 0.5) -> None:
+        self.value = value
+
+    def random(self, size):
+        return np.full(size, self.value)
+
+
+class _TieOnceRNG:
+    """First draw forces an exact all-way tie; redraws get real entropy,
+    so the in-round redraw (not the index fallback) must resolve it."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.calls = 0
+        self._rng = np.random.default_rng(seed)
+
+    def random(self, size):
+        self.calls += 1
+        if self.calls == 1:
+            return np.full(size, 0.25)
+        return self._rng.random(size)
+
+
 @pytest.mark.parametrize("Engine", ENGINES)
 class TestMIS:
     def test_valid_mis(self, Engine):
@@ -118,6 +154,57 @@ class TestMIS:
         in_set, report = maximal_independent_set(Engine(g), seed=7)
         assert verify_mis(g.csr.to_dense(), in_set)
         assert report.iterations > 0
+
+    def test_forced_ties_fall_back_to_index_priorities(self, Engine):
+        """Regression: float32 draws could tie across neighbours and the
+        round stalled (the old fudge-and-argmax fallback admitted one
+        vertex per round).  An RNG that *always* ties must still yield a
+        valid maximal independent set via the deterministic vertex-id
+        fallback."""
+        g = undirected(n=60, seed=2, density=0.1)
+        in_set, _ = maximal_independent_set(
+            Engine(g), rng=_ConstantRNG()
+        )
+        assert verify_mis(g.csr.to_dense(), in_set)
+
+    def test_forced_tie_on_clique_takes_exactly_one(self, Engine):
+        n = 12
+        dense = (np.ones((n, n)) - np.eye(n)).astype(np.float32)
+        in_set, _ = maximal_independent_set(
+            Engine(Graph.from_dense(dense)), rng=_ConstantRNG()
+        )
+        assert in_set.sum() == 1
+
+    def test_self_loops_do_not_block_maximality(self, Engine):
+        """Regression: a self-looped local maximum ties its own
+        reflected priority and never passed the strict > test — the set
+        came out non-maximal once the one-per-round fallback was
+        exhausted.  Self-loop winners are now admitted on equality."""
+        g = self_looped(seed=4)
+        in_set, rep = maximal_independent_set(Engine(g), seed=7)
+        assert verify_mis(g.csr.to_dense(), in_set)
+        # Luby pace, not one-vertex-per-round crawling.
+        assert rep.iterations <= 12
+
+    def test_all_self_loops_diagonal_graph(self, Engine):
+        """A diagonal-only adjacency has no real edges: every vertex is
+        independent of every other and must enter the set, in one
+        round."""
+        n = 16
+        g = Graph.from_dense(np.eye(n, dtype=np.float32))
+        in_set, rep = maximal_independent_set(Engine(g), seed=1)
+        assert in_set.all()
+        assert rep.iterations == 1
+
+    def test_tie_redraw_resolves_with_fresh_draws(self, Engine):
+        """A one-off tie is detected and redrawn within the round: the
+        second draw has real entropy, so the round proceeds without the
+        fallback and the result is a valid MIS."""
+        g = undirected(n=60, seed=3, density=0.1)
+        rng = _TieOnceRNG(seed=9)
+        in_set, _ = maximal_independent_set(Engine(g), rng=rng)
+        assert rng.calls >= 2  # the redraw actually happened
+        assert verify_mis(g.csr.to_dense(), in_set)
 
     def test_empty_graph_takes_everything(self, Engine):
         g = Graph.from_dense(np.zeros((10, 10), dtype=np.float32))
@@ -168,6 +255,25 @@ class TestColoring:
         g = Graph.from_dense(np.zeros((6, 6), dtype=np.float32))
         colors, _ = greedy_coloring(Engine(g), seed=1)
         assert np.all(colors == 0)
+
+    def test_self_loops_colored_at_luby_pace(self, Engine):
+        """Regression: self-looped vertices tied their own reflected
+        priority and fell back to one-vertex-per-round coloring.  They
+        now win rounds on equality; the coloring stays proper (the
+        self-loop itself is ignored, as in the oracle)."""
+        g = self_looped(seed=6)
+        colors, rep = greedy_coloring(Engine(g), seed=2)
+        assert verify_coloring(g.csr.to_dense(), colors)
+        # Jones-Plassmann pace (the old one-vertex-per-round fallback
+        # needed ~a round per self-looped vertex on top).
+        assert rep.iterations <= 20
+
+    def test_diagonal_only_graph_one_round(self, Engine):
+        n = 12
+        g = Graph.from_dense(np.eye(n, dtype=np.float32))
+        colors, rep = greedy_coloring(Engine(g), seed=3)
+        assert np.all(colors == 0)
+        assert rep.iterations == 1
 
 
 @pytest.mark.parametrize("Engine", ENGINES)
