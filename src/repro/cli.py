@@ -16,6 +16,9 @@ without writing Python:
 * ``schedule`` — simulate a timestamped Poisson arrival stream with
   per-query latency SLOs and urgent/bulk priority lanes; compare the
   SLO-aware online scheduler against flush-everything and FCFS;
+* ``cluster``  — register several serving graphs and dispatch one
+  cross-graph Poisson stream across N servers, comparing placement
+  policies (and the single-server scheduler) at equal aggregate rate;
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -482,6 +485,124 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        GraphRegistry,
+        PLACEMENTS,
+        Router,
+        multi_graph_poisson_stream,
+    )
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.servers < 1:
+        print("error: --servers must be >= 1", file=sys.stderr)
+        return 2
+    if not args.rate > 0:
+        print("error: --rate must be > 0", file=sys.stderr)
+        return 2
+    if not (args.slo > 0 and args.urgent_slo > 0):
+        print("error: --slo/--urgent-slo must be > 0", file=sys.stderr)
+        return 2
+    if not 0 <= args.urgent_fraction <= 1:
+        print("error: --urgent-fraction must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    if not args.slack_factor >= 1.0:
+        print("error: --slack-factor must be >= 1.0", file=sys.stderr)
+        return 2
+    device = device_by_name(args.device)
+
+    registry = GraphRegistry(max_batch=args.max_batch)
+    sizes: dict[str, int] = {}
+    for spec in args.matrix:
+        g = load_matrix(spec)
+        name = g.name
+        suffix = 2
+        while name in registry:
+            name = f"{g.name}#{suffix}"
+            suffix += 1
+        registry.add(name, g, device=device, tile_dim=args.tile_dim)
+        sizes[name] = g.n
+    stream = multi_graph_poisson_stream(
+        sizes,
+        requests=args.requests,
+        rate_qps=args.rate,
+        slo_ms=args.slo,
+        urgent_slo_ms=args.urgent_slo,
+        urgent_fraction=args.urgent_fraction,
+        seed=args.seed,
+    )
+    placements = (
+        tuple(PLACEMENTS) if args.placement == "all"
+        else (args.placement,)
+    )
+    verify = not args.no_verify
+
+    print(
+        f"graphs: {', '.join(f'{n} (n={s})' for n, s in sizes.items())}  "
+        f"device: {device.name}\n"
+        f"stream: {args.requests} Poisson arrivals @ {args.rate:g} q/s "
+        f"aggregate, SLO {args.slo:g} ms bulk / {args.urgent_slo:g} ms "
+        f"urgent ({100 * args.urgent_fraction:.0f}% urgent), "
+        f"max batch {args.max_batch}"
+    )
+    rows = []
+    base_estimates = registry.estimator_state()
+    server_counts = [1] if args.servers == 1 else [1, args.servers]
+    for n_servers in server_counts:
+        router = Router(
+            registry,
+            n_servers=n_servers,
+            slack_factor=args.slack_factor,
+            seed=args.seed,
+        )
+        names = ("affinity",) if n_servers == 1 else placements
+        for name in names:
+            # Every row starts from identical estimator state so the
+            # compared cells are run under equal conditions.
+            registry.restore_estimator_state(base_estimates)
+            _, rep = router.run(
+                stream, policy=args.policy, placement=name,
+                verify=verify,
+            )
+            graphs = " ".join(
+                f"{g}={100 * att:.0f}%"
+                for g, att in sorted(rep.graph_attainment.items())
+            )
+            label = "single" if n_servers == 1 else name
+            rows.append(
+                [
+                    label,
+                    n_servers,
+                    f"{100 * rep.slo_attainment:.1f}%",
+                    graphs,
+                    rep.batches,
+                    f"{rep.mean_batch_width:.1f}",
+                    rep.joins,
+                    f"{rep.mean_queue_ms:.2f}",
+                    f"{rep.busy_ms:.2f}",
+                    f"{rep.imbalance:.2f}",
+                ]
+            )
+    title = (
+        f"sharded cluster serving ({len(registry)} graphs, policy "
+        f"{args.policy})"
+    )
+    if verify:
+        title += "; every answer verified bit-identical to its solo run"
+    print(
+        format_table(
+            ["placement", "servers", "SLO att.", "per graph", "batches",
+             "mean k", "joins", "queue ms", "busy ms", "imbalance"],
+            rows,
+            title=title,
+        )
+    )
+    return 0
+
+
 def cmd_matrices(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(NAMED_MATRICES):
@@ -611,6 +732,47 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--device", default="pascal")
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(func=cmd_schedule)
+
+    sp = sub.add_parser(
+        "cluster",
+        help="dispatch one cross-graph Poisson stream across N servers; "
+             "compare placement policies against the single-server "
+             "scheduler at equal aggregate rate",
+    )
+    sp.add_argument("matrix", nargs="+",
+                    help="one spec per serving graph (>= 2 for sharding "
+                         "to matter)")
+    sp.add_argument("--servers", type=int, default=2,
+                    help="cluster size N")
+    sp.add_argument("--requests", type=int, default=48,
+                    help="total Poisson arrivals across all graphs")
+    sp.add_argument("--rate", type=float, default=4000.0,
+                    help="aggregate arrival rate in queries per second "
+                         "(split across graphs)")
+    sp.add_argument("--slo", type=float, default=20.0,
+                    help="bulk-lane latency budget in modeled ms")
+    sp.add_argument("--urgent-slo", type=float, default=5.0,
+                    help="urgent-lane latency budget in modeled ms")
+    sp.add_argument("--urgent-fraction", type=float, default=0.1,
+                    help="fraction of requests in the urgent lane")
+    sp.add_argument("--max-batch", type=int, default=32,
+                    help="widest coalesced launch / join capacity")
+    sp.add_argument("--slack-factor", type=float, default=1.5,
+                    help="safety multiplier on service estimates when "
+                         "computing launch deadlines")
+    sp.add_argument("--policy", default="slo",
+                    choices=("slo", "flush", "fcfs"))
+    sp.add_argument("--placement", default="all",
+                    choices=("all", "affinity", "least-loaded", "p2c"))
+    sp.add_argument("--no-verify", action="store_true",
+                    help="skip the standalone bitwise-equality check")
+    sp.add_argument("--tile-dim", type=int, default=32,
+                    choices=list(TILE_DIMS))
+    sp.add_argument("--device", default="pascal")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="seeds the Poisson stream and randomized "
+                         "placement (reproducible runs)")
+    sp.set_defaults(func=cmd_cluster)
 
     sp = sub.add_parser("matrices", help="list named stand-ins")
     sp.add_argument("--build", action="store_true",

@@ -1,9 +1,10 @@
-"""Query-serving front end: batching and online scheduling over the
-multi-vector layer.
+"""Query-serving front end: batching, online scheduling, and a sharded
+multi-server cluster over the multi-vector layer.
 
 A server answering graph queries (BFS depths, SSSP distances, CC labels)
 for many concurrent clients leaves most of the batched substrate idle if
-it launches one traversal per request.  Two layers close that gap:
+it launches one traversal per request.  The serving stack closes that
+gap in layers:
 
 * :class:`QueryBatcher` — the synchronous core: accumulate requests,
   coalesce same-kind requests into one batched launch
@@ -12,19 +13,37 @@ it launches one traversal per request.  Two layers close that gap:
   round however many queries ride along; graph-global CC requests dedup
   onto a single run), and report per-query latency against the
   k-independent baseline.
-* :class:`Scheduler` — the online front end: consume a timestamped
-  arrival stream (:mod:`repro.serving.arrivals`), decide batch-now vs
-  wait-for-riders against per-query latency SLOs, let late arrivals join
-  still-open batches mid-flight, and run urgent/bulk priority lanes —
-  every launch served through the batcher.
+* :mod:`~repro.serving.events` — the discrete-event core: simulated
+  clock, :class:`Server` busy/free model, and the :class:`EventLoop`
+  every online policy rides.
+* :class:`Scheduler` — the online front end over one backend: consume a
+  timestamped arrival stream (:mod:`repro.serving.arrivals`), decide
+  batch-now vs wait-for-riders against per-query latency SLOs
+  (pluggable :data:`POLICIES` admission objects, per-kind
+  :class:`ServiceEstimator`), let late arrivals join still-open batches
+  mid-flight, and run urgent/bulk priority lanes.
+* :class:`Router` + :class:`GraphRegistry` — the sharded cluster: many
+  named serving graphs (each with its own batcher and estimator) behind
+  one arrival stream, dispatched across N servers by pluggable
+  :data:`PLACEMENTS` policies (graph-affinity sharding, least-loaded,
+  power-of-two-choices).
 
-Every coalesced answer is bitwise identical to the answer an isolated
-run would have produced; ``verify=True`` enforces it.
+Every coalesced answer — single server or sharded cluster — is bitwise
+identical to the answer an isolated run would have produced;
+``verify=True`` enforces it on every launch.
 """
 
+from repro.serving.admission import (
+    AdmissionContext,
+    AdmissionPolicy,
+    Batch,
+    POLICIES,
+    register_policy,
+)
 from repro.serving.arrivals import (
     LANES,
     Arrival,
+    multi_graph_poisson_stream,
     poisson_stream,
     trace_stream,
 )
@@ -34,26 +53,50 @@ from repro.serving.batcher import (
     QueryBatcher,
     QueryResult,
 )
+from repro.serving.cluster import (
+    ClusterReport,
+    GraphEntry,
+    GraphRegistry,
+    PLACEMENTS,
+    PlacementPolicy,
+    Router,
+    register_placement,
+)
+from repro.serving.estimator import ServiceEstimator
+from repro.serving.events import EventLoop, QueryOutcome, Server
 from repro.serving.scheduler import (
-    POLICIES,
     Policy,
-    QueryOutcome,
     ScheduleReport,
     Scheduler,
 )
 
 __all__ = [
+    "AdmissionContext",
+    "AdmissionPolicy",
     "Arrival",
+    "Batch",
     "BatchReport",
+    "ClusterReport",
+    "EventLoop",
+    "GraphEntry",
+    "GraphRegistry",
     "LANES",
+    "PLACEMENTS",
     "POLICIES",
+    "PlacementPolicy",
     "Policy",
     "Query",
     "QueryBatcher",
     "QueryOutcome",
     "QueryResult",
+    "Router",
     "ScheduleReport",
     "Scheduler",
+    "Server",
+    "ServiceEstimator",
+    "multi_graph_poisson_stream",
     "poisson_stream",
+    "register_placement",
+    "register_policy",
     "trace_stream",
 ]

@@ -1,17 +1,22 @@
-"""Arrival streams for the online scheduler.
+"""Arrival streams for the online scheduler and the serving cluster.
 
 The scheduler consumes a *timestamped* request stream: each
 :class:`Arrival` carries the query itself (kind + source), the simulated
 clock time it enters the system, a latency budget (its SLO — the query
-must finish by ``time_ms + slo_ms``), and a priority lane.  Two
+must finish by ``time_ms + slo_ms``), a priority lane, and — for
+cluster serving — the name of the serving graph it targets.  Three
 generators produce streams:
 
 * :func:`poisson_stream` — the open-loop client model: exponential
   inter-arrival gaps at a configurable rate, a weighted kind mix, and a
   fraction of urgent-lane requests with a tighter budget;
-* :func:`trace_stream` — explicit ``(time, kind, source, slo[, lane])``
-  rows for replaying a recorded trace or constructing adversarial test
-  schedules.
+* :func:`multi_graph_poisson_stream` — the cluster client model: one
+  Poisson stream per registered graph (aggregate rate split by
+  per-graph traffic shares), merged into a single time-sorted stream
+  with the graph key set on every arrival;
+* :func:`trace_stream` — explicit ``(time, kind, source, slo[, lane[,
+  graph]])`` rows for replaying a recorded trace or constructing
+  adversarial test schedules.
 
 All times are in the modeled-millisecond domain the cost reports use, so
 budgets compare directly against ``EngineReport.algorithm_ms``.
@@ -33,13 +38,20 @@ LANES = ("urgent", "bulk")
 
 @dataclass(frozen=True)
 class Arrival:
-    """One timestamped client request with its latency SLO."""
+    """One timestamped client request with its latency SLO.
+
+    ``graph`` names the serving graph the query targets; ``None`` means
+    "the only graph" — the single-backend scheduler serves exactly one,
+    and a cluster router resolves ``None`` only when one graph is
+    registered.
+    """
 
     time_ms: float
     kind: str
     source: int | None
     slo_ms: float
     lane: str = "bulk"
+    graph: str | None = None
 
     @property
     def deadline_ms(self) -> float:
@@ -58,6 +70,10 @@ class Arrival:
             raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
         if self.lane not in LANES:
             raise ValueError(f"unknown lane {self.lane!r}; valid: {LANES}")
+        if self.graph is not None and not isinstance(self.graph, str):
+            raise ValueError(
+                f"graph must be a name or None, got {self.graph!r}"
+            )
         if self.kind == "cc":
             if self.source is not None:
                 raise ValueError("cc queries are graph-global: source=None")
@@ -81,13 +97,15 @@ def poisson_stream(
     urgent_slo_ms: float = 10.0,
     urgent_fraction: float = 0.1,
     seed: int = 0,
+    graph: str | None = None,
 ) -> list[Arrival]:
     """Open-loop Poisson arrivals: ``requests`` queries at ``rate_qps``.
 
     ``mix`` weights the (bfs, sssp, cc) kinds; ``urgent_fraction`` of the
     requests land in the urgent lane with the ``urgent_slo_ms`` budget,
     the rest in the bulk lane with ``slo_ms``.  Sources are uniform over
-    the vertex set.  Deterministic given ``seed``.
+    the vertex set.  ``graph`` tags every arrival with a serving-graph
+    name (for cluster streams).  Deterministic given ``seed``.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
@@ -118,6 +136,7 @@ def poisson_stream(
                 source=source,
                 slo_ms=urgent_slo_ms if u else slo_ms,
                 lane="urgent" if u else "bulk",
+                graph=graph,
             )
         )
     for a in out:
@@ -125,15 +144,91 @@ def poisson_stream(
     return out
 
 
+def multi_graph_poisson_stream(
+    graphs: dict[str, int],
+    *,
+    requests: int = 64,
+    rate_qps: float = 200.0,
+    shares: dict[str, float] | None = None,
+    mix: tuple[float, float, float] = (0.5, 0.4, 0.1),
+    slo_ms: float = 50.0,
+    urgent_slo_ms: float = 10.0,
+    urgent_fraction: float = 0.1,
+    seed: int = 0,
+) -> list[Arrival]:
+    """Cluster arrival stream: one Poisson stream per serving graph.
+
+    ``graphs`` maps graph name → vertex count.  The aggregate
+    ``rate_qps`` and ``requests`` are split across graphs by ``shares``
+    (uniform when omitted; zero-share graphs get no traffic), each
+    per-graph stream is generated independently with a seed derived from
+    ``seed``, and the merged stream is time-sorted with every arrival
+    tagged by its graph name.  Deterministic given ``seed``.
+    """
+    if not graphs:
+        raise ValueError("multi-graph stream needs at least one graph")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if shares is None:
+        shares = {name: 1.0 for name in graphs}
+    if set(shares) != set(graphs):
+        raise ValueError(
+            f"shares keys {sorted(shares)} must match graphs "
+            f"{sorted(graphs)}"
+        )
+    weight = np.array([shares[name] for name in graphs], dtype=np.float64)
+    if (weight < 0).any() or weight.sum() == 0:
+        raise ValueError(
+            f"shares must be non-negative with a positive sum, got {shares}"
+        )
+    weight = weight / weight.sum()
+
+    # Largest-remainder apportionment of the request budget.
+    ideal = weight * requests
+    counts = np.floor(ideal).astype(np.int64)
+    remainder = ideal - counts
+    for j in np.argsort(-remainder)[: requests - int(counts.sum())]:
+        counts[j] += 1
+
+    # Independent child seeds: a graph's draw sequence depends only on
+    # the root seed and its registration position, so its arrivals are
+    # unchanged by adding graphs as long as its own request count and
+    # absolute rate stay fixed (shares renormalize, so with uniform
+    # shares they do not).
+    children = np.random.SeedSequence(seed).spawn(len(graphs))
+    out: list[Arrival] = []
+    for (name, n), share, count, child in zip(
+        graphs.items(), weight, counts, children
+    ):
+        if count == 0:
+            continue
+        out.extend(
+            poisson_stream(
+                n,
+                requests=int(count),
+                rate_qps=float(rate_qps * share),
+                mix=mix,
+                slo_ms=slo_ms,
+                urgent_slo_ms=urgent_slo_ms,
+                urgent_fraction=urgent_fraction,
+                seed=child,
+                graph=name,
+            )
+        )
+    return sorted(out, key=lambda a: a.time_ms)
+
+
 def trace_stream(
     rows, *, n_vertices: int | None = None
 ) -> list[Arrival]:
     """Build a validated, time-sorted stream from explicit rows.
 
-    Each row is ``(time_ms, kind, source, slo_ms)`` or
-    ``(time_ms, kind, source, slo_ms, lane)``; an :class:`Arrival` passes
-    through unchanged.  Rows may be unsorted; the result is sorted by
-    arrival time (stable, so equal-time rows keep their order).
+    Each row is ``(time_ms, kind, source, slo_ms)``, optionally extended
+    with a lane and then a graph name; an :class:`Arrival` passes
+    through unchanged.  Rows may be unsorted — **non-monotone timestamps
+    are accepted and sorted**, not rejected (stable, so equal-time rows
+    keep their order); duplicate rows are legal and each one is served
+    as its own query.  An empty ``rows`` yields an empty stream.
     """
     out = []
     for row in rows:
@@ -147,10 +242,15 @@ def trace_stream(
             elif len(row) == 5:
                 t, kind, source, slo, lane = row
                 a = Arrival(float(t), kind, source, float(slo), lane)
+            elif len(row) == 6:
+                t, kind, source, slo, lane, graph = row
+                a = Arrival(
+                    float(t), kind, source, float(slo), lane, graph
+                )
             else:
                 raise ValueError(
-                    "trace rows are (time_ms, kind, source, slo_ms[, lane])"
-                    f"; got {row!r}"
+                    "trace rows are (time_ms, kind, source, slo_ms"
+                    f"[, lane[, graph]]); got {row!r}"
                 )
         a.validate(n_vertices)
         out.append(a)

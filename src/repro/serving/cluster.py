@@ -1,0 +1,616 @@
+"""Sharded multi-server serving cluster.
+
+The single-backend :class:`repro.serving.scheduler.Scheduler` keeps one
+serving graph busy; a production front end faces *many* named graphs and
+more aggregate traffic than one server can clear.  This module scales
+the same event core out:
+
+* :class:`GraphRegistry` — named serving graphs.  Each entry owns its
+  engines, its :class:`~repro.serving.batcher.QueryBatcher`, its
+  per-kind :class:`~repro.serving.estimator.ServiceEstimator`, and its
+  memoized standalone-run cache, so every graph's service profile and
+  verification state are independent.
+* :class:`Router` — dispatches a cross-graph arrival stream
+  (:func:`repro.serving.arrivals.multi_graph_poisson_stream`) over N
+  :class:`~repro.serving.events.Server` slots.  Admission rides the
+  pluggable :data:`~repro.serving.admission.POLICIES`; batches never mix
+  graphs (the coalesced kernels answer many queries against one
+  matrix), and *where* a ready batch runs is a pluggable placement
+  policy from :data:`PLACEMENTS`:
+
+  - ``"affinity"`` — graph-affinity sharding: every graph has a fixed
+    home server (registration order modulo cluster size), so a shard's
+    working set — bit tiles, estimator, verification cache — stays
+    resident on one server;
+  - ``"least-loaded"`` — global shortest-queue: a ready batch commits
+    to the server with the earliest availability (ties to the least
+    cumulative busy time), the any-graph-anywhere baseline;
+  - ``"p2c"`` — power-of-two-choices: sample two servers with the
+    router's RNG and take the less loaded — the classic randomized
+    load balancer that needs no global state.
+
+Exactness survives sharding: every launch flows through the owning
+graph's ``QueryBatcher``, so ``verify=True`` re-runs each query solo on
+that graph's engines and raises unless the clustered answer is bitwise
+identical — the same contract the single-server scheduler enforces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.base import Engine
+from repro.serving.admission import (
+    AdmissionContext,
+    AdmissionPolicy,
+    Batch,
+    resolve_policy,
+)
+from repro.serving.arrivals import LANES, Arrival, trace_stream
+from repro.serving.batcher import QueryBatcher
+from repro.serving.estimator import ServiceEstimator
+from repro.serving.events import EPS, EventLoop, QueryOutcome, Server
+
+
+# ----------------------------------------------------------------------
+# Graph registry
+# ----------------------------------------------------------------------
+@dataclass
+class GraphEntry:
+    """One registered serving graph with its private serving state."""
+
+    name: str
+    engine: Engine
+    cc_engine: Engine
+    batcher: QueryBatcher
+    estimator: ServiceEstimator
+    singles_cache: dict = field(default_factory=dict)
+
+
+class GraphRegistry:
+    """Named serving graphs behind one router.
+
+    ``max_batch`` is the cluster-wide coalescing cap applied to every
+    entry's batcher (and the routers' mid-flight-join capacity).
+    """
+
+    def __init__(self, *, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self._entries: dict[str, GraphEntry] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        graph,
+        *,
+        device=None,
+        tile_dim: int = 32,
+    ) -> GraphEntry:
+        """Register ``graph`` under ``name`` on the bit backend (plus a
+        symmetrized engine for graph-global CC queries)."""
+        from repro.engines import BitEngine
+
+        kwargs = {} if device is None else {"device": device}
+        engine = BitEngine(graph, tile_dim=tile_dim, **kwargs)
+        cc_engine = BitEngine(
+            graph.symmetrized(), tile_dim=tile_dim, **kwargs
+        )
+        return self.add_engines(name, engine, cc_engine=cc_engine)
+
+    def add_engines(
+        self,
+        name: str,
+        engine: Engine,
+        *,
+        cc_engine: Engine | None = None,
+    ) -> GraphEntry:
+        """Register a graph from pre-built engines."""
+        if not name:
+            raise ValueError("serving graphs need a non-empty name")
+        if name in self._entries:
+            raise ValueError(f"graph {name!r} is already registered")
+        cc = cc_engine if cc_engine is not None else engine
+        entry = GraphEntry(
+            name=name,
+            engine=engine,
+            cc_engine=cc,
+            batcher=QueryBatcher(
+                engine, cc_engine=cc, max_batch=self.max_batch
+            ),
+            estimator=ServiceEstimator(engine, cc_engine=cc),
+        )
+        self._entries[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Registered graph names, in registration order."""
+        return tuple(self._entries)
+
+    def index(self, name: str) -> int:
+        """Registration position of ``name`` (the affinity shard key)."""
+        return self.names.index(name)
+
+    def resolve(self, graph: str | None) -> str:
+        """Map an arrival's graph key to a registered name.  ``None``
+        resolves only when exactly one graph is registered."""
+        if graph is None:
+            if len(self._entries) == 1:
+                return next(iter(self._entries))
+            raise ValueError(
+                "arrival names no graph but the registry holds "
+                f"{sorted(self._entries)}; tag arrivals with a graph key"
+            )
+        if graph not in self._entries:
+            raise ValueError(
+                f"unknown serving graph {graph!r}; registered: "
+                f"{sorted(self._entries)}"
+            )
+        return graph
+
+    def estimator_state(self) -> dict[str, dict[str, float]]:
+        """Snapshot every entry's learned service estimates, keyed by
+        graph name (see :meth:`restore_estimator_state`)."""
+        return {
+            name: entry.estimator.snapshot()
+            for name, entry in self._entries.items()
+        }
+
+    def restore_estimator_state(
+        self, state: dict[str, dict[str, float]]
+    ) -> None:
+        """Reset entries' estimators to a snapshot, so repeated runs on
+        one registry (placement/policy comparisons) start from identical
+        estimates instead of state the previous run learned."""
+        for name, est in state.items():
+            self._entries[name].estimator.restore(est)
+
+    def __getitem__(self, name: str) -> GraphEntry:
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+
+# ----------------------------------------------------------------------
+# Placement policies
+# ----------------------------------------------------------------------
+class PlacementPolicy:
+    """Decide which server a ready batch runs on.
+
+    ``place`` is called once per batch, the first time the batch is
+    dispatchable; the returned server becomes the batch's commitment
+    (it launches when that server frees).  Policies are stateless —
+    randomized ones draw from the router's per-run RNG.
+    """
+
+    name: str = "base"
+
+    def place(
+        self,
+        batch: Batch,
+        servers: list[Server],
+        registry: GraphRegistry,
+        rng: np.random.Generator,
+    ) -> Server:
+        raise NotImplementedError
+
+
+class AffinityPlacement(PlacementPolicy):
+    """Graph-affinity sharding: a fixed home server per graph."""
+
+    name = "affinity"
+
+    def place(self, batch, servers, registry, rng):
+        return servers[registry.index(batch.graph) % len(servers)]
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Commit to the earliest-available server (global knowledge)."""
+
+    name = "least-loaded"
+
+    def place(self, batch, servers, registry, rng):
+        return min(servers, key=lambda s: (s.free_at, s.busy_ms, s.sid))
+
+
+class PowerOfTwoPlacement(PlacementPolicy):
+    """Sample two servers, take the less loaded (no global state)."""
+
+    name = "p2c"
+
+    def place(self, batch, servers, registry, rng):
+        if len(servers) == 1:
+            return servers[0]
+        picks = rng.choice(len(servers), size=2, replace=False)
+        return min(
+            (servers[int(i)] for i in picks),
+            key=lambda s: (s.free_at, s.busy_ms, s.sid),
+        )
+
+
+#: Placement policies, by name.
+PLACEMENTS: dict[str, PlacementPolicy] = {}
+
+
+def register_placement(placement: PlacementPolicy) -> PlacementPolicy:
+    """Add a placement instance to :data:`PLACEMENTS` (keyed by name)."""
+    if not placement.name or placement.name == "base":
+        raise ValueError("placement policies need a distinct name")
+    PLACEMENTS[placement.name] = placement
+    return placement
+
+
+register_placement(AffinityPlacement())
+register_placement(LeastLoadedPlacement())
+register_placement(PowerOfTwoPlacement())
+
+
+def resolve_placement(placement: str | PlacementPolicy) -> PlacementPolicy:
+    """Look up a placement by name (instances pass through)."""
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; valid: {sorted(PLACEMENTS)}"
+        )
+    return PLACEMENTS[placement]
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterReport:
+    """Aggregate accounting for one simulated stream on one cluster."""
+
+    policy: str
+    placement: str
+    n_servers: int
+    served: int
+    batches: int
+    joins: int
+    mean_batch_width: float
+    slo_attainment: float
+    lane_attainment: dict[str, float]
+    graph_attainment: dict[str, float]
+    mean_queue_ms: float
+    p95_queue_ms: float
+    mean_service_ms: float
+    mean_latency_ms: float
+    makespan_ms: float
+    busy_ms: float
+    server_busy_ms: list[float]
+    server_launches: list[int]
+    verified: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Cluster busy fraction: total busy over N × the horizon."""
+        denom = self.n_servers * self.makespan_ms
+        return self.busy_ms / denom if denom else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Max server busy time over the mean (1.0 = perfectly even)."""
+        mean = self.busy_ms / self.n_servers if self.n_servers else 0.0
+        return max(self.server_busy_ms) / mean if mean else 0.0
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class _RouterController:
+    """Per-run scheduling state: admission via the policy, placement
+    commitments, launches through each graph's batcher."""
+
+    def __init__(
+        self,
+        router: Router,
+        servers: list[Server],
+        policy: AdmissionPolicy,
+        placement: PlacementPolicy,
+        rng: np.random.Generator,
+        verify: bool,
+    ) -> None:
+        self.router = router
+        self.registry = router.registry
+        self.servers = servers
+        self.policy = policy
+        self.placement = placement
+        self.rng = rng
+        self.verify = verify
+        self.ctx = AdmissionContext(
+            max_batch=self.registry.max_batch,
+            slack_factor=router.slack_factor,
+            estimate=lambda b: self.registry[b.graph]
+            .estimator.estimate_ms(b.kind, len(b.members)),
+            n_servers=len(servers),
+        )
+        self.open_batches: list[Batch] = []
+        self.outcomes: dict[int, QueryOutcome] = {}
+        self.widths: list[int] = []
+        self.joins = 0
+
+    # -- EventLoop controller hooks ------------------------------------
+    def on_arrival(self, now: float, seq: int, arrival: Arrival) -> None:
+        self.joins += self.policy.admit(
+            arrival, seq, arrival.graph, self.open_batches, self.ctx
+        )
+
+    def has_pending(self) -> bool:
+        return bool(self.open_batches)
+
+    def next_timer(self, now: float) -> float:
+        return min(
+            (
+                b.launch_at for b in self.open_batches
+                if b.launch_at > now + EPS
+            ),
+            default=math.inf,
+        )
+
+    def dispatch(self, now: float) -> bool:
+        """Launch the most overdue ready batch whose placed server is
+        idle; returns ``True`` when a launch happened."""
+        ready = [
+            b for b in self.open_batches if b.launch_at <= now + EPS
+        ]
+        ready.sort(
+            key=lambda b: (b.launch_at, b.lane != "urgent", b.created_ms)
+        )
+        for batch in ready:
+            if batch.sid is None:
+                batch.sid = self.placement.place(
+                    batch, self.servers, self.registry, self.rng
+                ).sid
+            server = self.servers[batch.sid]
+            if not server.idle(now):
+                continue
+            self.joins += self.policy.absorb(
+                batch, self.open_batches, self.ctx
+            )
+            self.open_batches.remove(batch)
+            service = self._launch(batch, now, server)
+            self.widths.append(len(batch.members))
+            server.start(now, service)
+            # The launch changed the backlog (and the estimator):
+            # remaining batches may now afford to wait longer.
+            self.policy.refresh(self.open_batches, self.ctx)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _launch(self, batch: Batch, now: float, server: Server) -> float:
+        """Serve the batch through its graph's QueryBatcher (one
+        coalesced launch group; the verification path re-runs singles
+        when asked) and record every member's outcome.  Returns the
+        modeled service ms."""
+        entry = self.registry[batch.graph]
+        submitted = [
+            (entry.batcher.submit(a.kind, a.source), seq, a)
+            for seq, a in batch.members
+        ]
+        results, reports = entry.batcher.flush(
+            verify=self.verify, singles_cache=entry.singles_cache
+        )
+        service = sum(rep.batched_ms for rep in reports)
+        width = len(batch.members)
+        finish = now + service
+        for qid, seq, a in submitted:
+            res = results[qid]
+            self.outcomes[seq] = QueryOutcome(
+                arrival=a,
+                result=res.result,
+                launch_ms=now,
+                finish_ms=finish,
+                batch_width=width,
+                joined=width > 1,
+                baseline_ms=res.baseline_ms,
+                server=server.sid,
+            )
+        entry.estimator.observe(batch.kind, width, service)
+        return service
+
+
+class Router:
+    """Dispatch cross-graph arrival streams across a server pool.
+
+    Parameters
+    ----------
+    registry:
+        The named serving graphs (each with its own batcher/estimator).
+    n_servers:
+        Cluster size — how many launches can be in flight at once.
+    slack_factor:
+        Safety multiplier on service estimates when computing bulk
+        launch deadlines; > 1 hedges estimate error.
+    placement:
+        Default placement policy name (any :data:`PLACEMENTS` key).
+    seed:
+        Seeds the per-run RNG randomized placements draw from.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        *,
+        n_servers: int = 2,
+        slack_factor: float = 1.5,
+        placement: str | PlacementPolicy = "affinity",
+        seed: int = 0,
+    ) -> None:
+        if len(registry) == 0:
+            raise ValueError("the registry has no serving graphs")
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        if not slack_factor >= 1.0:
+            raise ValueError(
+                f"slack_factor must be >= 1.0, got {slack_factor}"
+            )
+        self.registry = registry
+        self.n_servers = n_servers
+        self.slack_factor = slack_factor
+        self.placement = resolve_placement(placement)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        arrivals,
+        *,
+        policy: str | AdmissionPolicy = "slo",
+        placement: str | PlacementPolicy | None = None,
+        verify: bool = False,
+    ) -> tuple[list[QueryOutcome], ClusterReport]:
+        """Simulate serving ``arrivals`` on the cluster.
+
+        Returns the outcomes in arrival-stream order plus the aggregate
+        report.  With ``verify=True`` every launch re-runs its queries
+        standalone through the owning graph's verification path and
+        raises on any non-bitwise-identical answer.
+        """
+        pol = resolve_policy(policy)
+        placer = resolve_placement(
+            self.placement if placement is None else placement
+        )
+        stream = self._normalize(arrivals)
+        servers = [Server(sid) for sid in range(self.n_servers)]
+        controller = _RouterController(
+            self, servers, pol, placer,
+            np.random.default_rng(self.seed), verify,
+        )
+        EventLoop(servers).run(stream, controller)
+        ordered = [controller.outcomes[j] for j in range(len(stream))]
+        return ordered, self._report(
+            pol.name, placer.name, ordered, controller, servers, verify
+        )
+
+    def compare_placements(
+        self,
+        arrivals,
+        *,
+        policy: str | AdmissionPolicy = "slo",
+        verify: bool = False,
+    ) -> dict[str, tuple[list[QueryOutcome], ClusterReport]]:
+        """Run every registered placement on one stream, keyed by name.
+
+        Each run starts from the registry's current estimator state —
+        without that reset, later placements would inherit estimates the
+        earlier runs learned and the compared cells would not be equal.
+        """
+        base = self.registry.estimator_state()
+        results = {}
+        for name in PLACEMENTS:
+            self.registry.restore_estimator_state(base)
+            results[name] = self.run(
+                arrivals, policy=policy, placement=name, verify=verify
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _normalize(self, arrivals) -> list[Arrival]:
+        """Validate and time-sort the stream, resolving every arrival's
+        graph key against the registry (and its source against that
+        graph's vertex count)."""
+        out = []
+        for a in trace_stream(arrivals):
+            name = self.registry.resolve(a.graph)
+            a = (
+                a if a.graph == name
+                else dataclasses.replace(a, graph=name)
+            )
+            a.validate(self.registry[name].engine.n)
+            out.append(a)
+        return out
+
+    def _report(
+        self,
+        policy: str,
+        placement: str,
+        outcomes: list[QueryOutcome],
+        controller: _RouterController,
+        servers: list[Server],
+        verified: bool,
+    ) -> ClusterReport:
+        served = len(outcomes)
+        if served == 0:
+            return ClusterReport(
+                policy=policy, placement=placement,
+                n_servers=len(servers), served=0, batches=0, joins=0,
+                mean_batch_width=0.0, slo_attainment=1.0,
+                lane_attainment={}, graph_attainment={},
+                mean_queue_ms=0.0, p95_queue_ms=0.0, mean_service_ms=0.0,
+                mean_latency_ms=0.0, makespan_ms=0.0, busy_ms=0.0,
+                server_busy_ms=[0.0] * len(servers),
+                server_launches=[0] * len(servers),
+                verified=verified,
+            )
+        queue = np.array([o.queue_ms for o in outcomes])
+        lane_attainment = {}
+        for lane in LANES:
+            hits = [o.slo_met for o in outcomes if o.arrival.lane == lane]
+            if hits:
+                lane_attainment[lane] = float(np.mean(hits))
+        graph_attainment = {}
+        for name in self.registry.names:
+            hits = [
+                o.slo_met for o in outcomes if o.arrival.graph == name
+            ]
+            if hits:
+                graph_attainment[name] = float(np.mean(hits))
+        return ClusterReport(
+            policy=policy,
+            placement=placement,
+            n_servers=len(servers),
+            served=served,
+            batches=len(controller.widths),
+            joins=controller.joins,
+            mean_batch_width=float(np.mean(controller.widths)),
+            slo_attainment=float(np.mean([o.slo_met for o in outcomes])),
+            lane_attainment=lane_attainment,
+            graph_attainment=graph_attainment,
+            mean_queue_ms=float(queue.mean()),
+            p95_queue_ms=float(np.percentile(queue, 95)),
+            mean_service_ms=float(
+                np.mean([o.service_ms for o in outcomes])
+            ),
+            mean_latency_ms=float(
+                np.mean([o.latency_ms for o in outcomes])
+            ),
+            makespan_ms=float(max(o.finish_ms for o in outcomes)),
+            busy_ms=float(sum(s.busy_ms for s in servers)),
+            server_busy_ms=[s.busy_ms for s in servers],
+            server_launches=[s.launches for s in servers],
+            verified=verified,
+        )
+
+
+__all__ = [
+    "AffinityPlacement",
+    "ClusterReport",
+    "GraphEntry",
+    "GraphRegistry",
+    "LeastLoadedPlacement",
+    "PLACEMENTS",
+    "PlacementPolicy",
+    "PowerOfTwoPlacement",
+    "Router",
+    "register_placement",
+    "resolve_placement",
+]

@@ -19,86 +19,46 @@ of one serving backend, and decides **when** to launch **which** batch:
   spare width, and an overdue bulk batch outranks newer urgent work
   (deadline aging — the anti-starvation bound).
 
-Service itself reuses the existing machinery end to end: every launch is
-a ``QueryBatcher`` flush — the plane-striped ``*_multi`` kernels answer
+The moving parts are layered, not fused: the simulated clock and the
+busy/free server model live in :mod:`repro.serving.events`, the
+admission decisions are pluggable :data:`POLICIES` objects
+(:mod:`repro.serving.admission`), service estimation is
+:class:`repro.serving.estimator.ServiceEstimator`, and the scheduler
+itself is the one-server special case of the cluster router
+(:mod:`repro.serving.cluster` scales the identical machinery across N
+servers and many named graphs).  Two degenerate policies ride the same
+event loop as baselines: ``"flush"`` (launch everything pending whenever
+the server frees) and ``"fcfs"`` (no coalescing: one query per launch,
+arrival order); ``compare`` runs all registered policies on one stream.
+
+Service reuses the existing machinery end to end: every launch is a
+``QueryBatcher`` flush — the plane-striped ``*_multi`` kernels answer
 the batch, and ``verify=True`` re-runs each query standalone and raises
 unless the coalesced answer is bitwise identical.  Service times are the
 modeled latencies of the cost reports, so the simulated clock, the SLO
 budgets, and the per-query latency accounting all live in the same
 modeled-millisecond domain.
-
-Two degenerate policies ride the same event loop as baselines:
-``"flush"`` (launch everything pending whenever the server frees — the
-online version of PR 2's flush-everything batching) and ``"fcfs"`` (no
-coalescing: one query per launch, arrival order).  ``compare`` runs all
-three on one stream.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.algorithms import bfs, connected_components, sssp
 from repro.engines.base import Engine
-from repro.serving.arrivals import LANES, Arrival, trace_stream
-from repro.serving.batcher import QueryBatcher
+from repro.serving.admission import (  # noqa: F401  (re-exported API)
+    AdmissionContext,
+    AdmissionPolicy,
+    Batch,
+    POLICIES,
+    register_policy,
+)
+from repro.serving.cluster import ClusterReport, GraphRegistry, Router
+from repro.serving.events import EPS as _EPS  # noqa: F401  (back-compat)
+from repro.serving.events import QueryOutcome
 
-#: Tolerance for simulated-clock comparisons.
-_EPS = 1e-9
-
-
-@dataclass(frozen=True)
-class Policy:
-    """Scheduling policy knobs (see module docstring)."""
-
-    name: str
-    slo_aware: bool  # wait out deadline slack to accumulate riders
-    batching: bool   # coalesce compatible queries at all
-    lanes: bool      # urgent/bulk lane separation + absorption
-
-
-#: The scheduler and its two baselines, by name.
-POLICIES: dict[str, Policy] = {
-    "slo": Policy("slo", slo_aware=True, batching=True, lanes=True),
-    "flush": Policy("flush", slo_aware=False, batching=True, lanes=False),
-    "fcfs": Policy("fcfs", slo_aware=False, batching=False, lanes=False),
-}
-
-
-@dataclass
-class QueryOutcome:
-    """One served query: its answer plus the full latency decomposition."""
-
-    arrival: Arrival
-    result: np.ndarray
-    launch_ms: float
-    finish_ms: float
-    batch_width: int
-    joined: bool
-    baseline_ms: float | None = None
-
-    @property
-    def queue_ms(self) -> float:
-        """Time spent waiting for admission (launch − arrival)."""
-        return self.launch_ms - self.arrival.time_ms
-
-    @property
-    def service_ms(self) -> float:
-        """Modeled service time of the batch the query rode."""
-        return self.finish_ms - self.launch_ms
-
-    @property
-    def latency_ms(self) -> float:
-        """End-to-end latency (queueing + service)."""
-        return self.finish_ms - self.arrival.time_ms
-
-    @property
-    def slo_met(self) -> bool:
-        """Did the query finish within its budget?"""
-        return self.finish_ms <= self.arrival.deadline_ms + _EPS
+#: Back-compat alias — admission policies were previously flag structs
+#: named ``Policy``; they are now full strategy objects.
+Policy = AdmissionPolicy
 
 
 @dataclass
@@ -127,19 +87,13 @@ class ScheduleReport:
         return self.busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
 
-@dataclass
-class _Batch:
-    """An open (not yet launched) batch accumulating compatible queries."""
-
-    kind: str
-    lane: str
-    created_ms: float
-    members: list[tuple[int, Arrival]]  # (stream position, arrival)
-    launch_at: float = 0.0
-
-
 class Scheduler:
     """Event-driven SLO-aware scheduler over one serving backend.
+
+    This is the single-server, single-graph configuration of the
+    cluster :class:`~repro.serving.cluster.Router`: one registered
+    graph, one :class:`~repro.serving.events.Server`, the same admission
+    policies and event loop.
 
     Parameters
     ----------
@@ -155,6 +109,9 @@ class Scheduler:
         bulk batch's launch deadline; > 1 hedges estimate error.
     """
 
+    #: Name the wrapped single-graph registry serves everything under.
+    GRAPH = "default"
+
     def __init__(
         self,
         engine: Engine,
@@ -163,23 +120,25 @@ class Scheduler:
         max_batch: int = 64,
         slack_factor: float = 1.5,
     ) -> None:
-        if not slack_factor >= 1.0:
-            raise ValueError(
-                f"slack_factor must be >= 1.0, got {slack_factor}"
-            )
         self.engine = engine
         self.cc_engine = cc_engine if cc_engine is not None else engine
         self.max_batch = max_batch
         self.slack_factor = slack_factor
-        self._batcher = QueryBatcher(
-            engine, cc_engine=self.cc_engine, max_batch=max_batch
+        registry = GraphRegistry(max_batch=max_batch)
+        registry.add_engines(
+            self.GRAPH, engine, cc_engine=self.cc_engine
         )
-        # Standalone verification runs memoized across launches (the
-        # engines are deterministic; one solo run per distinct query).
-        self._singles_cache: dict = {}
-        # Per-kind EWMA of observed service ms per value plane, seeded by
-        # a calibration solo run on first use.
-        self._est_ms: dict[str, float] = {}
+        self._router = Router(
+            registry,
+            n_servers=1,
+            slack_factor=slack_factor,
+            placement="affinity",
+        )
+
+    @property
+    def registry(self) -> GraphRegistry:
+        """The single-entry graph registry backing this scheduler."""
+        return self._router.registry
 
     # ------------------------------------------------------------------
     def run(
@@ -196,73 +155,10 @@ class Scheduler:
         standalone through the batcher's verification path and raises on
         any non-bitwise-identical answer.
         """
-        if policy not in POLICIES:
-            raise ValueError(
-                f"unknown policy {policy!r}; valid: {sorted(POLICIES)}"
-            )
-        pol = POLICIES[policy]
-        stream = trace_stream(arrivals, n_vertices=self.engine.n)
-
-        outcomes: dict[int, QueryOutcome] = {}
-        open_batches: list[_Batch] = []
-        joins = 0
-        widths: list[int] = []
-        busy_ms = 0.0
-        now = 0.0
-        free_at = 0.0
-        i = 0
-
-        while i < len(stream) or open_batches:
-            next_t = stream[i].time_ms if i < len(stream) else math.inf
-            if free_at > now + _EPS:
-                # Server busy: the next event is an arrival (which may
-                # join an open batch mid-flight) or the completion.
-                if next_t <= free_at + _EPS:
-                    now = next_t
-                    joins += self._admit(
-                        stream[i], i, open_batches, pol
-                    )
-                    i += 1
-                    continue
-                now = free_at
-            # Server idle at `now`: launch the most overdue ready batch.
-            ready = [b for b in open_batches if b.launch_at <= now + _EPS]
-            if ready:
-                batch = min(
-                    ready,
-                    key=lambda b: (
-                        b.launch_at, b.lane != "urgent", b.created_ms
-                    ),
-                )
-                if pol.lanes:
-                    joins += self._absorb(batch, open_batches, pol)
-                open_batches.remove(batch)
-                service = self._launch(batch, now, verify, outcomes)
-                widths.append(len(batch.members))
-                busy_ms += service
-                free_at = now + service
-                # The launch changed the backlog (and the estimator):
-                # remaining batches may now afford to wait longer.
-                self._refresh_deadlines(open_batches, pol)
-                continue
-            # Idle with nothing ready: sleep until the next arrival or
-            # the earliest launch deadline.
-            wake = min(
-                [b.launch_at for b in open_batches] + [next_t]
-            )
-            if math.isinf(wake):  # pragma: no cover - defensive
-                break
-            if next_t <= wake + _EPS:
-                now = next_t
-                joins += self._admit(stream[i], i, open_batches, pol)
-                i += 1
-            else:
-                now = wake
-
-        ordered = [outcomes[j] for j in range(len(stream))]
-        return ordered, self._report(
-            pol, ordered, widths, joins, busy_ms, verify
+        outcomes, crep = self._router.run(
+            arrivals, policy=policy, verify=verify
         )
+        return outcomes, self._to_schedule_report(crep)
 
     def compare(
         self, arrivals, *, verify: bool = False
@@ -274,216 +170,36 @@ class Scheduler:
         }
 
     # ------------------------------------------------------------------
-    # Admission
-    # ------------------------------------------------------------------
-    def _admit(
-        self,
-        arrival: Arrival,
-        seq: int,
-        open_batches: list[_Batch],
-        pol: Policy,
-    ) -> int:
-        """Join an open compatible batch (mid-flight) or open a new one.
-        Returns 1 when the query joined an existing batch."""
-        if pol.batching:
-            for b in open_batches:
-                if (
-                    b.kind == arrival.kind
-                    and len(b.members) < self.max_batch
-                    and (not pol.lanes or b.lane == arrival.lane)
-                ):
-                    b.members.append((seq, arrival))
-                    self._refresh_deadlines(open_batches, pol)
-                    return 1
-        batch = _Batch(
-            kind=arrival.kind,
-            lane=arrival.lane if pol.lanes else LANES[-1],
-            created_ms=arrival.time_ms,
-            members=[(seq, arrival)],
-        )
-        open_batches.append(batch)
-        self._refresh_deadlines(open_batches, pol)
-        return 0
-
-    def _refresh_deadlines(
-        self, open_batches: list[_Batch], pol: Policy
-    ) -> None:
-        """Recompute every open batch's launch deadline.
-
-        Urgent batches (and every batch under the non-SLO-aware
-        baselines) launch as soon as the server frees; a bulk batch waits
-        until the deadline slack of its most constrained member — budget
-        minus ``slack_factor`` times the estimated service at the current
-        width, minus a contention reserve for the *other* open batches
-        that may hold the single server when the slack expires — runs
-        out.  The reserve is what lets several kinds queue tight-budget
-        batches simultaneously without the later launch blowing its SLO.
-        """
-        if not pol.slo_aware:
-            for b in open_batches:
-                b.launch_at = b.created_ms
-            return
-        ests = {
-            id(b): self._estimate_ms(b.kind, len(b.members))
-            for b in open_batches
-        }
-        total_est = sum(ests.values())
-        for b in open_batches:
-            if b.lane == "urgent":
-                b.launch_at = b.created_ms
-                continue
-            reserve = total_est - ests[id(b)]
-            slack = min(
-                a.deadline_ms - self.slack_factor * ests[id(b)] - reserve
-                for _, a in b.members
-            )
-            b.launch_at = max(b.created_ms, slack)
-
-    def _absorb(
-        self, batch: _Batch, open_batches: list[_Batch], pol: Policy
-    ) -> int:
-        """Fill the launching batch's spare width with same-kind queries
-        from other lanes' open batches (earliest deadline first) — the
-        preemption payoff: bulk riders stop accumulating and ride the
-        urgent launch for free."""
-        room = self.max_batch - len(batch.members)
-        if room <= 0:
-            return 0
-        donors = [
-            b for b in open_batches
-            if b is not batch and b.kind == batch.kind
-        ]
-        candidates = sorted(
-            ((a.deadline_ms, seq, a, b) for b in donors
-             for seq, a in b.members),
-            key=lambda t: (t[0], t[1]),
-        )
-        moved = 0
-        for _, seq, a, donor in candidates[:room]:
-            donor.members.remove((seq, a))
-            batch.members.append((seq, a))
-            moved += 1
-        for donor in donors:
-            if not donor.members:
-                open_batches.remove(donor)
-        if moved:
-            self._refresh_deadlines(open_batches, pol)
-        return moved
-
-    # ------------------------------------------------------------------
-    # Service
-    # ------------------------------------------------------------------
-    def _launch(
-        self,
-        batch: _Batch,
-        now: float,
-        verify: bool,
-        outcomes: dict[int, QueryOutcome],
-    ) -> float:
-        """Serve the batch through the QueryBatcher (one coalesced launch
-        group; the verification path re-runs singles when asked) and
-        record every member's outcome.  Returns the modeled service ms."""
-        submitted = [
-            (self._batcher.submit(a.kind, a.source), seq, a)
-            for seq, a in batch.members
-        ]
-        results, reports = self._batcher.flush(
-            verify=verify, singles_cache=self._singles_cache
-        )
-        service = sum(rep.batched_ms for rep in reports)
-        width = len(batch.members)
-        finish = now + service
-        for qid, seq, a in submitted:
-            res = results[qid]
-            outcomes[seq] = QueryOutcome(
-                arrival=a,
-                result=res.result,
-                launch_ms=now,
-                finish_ms=finish,
-                batch_width=width,
-                joined=width > 1,
-                baseline_ms=res.baseline_ms,
-            )
-        # Fold the observation into the per-plane service estimate.
-        observed = service / self._width_scale(batch.kind, width)
-        prev = self._est_ms.get(batch.kind)
-        self._est_ms[batch.kind] = (
-            observed if prev is None else 0.5 * prev + 0.5 * observed
-        )
-        return service
-
-    def _estimate_ms(self, kind: str, width: int) -> float:
-        """Estimated service ms for a ``width``-wide batch of ``kind``."""
-        per_plane = self._est_ms.get(kind)
-        if per_plane is None:
-            per_plane = self._calibrate(kind)
-        return per_plane * self._width_scale(kind, width)
-
-    def _width_scale(self, kind: str, width: int) -> float:
-        """How batched service scales with width: graph-global kinds
-        (cc) dedup onto one run whatever the width; otherwise per value
-        plane on the bit backend (one tile sweep serves a whole word
-        plane), per query on backends without batched kernels."""
-        if kind == "cc":
-            return 1.0
-        d = getattr(self.engine, "tile_dim", None)
-        if d:
-            return float(math.ceil(width / d))
-        return float(width)
-
-    def _calibrate(self, kind: str) -> float:
-        """Seed the estimator with one solo run's modeled latency."""
-        if kind == "bfs":
-            _, rep = bfs(self.engine, 0)
-        elif kind == "sssp":
-            _, rep = sssp(self.engine, 0)
-        else:
-            _, rep = connected_components(self.cc_engine)
-        self._est_ms[kind] = rep.algorithm_ms
-        return rep.algorithm_ms
-
-    # ------------------------------------------------------------------
-    def _report(
-        self,
-        pol: Policy,
-        outcomes: list[QueryOutcome],
-        widths: list[int],
-        joins: int,
-        busy_ms: float,
-        verified: bool,
-    ) -> ScheduleReport:
-        served = len(outcomes)
-        if served == 0:
-            return ScheduleReport(
-                policy=pol.name, served=0, batches=0, joins=0,
-                mean_batch_width=0.0, slo_attainment=1.0,
-                lane_attainment={}, mean_queue_ms=0.0, p95_queue_ms=0.0,
-                mean_service_ms=0.0, mean_latency_ms=0.0,
-                makespan_ms=0.0, busy_ms=0.0, verified=verified,
-            )
-        queue = np.array([o.queue_ms for o in outcomes])
-        lane_attainment = {}
-        for lane in LANES:
-            hits = [o.slo_met for o in outcomes if o.arrival.lane == lane]
-            if hits:
-                lane_attainment[lane] = float(np.mean(hits))
+    @staticmethod
+    def _to_schedule_report(crep: ClusterReport) -> ScheduleReport:
+        """Project the cluster report onto the single-server view."""
         return ScheduleReport(
-            policy=pol.name,
-            served=served,
-            batches=len(widths),
-            joins=joins,
-            mean_batch_width=float(np.mean(widths)),
-            slo_attainment=float(np.mean([o.slo_met for o in outcomes])),
-            lane_attainment=lane_attainment,
-            mean_queue_ms=float(queue.mean()),
-            p95_queue_ms=float(np.percentile(queue, 95)),
-            mean_service_ms=float(
-                np.mean([o.service_ms for o in outcomes])
-            ),
-            mean_latency_ms=float(
-                np.mean([o.latency_ms for o in outcomes])
-            ),
-            makespan_ms=float(max(o.finish_ms for o in outcomes)),
-            busy_ms=busy_ms,
-            verified=verified,
+            policy=crep.policy,
+            served=crep.served,
+            batches=crep.batches,
+            joins=crep.joins,
+            mean_batch_width=crep.mean_batch_width,
+            slo_attainment=crep.slo_attainment,
+            lane_attainment=crep.lane_attainment,
+            mean_queue_ms=crep.mean_queue_ms,
+            p95_queue_ms=crep.p95_queue_ms,
+            mean_service_ms=crep.mean_service_ms,
+            mean_latency_ms=crep.mean_latency_ms,
+            makespan_ms=crep.makespan_ms,
+            busy_ms=crep.busy_ms,
+            verified=crep.verified,
+            extra=dict(crep.extra),
         )
+
+
+__all__ = [
+    "AdmissionContext",
+    "AdmissionPolicy",
+    "Batch",
+    "POLICIES",
+    "Policy",
+    "QueryOutcome",
+    "ScheduleReport",
+    "Scheduler",
+    "register_policy",
+]

@@ -117,6 +117,87 @@ class TestCommands:
     def test_serve_rejects_bad_requests(self, capsys):
         assert main(["serve", "gen:hybrid:64:1", "--requests", "0"]) == 2
 
+    def test_schedule(self, capsys):
+        assert main(
+            ["schedule", "gen:hybrid:200:1", "--requests", "12",
+             "--rate", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "online query scheduling" in out
+        assert "verified bit-identical" in out
+        for policy in ("slo", "flush", "fcfs"):
+            assert policy in out
+
+    def test_schedule_seed_reproducible(self, capsys):
+        """--seed threads through to poisson_stream: equal seeds replay
+        the identical arrival stream, different seeds do not."""
+        args = ["schedule", "gen:hybrid:200:1", "--requests", "10",
+                "--rate", "3000", "--policy", "slo", "--no-verify"]
+        assert main(args + ["--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        assert main(args + ["--seed", "8"]) == 0
+        third = capsys.readouterr().out
+        assert first == second
+        assert first != third
+
+    def test_cluster(self, capsys):
+        assert main(
+            ["cluster", "gen:hybrid:200:1", "gen:road:200:1",
+             "--servers", "2", "--requests", "12", "--rate", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded cluster serving (2 graphs" in out
+        assert "verified bit-identical" in out
+        assert "single" in out
+        for placement in ("affinity", "least-loaded", "p2c"):
+            assert placement in out
+
+    def test_cluster_seed_reproducible(self, capsys):
+        args = ["cluster", "gen:hybrid:200:1", "gen:road:200:1",
+                "--servers", "2", "--requests", "10", "--rate", "3000",
+                "--placement", "p2c", "--no-verify"]
+        assert main(args + ["--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--seed", "3"]) == 0
+        second = capsys.readouterr().out
+        assert main(args + ["--seed", "4"]) == 0
+        third = capsys.readouterr().out
+        assert first == second
+        assert first != third
+
+    def test_cluster_single_server_still_reports(self, capsys):
+        """--servers 1 must produce the single-server row, not an
+        empty table."""
+        assert main(
+            ["cluster", "gen:hybrid:200:1", "gen:road:200:1",
+             "--servers", "1", "--requests", "8", "--rate", "2000",
+             "--no-verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "single" in out
+        assert "100.0%" in out or "%" in out.split("single", 1)[1]
+
+    def test_cluster_duplicate_graph_names_disambiguated(self, capsys):
+        assert main(
+            ["cluster", "gen:hybrid:200:1", "gen:hybrid:200:1",
+             "--requests", "8", "--rate", "2000", "--no-verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#2" in out
+
+    def test_cluster_rejects_bad_args(self, capsys):
+        assert main(
+            ["cluster", "gen:hybrid:64:1", "--requests", "0"]
+        ) == 2
+        assert main(
+            ["cluster", "gen:hybrid:64:1", "--servers", "0"]
+        ) == 2
+        assert main(
+            ["cluster", "gen:hybrid:64:1", "--rate", "0"]
+        ) == 2
+
     def test_matrices_listing(self, capsys):
         assert main(["matrices"]) == 0
         out = capsys.readouterr().out
