@@ -5,6 +5,13 @@ Honest Python-level timings of the functional kernels against
 reproduce the paper's GPU speedups — the modeled-latency benches do that —
 they document what the pure-NumPy implementation actually costs on the
 host, as EXPERIMENTS.md discusses.
+
+The ``*_planless`` variants time the preserved seed kernels
+(:mod:`repro.kernels.planless`), which re-derive the sweep layout and
+re-unpack matrix bits on every launch; the plain variants run against the
+matrix's warm :class:`~repro.kernels.plan.SweepPlan` — the repeated-launch
+regime a serving graph lives in.  ``--json PATH`` writes every measured
+median as machine-readable ``BENCH_wallclock_kernels.json`` rows.
 """
 
 import numpy as np
@@ -13,10 +20,26 @@ import scipy.sparse as sp
 
 from repro.bitops.packing import pack_bitvector
 from repro.datasets.generators import block_pattern, diagonal_pattern
+from repro.kernels import planless
 from repro.kernels.bmm import bmm_bin_bin_sum
 from repro.kernels.bmv import bmv_bin_bin_bin, bmv_bin_bin_full, bmv_bin_full_full
 from repro.kernels.csr_spmv import csr_spmv
 from repro.semiring import ARITHMETIC
+
+BENCH = "wallclock_kernels"
+
+
+def emit_benchmark(json_report, benchmark, case: str, **config) -> None:
+    """Record a pytest-benchmark median as a JSON row (no-op when the
+    stats are unavailable, e.g. ``--benchmark-disable``)."""
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", None)
+    median = getattr(stats, "median", None)
+    if median is None:
+        return
+    json_report.emit(
+        BENCH, {"case": case, **config}, "median_s", float(median)
+    )
 
 
 @pytest.fixture(scope="module")
@@ -32,32 +55,46 @@ def blocky():
     return g
 
 
-def test_wallclock_bmv_bin_bin_bin(benchmark, banded):
+def test_wallclock_bmv_bin_bin_bin(benchmark, banded, json_report):
     g, x = banded
     A = g.b2sr(32)
     xw = pack_bitvector(x, 32)
     benchmark(bmv_bin_bin_bin, A, xw)
+    emit_benchmark(json_report, benchmark, "bmv_bin_bin_bin")
 
 
-def test_wallclock_bmv_bin_bin_full(benchmark, banded):
+def test_wallclock_bmv_bin_bin_full(benchmark, banded, json_report):
     g, x = banded
     A = g.b2sr(32)
     xw = pack_bitvector(x, 32)
     benchmark(bmv_bin_bin_full, A, xw)
+    emit_benchmark(json_report, benchmark, "bmv_bin_bin_full")
 
 
-def test_wallclock_bmv_bin_full_full(benchmark, banded):
+def test_wallclock_bmv_bin_full_full(benchmark, banded, json_report):
     g, x = banded
     A = g.b2sr(32)
+    A.plan().warm()
     benchmark(bmv_bin_full_full, A, x, ARITHMETIC)
+    emit_benchmark(json_report, benchmark, "bmv_bin_full_full_warm")
 
 
-def test_wallclock_our_csr_spmv(benchmark, banded):
+def test_wallclock_bmv_bin_full_full_planless(benchmark, banded, json_report):
+    """The seed kernel's repeated-launch cost (re-unpacks bits, re-derives
+    chunk structure every call) — the baseline the plan layer beats."""
+    g, x = banded
+    A = g.b2sr(32)
+    benchmark(planless.bmv_bin_full_full, A, x, ARITHMETIC)
+    emit_benchmark(json_report, benchmark, "bmv_bin_full_full_planless")
+
+
+def test_wallclock_our_csr_spmv(benchmark, banded, json_report):
     g, x = banded
     benchmark(csr_spmv, g.csr, x)
+    emit_benchmark(json_report, benchmark, "csr_spmv")
 
 
-def test_wallclock_scipy_spmv(benchmark, banded):
+def test_wallclock_scipy_spmv(benchmark, banded, json_report):
     g, x = banded
     m = sp.csr_matrix(
         (g.csr.data, g.csr.indices.astype(np.int32),
@@ -65,14 +102,16 @@ def test_wallclock_scipy_spmv(benchmark, banded):
         shape=g.csr.shape,
     )
     benchmark(lambda: m @ x)
+    emit_benchmark(json_report, benchmark, "scipy_spmv")
 
 
-def test_wallclock_bmm_sum(benchmark, blocky):
+def test_wallclock_bmm_sum(benchmark, blocky, json_report):
     A = blocky.b2sr(32)
     benchmark(bmm_bin_bin_sum, A, A)
+    emit_benchmark(json_report, benchmark, "bmm_bin_bin_sum")
 
 
-def test_wallclock_scipy_spgemm_sum(benchmark, blocky):
+def test_wallclock_scipy_spgemm_sum(benchmark, blocky, json_report):
     g = blocky
     m = sp.csr_matrix(
         (g.csr.data, g.csr.indices.astype(np.int32),
@@ -80,10 +119,12 @@ def test_wallclock_scipy_spgemm_sum(benchmark, blocky):
         shape=g.csr.shape,
     )
     benchmark(lambda: (m @ m).sum())
+    emit_benchmark(json_report, benchmark, "scipy_spgemm_sum")
 
 
-def test_wallclock_conversion_csr_to_b2sr(benchmark, banded):
+def test_wallclock_conversion_csr_to_b2sr(benchmark, banded, json_report):
     g, _ = banded
     from repro.formats.convert import b2sr_from_csr
 
     benchmark(b2sr_from_csr, g.csr, 32)
+    emit_benchmark(json_report, benchmark, "conversion_csr_to_b2sr")

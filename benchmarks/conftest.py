@@ -31,6 +31,14 @@ def pytest_addoption(parser):
         help="restrict multi-source benches to one algorithm "
              "(bfs, sssp; default: all)",
     )
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="directory to write machine-readable BENCH_<name>.json "
+             "measurement rows into (one file per bench)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -43,6 +51,23 @@ def algo(request) -> str:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def json_report(request):
+    """Shared :class:`repro.bench.JsonReporter`; rows accumulate across
+    the session and are written to ``--json PATH`` (one
+    ``BENCH_<name>.json`` per bench) at teardown.  Without ``--json``
+    the rows are collected but not persisted, so benches can emit
+    unconditionally."""
+    from repro.bench import JsonReporter
+
+    reporter = JsonReporter()
+    yield reporter
+    path = request.config.getoption("--json")
+    if path and reporter.rows():
+        written = reporter.write_dir(path)
+        print("\nwrote " + ", ".join(str(p) for p in written))
 
 
 @pytest.fixture(scope="session")

@@ -5,6 +5,7 @@ under the cost model, algorithm-table runners, and suite subsampling.
 """
 
 from repro.bench.harness import (
+    JsonReporter,
     KernelSpeedup,
     algorithm_table_rows,
     bmm_speedup,
@@ -14,6 +15,7 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "JsonReporter",
     "KernelSpeedup",
     "bmv_speedup",
     "bmm_speedup",

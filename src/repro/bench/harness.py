@@ -9,12 +9,19 @@ Turns the cost model into the paper's measurement protocol:
   kernel-level latency of Bit-GraphBLAS vs GraphBLAST for BFS/SSSP/PR/CC;
 * :func:`tc_table_rows` — Table IX rows (TC on both devices);
 * :func:`suite_subset` — deterministic subsampling of the 521-matrix suite
-  so CI-scale benches stay fast while full runs remain available.
+  so CI-scale benches stay fast while full runs remain available;
+* :class:`JsonReporter` — machine-readable benchmark rows.  Every bench
+  that accepts the shared ``--json PATH`` option (``benchmarks/conftest``)
+  emits ``{bench, config, metric, value}`` rows, written as one
+  ``BENCH_<name>.json`` file per bench so the performance trajectory can
+  be tracked across PRs (CI uploads them as artifacts).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -34,6 +41,62 @@ from repro.kernels.costmodel import (
     csr_spmv_stats,
 )
 from repro.kernels.csr_spgemm import spgemm_flops
+
+
+class JsonReporter:
+    """Collect benchmark measurements and write them as JSON rows.
+
+    A *row* is ``{"bench": str, "config": dict, "metric": str,
+    "value": float}`` — flat enough for any dashboard or a pandas
+    one-liner, stable enough to diff across PRs.  :meth:`write_dir`
+    groups rows by bench name into ``BENCH_<name>.json`` files.
+    """
+
+    def __init__(self) -> None:
+        self._rows: list[dict] = []
+
+    def emit(
+        self, bench: str, config: dict, metric: str, value: float
+    ) -> None:
+        """Record one measurement row (config values must be
+        JSON-serializable scalars/strings)."""
+        if not bench:
+            raise ValueError("bench name must be non-empty")
+        self._rows.append(
+            {
+                "bench": str(bench),
+                "config": dict(config),
+                "metric": str(metric),
+                "value": float(value),
+            }
+        )
+
+    def rows(self, bench: str | None = None) -> list[dict]:
+        """All recorded rows, optionally filtered to one bench."""
+        if bench is None:
+            return list(self._rows)
+        return [r for r in self._rows if r["bench"] == bench]
+
+    def write_dir(self, path: str | Path) -> list[Path]:
+        """Write ``BENCH_<name>.json`` per bench into ``path`` (created
+        if missing); returns the files written."""
+        out_dir = Path(path)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        by_bench: dict[str, list[dict]] = {}
+        for row in self._rows:
+            by_bench.setdefault(row["bench"], []).append(row)
+        for bench, rows in sorted(by_bench.items()):
+            safe = "".join(
+                c if c.isalnum() or c in "-_" else "_" for c in bench
+            )
+            target = out_dir / f"BENCH_{safe}.json"
+            target.write_text(
+                json.dumps(rows, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            written.append(target)
+        return written
 
 
 @dataclass(frozen=True)
@@ -135,7 +198,12 @@ def algorithm_table_rows(
     rows: dict[str, dict[str, float]] = {}
     for alg in SPMV_ALGORITHMS:
         g = sym if alg in ("CC",) else graph
-        bit_engine = BitEngine(g, device=device, tile_dim=tile_dim)
+        # The paper's kernels sweep every stored tile; the reproduction
+        # rows stay paper-faithful by disabling the active-tile skip the
+        # serving stack uses.
+        bit_engine = BitEngine(
+            g, device=device, tile_dim=tile_dim, skip_inactive=False
+        )
         gb_engine = GraphBLASTEngine(g, device=device)
         if alg == "BFS":
             _, rb = bfs(bit_engine, source)
@@ -172,7 +240,9 @@ def tc_table_rows(
 ) -> dict[str, float]:
     """One matrix's Table IX cell pair for one device."""
     sym = graph.symmetrized()
-    bit_engine = BitEngine(sym, device=device, tile_dim=tile_dim)
+    bit_engine = BitEngine(
+        sym, device=device, tile_dim=tile_dim, skip_inactive=False
+    )
     gb_engine = GraphBLASTEngine(sym, device=device)
     count_b, rb = tc.triangle_count(bit_engine)
     count_g, rg = tc.triangle_count(gb_engine)

@@ -25,6 +25,13 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Maximum segment length the sequential fold rank-loops over; longer
+#: (skewed) segments fall back to one ``np.add.at`` scatter.  Shared by
+#: :func:`segment_sum_sequential` and :class:`SequentialFoldPlan` — the
+#: two must agree or plan-backed folds would pick a different
+#: accumulation order than the ad-hoc path.
+_SEQUENTIAL_MAX_LEN = 64
+
 
 def run_starts(keys: np.ndarray) -> np.ndarray:
     """Start index of every run of equal values in a sorted 1-D array.
@@ -101,7 +108,7 @@ def segment_sum_sequential(
         return np.empty((0,) + v.shape[1:], dtype=v.dtype)
     lens = np.diff(np.r_[s, np.int64(v.shape[0])])
     maxlen = int(lens.max())
-    if maxlen > 64:
+    if maxlen > _SEQUENTIAL_MAX_LEN:
         out = np.zeros((s.shape[0],) + v.shape[1:], dtype=v.dtype)
         np.add.at(out, np.repeat(np.arange(s.shape[0]), lens), v)
         return out
@@ -110,3 +117,51 @@ def segment_sum_sequential(
         active = np.nonzero(lens > j)[0]
         out[active] += v[s[active] + j]
     return out
+
+
+class SequentialFoldPlan:
+    """Precompiled :func:`segment_sum_sequential` for fixed ``starts``.
+
+    The sequential fold re-derives its control structure — run lengths,
+    the per-iteration active-segment masks, or the scatter's repeat
+    index — from ``starts`` on every call, which dominates small
+    launches.  This plan captures that structure once (``starts`` are
+    launch-invariant in the kernels' chunk tables) and replays *exactly
+    the same index arrays through the same operations in the same
+    order*, so results are bit-identical to the ad-hoc function.
+    """
+
+    def __init__(self, starts: np.ndarray, total: int) -> None:
+        s = np.asarray(starts, dtype=np.int64)
+        self._starts = s
+        self._empty = s.shape[0] == 0
+        if self._empty:
+            return
+        lens = np.diff(np.concatenate([s, [np.int64(total)]]))
+        maxlen = int(lens.max())
+        # Same fallback rule as segment_sum_sequential: skewed segments
+        # scatter in one np.add.at (identical sequential element order).
+        self._scatter = maxlen > _SEQUENTIAL_MAX_LEN
+        if self._scatter:
+            self._repeat = np.repeat(
+                np.arange(s.shape[0], dtype=np.int64), lens
+            )
+            self._n = s.shape[0]
+        else:
+            self._steps = [
+                (act := np.nonzero(lens > j)[0], s[act] + j)
+                for j in range(1, maxlen)
+            ]
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        v = np.asarray(values)
+        if self._empty:
+            return np.empty((0,) + v.shape[1:], dtype=v.dtype)
+        if self._scatter:
+            out = np.zeros((self._n,) + v.shape[1:], dtype=v.dtype)
+            np.add.at(out, self._repeat, v)
+            return out
+        out = v[self._starts].astype(v.dtype, copy=True)
+        for active, src in self._steps:
+            out[active] += v[src]
+        return out

@@ -43,6 +43,14 @@ class BitEngine(Engine):
         Simulated GPU.
     tile_dim:
         B2SR variant; the paper sweeps 4–32 and so do the ablation benches.
+    skip_inactive:
+        Active-tile skip mode (default on): sweeps consult the packed
+        frontier / value operand and elide tiles whose input is the add
+        identity.  Results are bitwise identical either way (the kernels'
+        elision is exact — :mod:`repro.kernels.plan`); modeled kernel
+        times reflect the skipped work via the active-tile counters.
+        The paper's kernels sweep every stored tile, so reproduction
+        harnesses pass ``skip_inactive=False`` for paper-faithful costs.
     """
 
     backend_name = "bit"
@@ -52,25 +60,50 @@ class BitEngine(Engine):
         graph: Graph,
         device: DeviceSpec = GTX1080,
         tile_dim: int = 32,
+        skip_inactive: bool = True,
     ) -> None:
         super().__init__(graph, device)
         self.tile_dim = tile_dim
+        self.skip_inactive = bool(skip_inactive)
         self._At = graph.b2sr_t(tile_dim)
         self._locality = float(
             np.clip(bandwidth_profile(graph.csr_t)["diag_fraction"], 0, 1)
         )
 
     # ------------------------------------------------------------------
+    def warm_plans(self, widths: tuple[int, ...] = (1,)) -> None:
+        """Eagerly build the sweep plan for the given batch widths.
+
+        A registered serving graph calls this once so its first query
+        already launches against warm chunk tables, gather indices and
+        cached bit masks (:meth:`repro.kernels.plan.SweepPlan.warm`).
+        """
+        self._At.plan().warm(tuple(widths))
+
+    def _bmv_active(self, counters: dict) -> float | None:
+        """Active-tile count for :func:`bmv_stats` (``None`` → dense)."""
+        if not self.skip_inactive:
+            return None
+        return counters.get("active_tiles", 0.0)
+
+    # ------------------------------------------------------------------
     def frontier_expand(
         self, frontier: np.ndarray, visited: np.ndarray
     ) -> np.ndarray:
         d = self.tile_dim
-        fw = pack_bitvector(frontier.astype(np.float32), d)
-        yw = bmv_bin_bin_bin_masked(self._At, fw, visited, complement=True)
+        # Frontiers arrive as bool vectors; pack_bitvector binarizes any
+        # dtype, so no float32 round-trip copy is needed.
+        fw = pack_bitvector(frontier, d)
+        counters: dict = {}
+        yw = bmv_bin_bin_bin_masked(
+            self._At, fw, visited, complement=True,
+            skip=self.skip_inactive, counters=counters,
+        )
         self.add_kernel(
             bmv_stats(
                 self._At, "bin_bin_bin_masked", self.device,
                 locality=self._locality,
+                active_tiles=self._bmv_active(counters),
             )
         )
         # The visited/depth update is fused into the masked BMV's output
@@ -83,12 +116,15 @@ class BitEngine(Engine):
         # float64 payloads (numeric labels) keep their precision; anything
         # else runs in the kernels' native float32.
         dt = value_dtype(x)
+        counters: dict = {}
         y = bmv_bin_full_full(
-            self._At, np.asarray(x).astype(dt, copy=False), semiring
+            self._At, np.asarray(x).astype(dt, copy=False), semiring,
+            skip=self.skip_inactive, counters=counters,
         )
         stats = bmv_stats(
             self._At, "bin_full_full", self.device,
             locality=self._locality, value_bytes=float(dt.itemsize),
+            active_tiles=self._bmv_active(counters),
         )
         self.add_kernel(stats)
         self.note_ewise(vectors=2)
@@ -111,11 +147,16 @@ class BitEngine(Engine):
         F, V = self._check_multi(frontiers, visiteds)
         d = self.tile_dim
         fw = pack_bitmatrix(F, d)
-        yw = bmv_bin_bin_bin_multi_masked(self._At, fw, V, complement=True)
+        counters: dict = {}
+        yw = bmv_bin_bin_bin_multi_masked(
+            self._At, fw, V, complement=True,
+            skip=self.skip_inactive, counters=counters,
+        )
         self.add_kernel(
             bmv_stats(
                 self._At, "bin_bin_bin_masked", self.device,
                 locality=self._locality, k=F.shape[1],
+                active_tiles=self._bmv_active(counters),
             )
         )
         self.algorithm_stats.host_us += 0.5
@@ -133,12 +174,17 @@ class BitEngine(Engine):
                 f"expected ({self.n}, k) vectors, got shape {X.shape}"
             )
         k = X.shape[1]
-        Y = bmv_bin_full_full_multi(self._At, X, semiring)
+        counters: dict = {}
+        Y = bmv_bin_full_full_multi(
+            self._At, X, semiring,
+            skip=self.skip_inactive, counters=counters,
+        )
         self.add_kernel(
             bmv_stats(
                 self._At, "bin_full_full", self.device,
                 locality=self._locality, k=k,
                 value_bytes=float(dt.itemsize),
+                active_tiles=self._bmv_active(counters),
             )
         )
         # One elementwise update over all k columns, one convergence

@@ -59,6 +59,13 @@ def bytes_per_tile(tile_dim: int, nibble: bool = True) -> float:
 class B2SRMatrix:
     """A binary sparse matrix in B2SR format.
 
+    Instances are **immutable**: the three index/payload arrays are
+    frozen (read-only) at construction and no method mutates them — every
+    transform returns a new matrix.  That makes every derived structure
+    (``nnz``, :meth:`tile_row_of`, the :meth:`plan` sweep plan) safe to
+    memoize for the lifetime of the matrix; plan invalidation cannot
+    arise because there is no mutating API.
+
     Attributes
     ----------
     nrows, ncols:
@@ -84,6 +91,15 @@ class B2SRMatrix:
     indices: np.ndarray
     tiles: np.ndarray
     _nnz_cache: int | None = field(default=None, repr=False, compare=False)
+    _tile_rows_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _colmajor_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+    _plan_cache: object | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.tile_dim not in TILE_DIMS:
@@ -110,6 +126,23 @@ class B2SRMatrix:
             self.indices.min() < 0 or self.indices.max() >= self.n_tile_cols
         ):
             raise ValueError("tile column index out of range")
+        # Freeze the stored arrays: the memoized derived structures
+        # (tile_row_of, the sweep plan) rely on them never changing.
+        # A view is copied first — freezing a view leaves its base
+        # writable, which would let a caller mutate the matrix through
+        # the base and silently invalidate the caches.  Base-owning
+        # arrays are frozen in place: constructing a B2SRMatrix takes
+        # ownership of them.
+        self.indptr = self._own(self.indptr)
+        self.indices = self._own(self.indices)
+        self.tiles = self._own(self.tiles)
+
+    @staticmethod
+    def _own(arr: np.ndarray) -> np.ndarray:
+        if arr.base is not None:
+            arr = arr.copy()
+        arr.flags.writeable = False
+        return arr
 
     # ------------------------------------------------------------------
     # Geometry
@@ -178,16 +211,47 @@ class B2SRMatrix:
     # Content access
     # ------------------------------------------------------------------
     def tile_row_of(self) -> np.ndarray:
-        """Tile-row id of each stored tile (expanded ``indptr``)."""
-        return np.repeat(
-            np.arange(self.n_tile_rows, dtype=np.int64),
-            np.diff(self.indptr),
-        )
+        """Tile-row id of each stored tile (expanded ``indptr``).
+
+        Memoized: the index arrays are frozen post-init, so the expansion
+        is launch-invariant.  The returned array is read-only — callers
+        that historically re-derived it on every kernel launch (the BMV
+        chunk sweeps, BMM pair joins, transpose) now share one copy.
+        """
+        if self._tile_rows_cache is None:
+            rows = np.repeat(
+                np.arange(self.n_tile_rows, dtype=np.int64),
+                np.diff(self.indptr),
+            )
+            rows.flags.writeable = False
+            self._tile_rows_cache = rows
+        return self._tile_rows_cache
+
+    def plan(self) -> "object":
+        """The memoized :class:`repro.kernels.plan.SweepPlan` for this
+        matrix — every launch-invariant precomputation the BMV/BMM
+        kernels need (chunk tables, gather indices, cached bit masks,
+        scratch).  Built lazily on first use; valid forever because the
+        matrix is immutable.
+        """
+        if self._plan_cache is None:
+            from repro.kernels.plan import SweepPlan
+
+            self._plan_cache = SweepPlan(self)
+        return self._plan_cache
 
     def colmajor_tiles(self) -> np.ndarray:
         """The Figure 2 column-major packing of every tile: word ``c`` holds
-        column ``c``.  Same dtype/shape as :attr:`tiles`."""
-        return transpose_packed(self.tiles, self.tile_dim)
+        column ``c``.  Same dtype/shape as :attr:`tiles`.
+
+        Memoized (read-only, like :meth:`tile_row_of`): the BMM tile
+        sweep gathers this on every launch.
+        """
+        if self._colmajor_cache is None:
+            cm = transpose_packed(self.tiles, self.tile_dim)
+            cm.flags.writeable = False
+            self._colmajor_cache = cm
+        return self._colmajor_cache
 
     def tile_dense(self, t: int) -> np.ndarray:
         """Unpack stored tile ``t`` to a dense ``(d, d)`` uint8 array."""
@@ -198,18 +262,20 @@ class B2SRMatrix:
     def to_dense(self) -> np.ndarray:
         """Materialise the full matrix as float32 0/1 entries."""
         d = self.tile_dim
+        # One fancy-index scatter into the (tile_row, tile_col, d, d)
+        # grid replaces the former per-tile Python loop; stored tile
+        # coordinates are unique, so the assignment never collides.
         padded = np.zeros(
-            (self.n_tile_rows * d, self.n_tile_cols * d), dtype=np.float32
+            (self.n_tile_rows, self.n_tile_cols, d, d), dtype=np.float32
         )
         if self.n_tiles:
-            dense_tiles = unpack_bits_rowmajor(self.tiles, d)
-            trows = self.tile_row_of()
-            for k in range(self.n_tiles):
-                tr, tc = trows[k], self.indices[k]
-                padded[tr * d:(tr + 1) * d, tc * d:(tc + 1) * d] = (
-                    dense_tiles[k]
-                )
-        return padded[: self.nrows, : self.ncols]
+            padded[self.tile_row_of(), self.indices] = unpack_bits_rowmajor(
+                self.tiles, d
+            )
+        full = padded.transpose(0, 2, 1, 3).reshape(
+            self.n_tile_rows * d, self.n_tile_cols * d
+        )
+        return full[: self.nrows, : self.ncols]
 
     # ------------------------------------------------------------------
     # Transforms

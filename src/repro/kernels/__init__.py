@@ -10,8 +10,19 @@
   kernel under a device model (drives the Figures 6/7 and Tables VII–IX
   reproductions);
 * :mod:`repro.kernels.simt` — the paper's Listings 1–2 ported to the SIMT
-  simulator for validation.
+  simulator for validation;
+* :mod:`repro.kernels.plan` — memoized sweep plans (launch-invariant
+  chunk tables, gather indices, cached bit masks) every BMV/BMM launch
+  executes against, plus the exact active-tile skip helpers;
+* :mod:`repro.kernels.planless` — the seed per-launch kernels, kept as
+  the bitwise reference and cold-path baseline.
 """
+
+from repro.kernels.plan import (
+    DEFAULT_BITS_BUDGET_BYTES,
+    SweepChunk,
+    SweepPlan,
+)
 
 from repro.kernels.bmv import (
     bmv_bin_bin_bin,
@@ -54,4 +65,7 @@ __all__ = [
     "csr_spgemm",
     "csr_spgemm_mask_sum",
     "spgemm_flops",
+    "DEFAULT_BITS_BUDGET_BYTES",
+    "SweepChunk",
+    "SweepPlan",
 ]

@@ -56,11 +56,29 @@ value row) and folds contributions into the output with one
 ``ufunc.reduceat`` over the ``indptr`` boundaries
 (:func:`repro.bitops.segreduce.segment_reduce`) — a buffered, contiguous,
 word-parallel pass, exactly the access pattern Listing 1 exploits on the
-GPU.  The former implementation scattered through ``np.add.at`` /
-``np.logical_or.at``, which are unbuffered per-element ufunc loops and were
-the host-side bottleneck.  Semantics are unchanged: masking is applied
-right before the output store — *not* via early exit, which the paper
-rejects because of warp divergence (§V BFS).
+GPU.  Masking is applied right before the output store — *not* via early
+exit, which the paper rejects because of warp divergence (§V BFS).
+
+**Sweep plans.**  Every scheme executes against the matrix's memoized
+:class:`repro.kernels.plan.SweepPlan`: the tile-row expansion, chunk
+tables (boundaries, run starts, output rows), value-gather indices,
+zero-padded operand scratch and — under a byte budget — the unpacked
+per-tile bit masks of the semiring path are computed once per matrix
+instead of once per launch.  Pass ``plan=`` to supply a custom plan
+(e.g. a different bits budget); results are bitwise independent of plan
+warmth.
+
+**Active-tile skip (``skip=True``).**  The sweep consults the input
+operand and elides stored tiles whose input word / value segment is the
+add identity — the frontier-sparsity the serving BFS/SSSP rounds have in
+abundance.  Exactness is structural, not approximate: OR folds drop
+inactive tiles outright (bitwise OR is exact and order-independent),
+while float add/min/max folds keep their fold shape and pre-fill the
+elided slots with the identity the dense sweep would have computed
+(compute elision) — see :mod:`repro.kernels.plan` for the argument.
+Every kernel returns bitwise-identical results with skip on or off;
+``counters=`` receives ``active_tiles`` / ``tile_visits`` so the cost
+model can charge only the work actually done.
 
 The only Python-level loops are the tile-chunk loops bounding dense-unpack
 scratch (``_CHUNK_TILES`` elements across all ``k`` columns).
@@ -75,10 +93,15 @@ from repro.bitops.packing import (
     pack_bitmatrix,
     pack_bitvector,
     plane_slices,
-    unpack_bits_rowmajor,
 )
 from repro.bitops.segreduce import run_starts, segment_reduce
 from repro.formats.b2sr import B2SRMatrix
+from repro.kernels.plan import (
+    SweepPlan,
+    note_active,
+    value_activity,
+    word_activity,
+)
 from repro.semiring import ARITHMETIC, Semiring, value_dtype
 
 #: Dense-unpack scratch budget per chunk, in tile-row elements; the chunk
@@ -191,10 +214,26 @@ def _row_aligned_chunks(A: B2SRMatrix, step: int):
         lo = hi
 
 
+def _resolve_plan(A: B2SRMatrix, plan: SweepPlan | None) -> SweepPlan:
+    """The matrix's memoized plan, or a caller-supplied one (validated)."""
+    if plan is None:
+        return A.plan()
+    if plan.matrix is not A:
+        raise ValueError("plan was built for a different matrix")
+    return plan
+
+
 # ---------------------------------------------------------------------------
 # Binary output
 # ---------------------------------------------------------------------------
-def bmv_bin_bin_bin(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+def bmv_bin_bin_bin(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
+) -> np.ndarray:
     """Boolean SpMV: ``y = A ∨.∧ x`` with all operands bit-packed.
 
     Parameters
@@ -204,6 +243,10 @@ def bmv_bin_bin_bin(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
     x_words:
         Vector packed with :func:`repro.bitops.packing.pack_bitvector` at
         ``A.tile_dim`` (word ``k`` ↔ tile column ``k``).
+    plan, skip, counters:
+        Sweep plan override, active-tile skip mode and skip accounting
+        (module docstring).  With ``skip=True`` tiles whose vector word
+        is zero are dropped from the OR fold — bitwise exact.
 
     Returns
     -------
@@ -211,8 +254,26 @@ def bmv_bin_bin_bin(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
     """
     xw = _check_vec_words(A, x_words)
     if A.n_tiles == 0:
+        note_active(counters, 0, 0)
         return np.zeros(A.n_tile_rows, dtype=A.tiles.dtype)
     d = A.tile_dim
+    if skip:
+        active = word_activity(xw)[A.indices]
+        sub = np.nonzero(active)[0]
+        note_active(counters, sub.size, A.n_tiles)
+        out = np.zeros(A.n_tile_rows, dtype=A.tiles.dtype)
+        if sub.size:
+            # OR is exact and order-independent: fold only the surviving
+            # tiles' runs (rows with no survivors keep the identity 0).
+            hits = (A.tiles[sub] & xw[A.indices[sub], None]) != 0
+            contrib = ballot_sync(hits, width=d)
+            trows = A.tile_row_of()[sub]
+            starts = run_starts(trows)
+            out[trows[starts]] = np.bitwise_or.reduceat(
+                contrib, starts, axis=0
+            )
+        return out
+    note_active(counters, A.n_tiles, A.n_tiles)
     # Per-tile contribution word: bit r set iff tile row r overlaps the
     # tile's vector word; OR-fold the CSR-sorted tile runs into one output
     # word per tile row.  Rows past ``nrows`` are structurally empty tiles
@@ -230,6 +291,9 @@ def bmv_bin_bin_bin_masked(
     mask: np.ndarray,
     *,
     complement: bool = False,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Masked boolean SpMV (BFS's kernel, §V).
 
@@ -239,13 +303,20 @@ def bmv_bin_bin_bin_masked(
     of visited").
     """
     valid = _resolve_mask(mask, A.nrows, complement)
-    yw = bmv_bin_bin_bin(A, x_words)
+    yw = bmv_bin_bin_bin(
+        A, x_words, plan=plan, skip=skip, counters=counters
+    )
     # Mask applied right before the output store, in the packed domain.
     return yw & pack_bitvector(valid, A.tile_dim)
 
 
 def bmv_bin_bin_bin_multi(
-    A: B2SRMatrix, x_words: np.ndarray
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Batched boolean SpMV: ``Y[:, j] = A ∨.∧ X[:, j]`` for ``k`` packed
     vectors in one tile sweep.
@@ -255,38 +326,67 @@ def bmv_bin_bin_bin_multi(
     ``(n_tile_rows, k)`` — column ``j`` equals
     ``bmv_bin_bin_bin(A, x_words[:, j])``.  ``k`` may exceed the tile word
     width: the batch stripes across ``⌈k/d⌉`` word planes inside the one
-    tile sweep (see the module docstring).
+    tile sweep (see the module docstring).  With ``skip=True`` a tile is
+    elided *per plane* when all its plane words are zero.
     """
     xw = _check_mat_words(A, x_words)
-    return _bmv_bin_bin_bin_multi_core(A, xw)
+    return _bmv_bin_bin_bin_multi_core(A, xw, plan, skip, counters)
 
 
 def _bmv_bin_bin_bin_multi_core(
-    A: B2SRMatrix, xw: np.ndarray
+    A: B2SRMatrix,
+    xw: np.ndarray,
+    plan: SweepPlan | None,
+    skip: bool,
+    counters: dict | None,
 ) -> np.ndarray:
     k = xw.shape[1]
     out = np.zeros((A.n_tile_rows, k), dtype=A.tiles.dtype)
     if A.n_tiles == 0 or k == 0:
+        note_active(counters, 0, 0)
         return out
     d = A.tile_dim
-    trows = A.tile_row_of()
-    step = _chunk(min(k, d))
+    pl = _resolve_plan(A, plan)
     stripes = plane_slices(k, d)
-    for lo in range(0, A.n_tiles, step):
-        hi = min(lo + step, A.n_tiles)
-        tiles = A.tiles[lo:hi]
-        cols = A.indices[lo:hi]
-        starts = run_starts(trows[lo:hi])
-        rows = trows[lo:hi][starts]
+    act_plane = (
+        [word_activity(xw[:, sl]) for sl in stripes] if skip else None
+    )
+    for ch in pl.chunks(min(k, d), row_aligned=False):
+        tiles = A.tiles[ch.lo:ch.hi]
+        cols = A.indices[ch.lo:ch.hi]
         # The chunk's tiles stay resident while every word plane combines
         # against them — one tile sweep however wide the batch.
-        for sl in stripes:
+        for p, sl in enumerate(stripes):
+            if skip:
+                active = act_plane[p][cols]
+                sub = np.nonzero(active)[0]
+                note_active(counters, sub.size, ch.size)
+                if sub.size == 0:
+                    continue
+                if sub.size < ch.size:
+                    hits = (
+                        tiles[sub][:, :, None]
+                        & xw[:, sl][cols[sub], None, :]
+                    ) != 0
+                    contrib = ballot_sync(
+                        np.swapaxes(hits, 1, 2), width=d
+                    )
+                    trows = ch.trows[sub]
+                    starts = run_starts(trows)
+                    out[trows[starts], sl] |= np.bitwise_or.reduceat(
+                        contrib, starts, axis=0
+                    )
+                    continue
+            else:
+                note_active(counters, ch.size, ch.size)
             # (m, d, kp): tile row r of tile t against vector j's word.
             hits = (tiles[:, :, None] & xw[:, sl][cols, None, :]) != 0
             contrib = ballot_sync(
                 np.swapaxes(hits, 1, 2), width=d
             )  # (m, kp)
-            out[rows, sl] |= np.bitwise_or.reduceat(contrib, starts, axis=0)
+            out[ch.rows, sl] |= np.bitwise_or.reduceat(
+                contrib, ch.starts, axis=0
+            )
     return out
 
 
@@ -296,6 +396,9 @@ def bmv_bin_bin_bin_multi_masked(
     masks: np.ndarray,
     *,
     complement: bool = False,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Batched masked boolean SpMV — multi-source BFS's kernel.
 
@@ -304,25 +407,48 @@ def bmv_bin_bin_bin_multi_masked(
     """
     xw = _check_mat_words(A, x_words)
     valid = _resolve_mask_matrix(masks, A.nrows, xw.shape[1], complement)
-    yw = _bmv_bin_bin_bin_multi_core(A, xw)
+    yw = _bmv_bin_bin_bin_multi_core(A, xw, plan, skip, counters)
     return yw & pack_bitmatrix(valid, A.tile_dim)
 
 
 # ---------------------------------------------------------------------------
 # Full-precision output, binary inputs
 # ---------------------------------------------------------------------------
-def bmv_bin_bin_full(A: B2SRMatrix, x_words: np.ndarray) -> np.ndarray:
+def bmv_bin_bin_full(
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
+) -> np.ndarray:
     """Counting SpMV: ``y_i = popc(A_i & x)`` — Listing 1 verbatim.
 
     Returns a float32 vector of per-row overlap counts (the bit-dot-product
-    of each matrix row with the binarized vector).
+    of each matrix row with the binarized vector).  With ``skip=True`` the
+    popcount work runs only on tiles whose vector word is non-zero; the
+    elided slots stay exactly +0.0 — the value the dense sweep computes —
+    and the fold shape is unchanged, so the float sums are bit-identical
+    (compute elision, :mod:`repro.kernels.plan`).
     """
     xw = _check_vec_words(A, x_words)
     if A.n_tiles == 0:
+        note_active(counters, 0, 0)
         return np.zeros(A.nrows, dtype=np.float32)
-    counts = np.bitwise_count(A.tiles & xw[A.indices, None]).astype(
-        np.float32
-    )
+    if skip:
+        active = word_activity(xw)[A.indices]
+        sub = np.nonzero(active)[0]
+        note_active(counters, sub.size, A.n_tiles)
+        counts = np.zeros((A.n_tiles, A.tile_dim), dtype=np.float32)
+        if sub.size:
+            counts[sub] = np.bitwise_count(
+                A.tiles[sub] & xw[A.indices[sub], None]
+            ).astype(np.float32)
+    else:
+        note_active(counters, A.n_tiles, A.n_tiles)
+        counts = np.bitwise_count(A.tiles & xw[A.indices, None]).astype(
+            np.float32
+        )
     y = segment_reduce(
         np.add, counts, A.indptr, identity=0.0, dtype=np.float32
     )
@@ -335,16 +461,26 @@ def bmv_bin_bin_full_masked(
     mask: np.ndarray,
     *,
     complement: bool = False,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Masked counting SpMV; masked-out rows read 0."""
     valid = _resolve_mask(mask, A.nrows, complement)
-    y = bmv_bin_bin_full(A, x_words)
+    y = bmv_bin_bin_full(
+        A, x_words, plan=plan, skip=skip, counters=counters
+    )
     y[~valid] = 0.0
     return y
 
 
 def bmv_bin_bin_full_multi(
-    A: B2SRMatrix, x_words: np.ndarray
+    A: B2SRMatrix,
+    x_words: np.ndarray,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Batched counting SpMV: ``Y[i, j] = popc(A_i & X_j)`` in one tile
     sweep; returns float32 of shape ``(nrows, k)``.  Batches wider than
@@ -355,21 +491,44 @@ def bmv_bin_bin_full_multi(
     d = A.tile_dim
     y = np.zeros((A.n_tile_rows, d, k), dtype=np.float32)
     if A.n_tiles == 0 or k == 0:
+        note_active(counters, 0, 0)
         return y.reshape(-1, k)[: A.nrows]
-    trows = A.tile_row_of()
-    step = _chunk(min(k, d))
+    pl = _resolve_plan(A, plan)
     stripes = plane_slices(k, d)
-    for lo in range(0, A.n_tiles, step):
-        hi = min(lo + step, A.n_tiles)
-        tiles = A.tiles[lo:hi]
-        cols = A.indices[lo:hi]
-        starts = run_starts(trows[lo:hi])
-        rows = trows[lo:hi][starts]
-        for sl in stripes:
+    act_plane = (
+        [word_activity(xw[:, sl]) for sl in stripes] if skip else None
+    )
+    for ch in pl.chunks(min(k, d), row_aligned=False):
+        tiles = A.tiles[ch.lo:ch.hi]
+        cols = A.indices[ch.lo:ch.hi]
+        for p, sl in enumerate(stripes):
+            if skip:
+                active = act_plane[p][cols]
+                sub = np.nonzero(active)[0]
+                note_active(counters, sub.size, ch.size)
+                if sub.size == 0:
+                    # All contributions are exactly +0.0; the counts are
+                    # non-negative, so y += 0.0 is the identity bit for
+                    # bit and the whole update can be dropped.
+                    continue
+                if sub.size < ch.size:
+                    counts = np.zeros(
+                        (ch.size, d, sl.stop - sl.start), dtype=np.float32
+                    )
+                    counts[sub] = np.bitwise_count(
+                        tiles[sub][:, :, None]
+                        & xw[:, sl][cols[sub], None, :]
+                    ).astype(np.float32)
+                    y[ch.rows, :, sl] += np.add.reduceat(
+                        counts, ch.starts, axis=0
+                    )
+                    continue
+            else:
+                note_active(counters, ch.size, ch.size)
             counts = np.bitwise_count(
                 tiles[:, :, None] & xw[:, sl][cols, None, :]
             ).astype(np.float32)  # (m, d, kp)
-            y[rows, :, sl] += np.add.reduceat(counts, starts, axis=0)
+            y[ch.rows, :, sl] += np.add.reduceat(counts, ch.starts, axis=0)
     return y.reshape(-1, k)[: A.nrows]
 
 
@@ -380,6 +539,10 @@ def bmv_bin_full_full(
     A: B2SRMatrix,
     x: np.ndarray,
     semiring: Semiring = ARITHMETIC,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Semiring SpMV with a full-precision multiplier vector (§IV Fig 4).
 
@@ -391,6 +554,14 @@ def bmv_bin_full_full(
     A ``float64`` vector is computed in ``float64`` end to end (exact
     integer payloads through 2⁵³ — FastSV's label pulls); every other
     dtype computes in the native ``float32``.
+
+    The sweep runs against the matrix's plan: chunk tables, gather
+    indices, operand scratch and (within budget) the unpacked bit masks
+    are reused across launches.  With ``skip=True`` tiles whose value
+    segment is bit-identical to the semiring identity are compute-elided
+    — their contribution slots are pre-filled with the identity the
+    dense sweep would produce, so the fold is bit-for-bit unchanged
+    (exact for every semiring, SSSP's +∞-heavy early rounds included).
     """
     dt = value_dtype(x)
     xv = np.asarray(x).astype(dt, copy=False)
@@ -403,27 +574,54 @@ def bmv_bin_full_full(
         A.n_tile_rows, d
     )
     if A.n_tiles == 0:
+        note_active(counters, 0, 0)
         return y.reshape(-1)[: A.nrows]
 
+    pl = _resolve_plan(A, plan)
     # Pad x to whole tiles; padded entries are never selected because the
     # corresponding matrix bits are structurally absent.
-    xpad = np.zeros(A.n_tile_cols * d, dtype=dt)
+    xpad = pl.value_scratch(dt)
     xpad[: A.ncols] = xv
-    col_offsets = np.arange(d, dtype=np.int64)
-    trows = A.tile_row_of()
+    zero = dt.type(semiring.zero)
+    col_act = value_activity(xpad, d, semiring.zero) if skip else None
+    # The multiplied operand plus the identity sentinel the masked
+    # gather points elided cells at.  ``ext[G]`` is element-for-element
+    # the array the seed builds via broadcast + np.where (same shape,
+    # contiguity and values), so the reduction below is bit-identical —
+    # mult is elementwise, hence applying it before the gather instead
+    # of after changes nothing.
+    ext = pl.mult_scratch(dt)
+    ext[:-1] = semiring.mult_matrix_one(xpad)
+    ext[-1] = zero
 
-    for lo, hi in _row_aligned_chunks(A, _CHUNK_TILES):
-        bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
-        seg = xpad[A.indices[lo:hi, None] * d + col_offsets]  # (m, d)
-        m = semiring.mult_matrix_one(seg)  # (m, d)
-        # Broadcast the multiplier across tile rows, reduce over columns.
-        vals = semiring.reduce_masked(
-            np.broadcast_to(m[:, None, :], bits.shape), bits, axis=-1
-        ).astype(dt)
+    for ch in pl.chunks(1, row_aligned=True):
+        if skip:
+            active = col_act[A.indices[ch.lo:ch.hi]]
+            sub = np.nonzero(active)[0]
+            note_active(counters, sub.size, ch.size)
+            if sub.size == 0:
+                # Every contribution is the add identity; folding it into
+                # the identity-initialised output is a no-op for every
+                # semiring (row-aligned chunks touch each row once).
+                continue
+            if sub.size < ch.size:
+                vals = np.full((ch.size, d), zero, dtype=dt)
+                filled = ext[pl.masked_gather(ch, sub)]  # (ms, d, d)
+                vals[sub] = semiring.add_reduce(filled, axis=-1).astype(
+                    dt, copy=False
+                )
+                y[ch.rows] = semiring.add(
+                    y[ch.rows], pl.fold_runs(semiring, vals, ch)
+                )
+                continue
+        else:
+            note_active(counters, ch.size, ch.size)
+        filled = ext[pl.masked_gather(ch)]  # (m, d, d)
+        vals = semiring.add_reduce(filled, axis=-1).astype(dt, copy=False)
         # Chunks are row-aligned, so each output row is folded exactly once.
-        starts = run_starts(trows[lo:hi])
-        rows = trows[lo:hi][starts]
-        y[rows] = semiring.add(y[rows], semiring.add_reduceat(vals, starts))
+        y[ch.rows] = semiring.add(
+            y[ch.rows], pl.fold_runs(semiring, vals, ch)
+        )
     return y.reshape(-1)[: A.nrows]
 
 
@@ -434,10 +632,15 @@ def bmv_bin_full_full_masked(
     *,
     semiring: Semiring = ARITHMETIC,
     complement: bool = False,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Masked semiring SpMV; masked-out rows read the semiring identity."""
     valid = _resolve_mask(mask, A.nrows, complement)
-    y = bmv_bin_full_full(A, x, semiring=semiring)
+    y = bmv_bin_full_full(
+        A, x, semiring=semiring, plan=plan, skip=skip, counters=counters
+    )
     y[~valid] = semiring.zero
     return y
 
@@ -446,6 +649,10 @@ def bmv_bin_full_full_multi(
     A: B2SRMatrix,
     x: np.ndarray,
     semiring: Semiring = ARITHMETIC,
+    *,
+    plan: SweepPlan | None = None,
+    skip: bool = False,
+    counters: dict | None = None,
 ) -> np.ndarray:
     """Batched semiring SpMV over ``k`` full-precision vectors (columns of
     ``x``, shape ``(ncols, k)``) in one tile sweep — batched PageRank's,
@@ -454,7 +661,10 @@ def bmv_bin_full_full_multi(
 
     ``k`` may exceed the tile word width: value planes of at most ``d``
     columns stripe over each resident tile chunk, so scratch stays one
-    plane deep and the tile payloads stream once per sweep.
+    plane deep and the tile payloads stream once per sweep.  With
+    ``skip=True`` a tile is compute-elided per plane when every value of
+    its segment across the plane's columns is bit-identical to the
+    semiring identity (see :func:`bmv_bin_full_full`).
     """
     dt = value_dtype(x)
     xv = np.asarray(x).astype(dt, copy=False)
@@ -468,21 +678,55 @@ def bmv_bin_full_full_multi(
         A.n_tile_rows, d, k
     )
     if A.n_tiles == 0 or k == 0:
+        note_active(counters, 0, 0)
         return y.reshape(-1, k)[: A.nrows]
 
-    xpad = np.zeros((A.n_tile_cols * d, k), dtype=dt)
+    pl = _resolve_plan(A, plan)
+    xpad = pl.value_scratch(dt, k)
     xpad[: A.ncols] = xv
-    col_offsets = np.arange(d, dtype=np.int64)
-    trows = A.tile_row_of()
+    gather = pl.gather_index
     stripes = plane_slices(k, d)
     zero = dt.type(semiring.zero)
+    act_plane = (
+        [value_activity(xpad[:, sl], d, semiring.zero) for sl in stripes]
+        if skip
+        else None
+    )
 
-    for lo, hi in _row_aligned_chunks(A, _chunk(min(k, d))):
-        bits = unpack_bits_rowmajor(A.tiles[lo:hi], d).astype(bool)
-        idx = A.indices[lo:hi, None] * d + col_offsets
-        starts = run_starts(trows[lo:hi])
-        rows = trows[lo:hi][starts]
-        for sl in stripes:
+    for ch in pl.chunks(min(k, d), row_aligned=True):
+        idx = gather[ch.lo:ch.hi]
+        cols = A.indices[ch.lo:ch.hi]
+        bits_full = None
+        for p, sl in enumerate(stripes):
+            if skip:
+                active = act_plane[p][cols]
+                sub = np.nonzero(active)[0]
+                note_active(counters, sub.size, ch.size)
+                if sub.size == 0:
+                    continue
+                if sub.size < ch.size:
+                    vals = np.full(
+                        (ch.size, d, sl.stop - sl.start), zero, dtype=dt
+                    )
+                    bits = pl.bits(ch, sub)
+                    seg = xpad[:, sl][idx[sub]]  # (ms, d, kp)
+                    m = semiring.mult_matrix_one(seg)
+                    mt = np.swapaxes(m, 1, 2)  # (ms, kp, d)
+                    filled = np.ascontiguousarray(
+                        np.where(bits[:, :, None, :], mt[:, None, :, :], zero)
+                    )
+                    vals[sub] = semiring.add_reduce(filled, axis=-1).astype(
+                        dt
+                    )
+                    y[ch.rows, :, sl] = semiring.add(
+                        y[ch.rows, :, sl],
+                        pl.fold_runs(semiring, vals, ch),
+                    )
+                    continue
+            else:
+                note_active(counters, ch.size, ch.size)
+            if bits_full is None:
+                bits_full = pl.bits(ch)
             seg = xpad[:, sl][idx]  # (m, d, kp)
             m = semiring.mult_matrix_one(seg)  # (m, d, kp)
             # Reduce over the tile-column axis kept *last*, on a
@@ -492,13 +736,13 @@ def bmv_bin_full_full_multi(
             # pairwise chunking).
             mt = np.swapaxes(m, 1, 2)  # (m, kp, d)
             filled = np.ascontiguousarray(
-                np.where(bits[:, :, None, :], mt[:, None, :, :], zero)
+                np.where(bits_full[:, :, None, :], mt[:, None, :, :], zero)
             )
             vals = semiring.add_reduce(filled, axis=-1).astype(
                 dt
             )  # (m, d, kp)
-            y[rows, :, sl] = semiring.add(
-                y[rows, :, sl], semiring.add_reduceat(vals, starts)
+            y[ch.rows, :, sl] = semiring.add(
+                y[ch.rows, :, sl], pl.fold_runs(semiring, vals, ch)
             )
     return y.reshape(-1, k)[: A.nrows]
 

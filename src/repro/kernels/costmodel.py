@@ -124,6 +124,7 @@ def bmv_stats(
     locality: float = 0.5,
     k: int = 1,
     value_bytes: float = 4.0,
+    active_tiles: float | None = None,
 ) -> KernelStats:
     """Modeled cost of a B2SR BMV scheme (Listing 1 / Figure 4 mapping).
 
@@ -150,6 +151,15 @@ def bmv_stats(
     instructions against the resident chunk — a small per-plane term on
     top of the ``k``-proportional combine work.  ``k ≤ d`` costs are
     unchanged (one plane).
+
+    ``active_tiles`` models the kernels' active-tile skip mode: the
+    per-plane sum of tiles whose input word/segment was not the semiring
+    identity (the kernels report it via their ``counters`` argument, out
+    of ``n_tiles × planes`` visits).  Skipped tiles pay the index lookup
+    and the one-word activity test but not the payload fetch, combine
+    instructions or value gather, so those terms scale by the active
+    fraction.  ``None`` (or a fully-active count) reproduces the dense
+    sweep's cost exactly.
     """
     if scheme not in BMV_SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; valid: {BMV_SCHEMES}")
@@ -157,6 +167,15 @@ def bmv_stats(
         raise ValueError(f"batch width k must be >= 1, got {k}")
     d = A.tile_dim
     n_tiles = float(A.n_tiles)
+    visits = n_tiles * plane_count(k, d)
+    if active_tiles is None:
+        frac = 1.0
+    else:
+        if active_tiles < 0:
+            raise ValueError(
+                f"active_tiles must be >= 0, got {active_tiles}"
+            )
+        frac = min(1.0, active_tiles / visits) if visits else 1.0
     word_bytes = max(1.0, d / 8.0)
     tile_bytes = bytes_per_tile(d)
     binary_vec = scheme.startswith(("bin_bin_bin", "bin_bin_full"))
@@ -166,15 +185,18 @@ def bmv_stats(
     tag = f"bmv_{scheme}" if k == 1 else f"bmv_multi_{scheme}_k{k}"
     stats = KernelStats(launches=1, tag=tag)
     # Tile index: row pointers + column indices — read once per sweep,
-    # however many vectors are in flight.
+    # however many vectors are in flight (the skip mode's activity test
+    # still touches every index entry).
     stats.dram_bytes += 4.0 * (A.n_tile_rows + 1) + 4.0 * n_tiles
-    # Tile payloads: streamed, coalesced (consecutive within a tile row).
-    stats.dram_bytes += n_tiles * tile_bytes
+    # Tile payloads: streamed, coalesced (consecutive within a tile row);
+    # skipped tiles' payloads are never fetched.
+    stats.dram_bytes += n_tiles * tile_bytes * frac
 
     if binary_vec:
         # Packed vector(s): tiny working set — overwhelmingly cache
         # resident; the k word rows of a packed matrix are contiguous, so
-        # one tile's gather serves all k lanes.
+        # one tile's gather serves all k lanes.  The skip test reads the
+        # same words, so this term does not scale down.
         ws = A.n_tile_cols * word_bytes * k
         hit = gather_hit_fraction(ws, device.l1_bytes, locality)
         stats.dram_bytes += n_tiles * word_bytes * k * (1.0 - hit)
@@ -182,12 +204,14 @@ def bmv_stats(
     if full_vec:
         # Full-precision vector(s), d consecutive values per tile; the
         # 32-warp shared-memory layout (§IV) boosts reuse across
-        # neighbouring rows.
+        # neighbouring rows.  Only active tiles gather their segments
+        # (the activity test reads one flag per tile column, charged to
+        # the per-plane indexing term below).
         ws = value_bytes * A.ncols * k
         hit = gather_hit_fraction(
             ws, device.l2_bytes, min(1.0, locality + 0.3)
         )
-        requested = n_tiles * d * value_bytes * k
+        requested = n_tiles * d * value_bytes * k * frac
         stats.dram_bytes += requested * (1.0 - hit)
         stats.l2_bytes += requested * hit * 0.5
         stats.l1_bytes += requested * hit * 0.5
@@ -213,21 +237,25 @@ def bmv_stats(
     # Multi-word planes: each plane beyond the first replays the per-tile
     # word fetch/indexing against the resident chunk (§III.C's fixed
     # per-tile term, paid once per plane rather than once per vector).
+    # The combine lanes run only for active tiles; the per-plane fixed
+    # term covers the indexing *and* the skip mode's word test, so it is
+    # paid for every visit.
     planes = plane_count(k, d)
     stats.warp_instructions += (
         6.0 * A.n_tile_rows
-        + (per_tile_combine * k + 1.5 * planes) * n_tiles
+        + (per_tile_combine * k * frac + 1.5 * planes) * n_tiles
     )
     # Sub-warp tiles need atomic combines in the full-precision schemes
     # (§V: atomicMin/atomicAdd for B2SR-4/8/16) — one combine per
     # lane-group result.
     if full_vec and d < 32:
-        stats.atomics += n_tiles * lanes_fraction * k
+        stats.atomics += n_tiles * lanes_fraction * k * frac
     stats.min_compute_us += _latency_bound_us(
         stats.warp_instructions, max(A.n_tile_rows, 1), device
     )
-    # Each popc covers up to d bit-MACs.
-    stats.flops += 2.0 * float(A.nnz) * k
+    # Each popc covers up to d bit-MACs (scaled to the tiles actually
+    # combined when the sweep skips inactive tiles).
+    stats.flops += 2.0 * float(A.nnz) * k * frac
     return stats
 
 

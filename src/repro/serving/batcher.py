@@ -122,6 +122,22 @@ class QueryBatcher:
         self._next_qid = 0
 
     # ------------------------------------------------------------------
+    def warm(self, widths: tuple[int, ...] | None = None) -> None:
+        """Pre-build the engines' kernel sweep plans for the batch widths
+        this batcher launches (single queries and ``max_batch``-wide
+        coalesced groups), so the first flush already runs against warm
+        chunk tables and cached bit masks.  Backends without plans (the
+        CSR baseline engines) are a no-op."""
+        if widths is None:
+            widths = (1, self.max_batch)
+        engines = {id(self.engine): self.engine}
+        engines.setdefault(id(self.cc_engine), self.cc_engine)
+        for eng in engines.values():
+            warm = getattr(eng, "warm_plans", None)
+            if callable(warm):
+                warm(tuple(widths))
+
+    # ------------------------------------------------------------------
     def submit(self, kind: str, source: int | None = None) -> int:
         """Queue one query; returns its id (the key into flush results)."""
         if kind not in KINDS:

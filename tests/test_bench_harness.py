@@ -91,6 +91,44 @@ class TestMxmStructural:
             mxm_structural("bad", g.csr)
 
 
+class TestJsonReporter:
+    def test_rows_roundtrip(self, tmp_path):
+        import json
+
+        from repro.bench import JsonReporter
+
+        rep = JsonReporter()
+        rep.emit("plans", {"tile_dim": 8}, "speedup", 2.5)
+        rep.emit("plans", {"tile_dim": 32}, "speedup", 2.1)
+        rep.emit("wallclock kernels", {"case": "spmv"}, "median_s", 1e-3)
+        assert len(rep.rows()) == 3
+        assert len(rep.rows("plans")) == 2
+        written = rep.write_dir(tmp_path / "json")
+        names = sorted(p.name for p in written)
+        assert names == [
+            "BENCH_plans.json", "BENCH_wallclock_kernels.json",
+        ]
+        rows = json.loads((tmp_path / "json" / "BENCH_plans.json")
+                          .read_text())
+        assert rows == [
+            {"bench": "plans", "config": {"tile_dim": 8},
+             "metric": "speedup", "value": 2.5},
+            {"bench": "plans", "config": {"tile_dim": 32},
+             "metric": "speedup", "value": 2.1},
+        ]
+
+    def test_empty_bench_name_rejected(self):
+        from repro.bench import JsonReporter
+
+        with pytest.raises(ValueError):
+            JsonReporter().emit("", {}, "m", 1.0)
+
+    def test_write_empty_reporter_writes_nothing(self, tmp_path):
+        from repro.bench import JsonReporter
+
+        assert JsonReporter().write_dir(tmp_path) == []
+
+
 class TestDiagonalVsDotOrdering:
     def test_banded_beats_scattered_in_modeled_speedup(self):
         """The structural claim behind Figures 6/7: the same kernel at the
