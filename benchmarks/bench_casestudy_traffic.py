@@ -46,9 +46,6 @@ def _hit_rate_of(launch):
 
 
 def test_casestudy_mycielskian8(benchmark, results_dir):
-    # Measure with explicit cache objects for the hit rates.
-    from repro.gpusim.cache import SetAssociativeCache
-
     def run():
         g = load_named("mycielskian8")
         x = np.ones(g.n, dtype=np.float32)

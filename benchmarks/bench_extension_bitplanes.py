@@ -80,6 +80,6 @@ def test_bitplane_extension(benchmark, results_dir):
     # Shapes: storage gain decays ~k/32 with bit width but stays > 1 for
     # short widths; the 1-bit case degenerates to plain Bit-GraphBLAS.
     gains = [float(r[3][:-1]) for r in rows]
-    assert all(a >= b for a, b in zip(gains, gains[1:]))
+    assert all(a >= b for a, b in zip(gains, gains[1:], strict=False))
     assert gains[0] > 4.0  # 1-bit: big saving
     assert gains[2] > 1.5  # 4-bit weights still pay off (§VII's target)

@@ -7,8 +7,6 @@ bench closes that gap with modeled latencies on representative matrices,
 checking correctness oracles along the way.
 """
 
-import numpy as np
-
 from benchmarks.conftest import write_artifact
 from repro.algorithms.coloring import greedy_coloring, verify_coloring
 from repro.algorithms.diameter import pseudo_diameter

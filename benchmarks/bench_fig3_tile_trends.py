@@ -48,9 +48,9 @@ def test_fig3_tile_trends(benchmark, results_dir):
     for name in MATRICES:
         ratios, occs = data[name]
         # Fig 3a shape: ratio grows (weakly) with tile size.
-        assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:])), name
+        assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:], strict=False)), name
         # Fig 3b shape: occupancy shrinks (weakly) with tile size.
-        assert all(a >= b - 1e-9 for a, b in zip(occs, occs[1:])), name
+        assert all(a >= b - 1e-9 for a, b in zip(occs, occs[1:], strict=False)), name
     # Fig 3a magnitudes: small tiles sparse-ish, large tiles much fuller
     # for at least one matrix (the paper: <30% at 4×4, >80% at 32×32).
     assert min(data[n][0][0] for n in MATRICES) < 35.0

@@ -52,7 +52,7 @@ def test_fig5_compression(benchmark, results_dir, suite_graphs):
     # Shape criteria (DESIGN.md E4):
     # (1) compressed count decreases monotonically with tile size;
     vals = [compressed[d] for d in TILE_DIMS]
-    assert all(a >= b for a, b in zip(vals, vals[1:])), vals
+    assert all(a >= b for a, b in zip(vals, vals[1:], strict=False)), vals
     # (2) most matrices compress at B2SR-4 (paper: 491/521 = 94%);
     assert compressed[4] / total > 0.75
     # (3) optimal tile size concentrates on the small tiles (4/8 hold

@@ -19,8 +19,6 @@ One cell re-runs with ``verify=True``, which raises unless every served
 answer is bitwise identical to its standalone run.
 """
 
-import numpy as np
-
 from benchmarks.conftest import write_artifact
 from repro.algorithms import bfs, connected_components, sssp
 from repro.analysis.report import format_table
@@ -64,7 +62,9 @@ def _sweep():
                 engine, cc_engine=cc_engine, max_batch=32
             )
             reports = {
-                name: scheduler.run(stream, policy=name)[1]
+                # verify=False: policy comparison only needs latencies;
+                # bitwise checks are covered by tests/test_scheduler.py.
+                name: scheduler.run(stream, policy=name, verify=False)[1]
                 for name in POLICIES
             }
             # Feasible: bulk budget ≥ 5× and urgent ≥ 2× the worst solo

@@ -6,7 +6,6 @@ runtimes generally improve on Volta while Bit-GraphBLAS's stay similar
 """
 
 from benchmarks.bench_table7_algorithms_pascal import (
-    SPMV_ALGORITHMS,
     TABLE7_MATRICES,
     assert_table_shapes,
     render_table,

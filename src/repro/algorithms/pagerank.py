@@ -41,22 +41,22 @@ def pagerank(
         raise ValueError("empty graph")
     engine.reset_stats()
 
-    out_deg = engine.graph.out_degrees().astype(np.float32)
+    out_deg = engine.graph.out_degrees().astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks), matches the paper's GPU value arithmetic; ids stay float64
     dangling = out_deg == 0
     inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(out_deg, 1)).astype(
-        np.float32
+        np.float32  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
     )
-    rank = np.full(n, 1.0 / n, dtype=np.float32)
+    rank = np.full(n, 1.0 / n, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
     base = (1.0 - alpha) / n
 
     delta = float("inf")  # residual when no iteration runs
     for _ in range(max_iterations):
         engine.note_iteration()
-        contrib = (rank * inv_deg).astype(np.float32)
+        contrib = (rank * inv_deg).astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
         engine.note_ewise(vectors=3)  # the v_out_degree division (§V)
         pulled = engine.pull(contrib, ARITHMETIC)
         dangling_mass = float(rank[dangling].sum()) / n
-        new = (base + alpha * (pulled + dangling_mass)).astype(np.float32)
+        new = (base + alpha * (pulled + dangling_mass)).astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
         delta = float(np.abs(new - rank).sum())
         rank = new
         if delta < tol:
@@ -105,26 +105,26 @@ def pagerank_multi(
     k = sd.shape[0]
     engine.reset_stats()
 
-    out_deg = engine.graph.out_degrees().astype(np.float32)
+    out_deg = engine.graph.out_degrees().astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks), matches the paper's GPU value arithmetic; ids stay float64
     dangling = out_deg == 0
     inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(out_deg, 1)).astype(
-        np.float32
+        np.float32  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
     )
-    restart = np.zeros((n, k), dtype=np.float32)
+    restart = np.zeros((n, k), dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
     restart[sd, np.arange(k)] = 1.0
     rank = restart.copy()
 
     delta = float("inf")  # residual when no iteration runs
     for _ in range(max_iterations):
         engine.note_iteration()
-        contrib = (rank * inv_deg[:, None]).astype(np.float32)
+        contrib = (rank * inv_deg[:, None]).astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
         engine.note_ewise(vectors=3 * k)  # the v_out_degree division (§V)
         pulled = engine.pull_multi(contrib, ARITHMETIC)
         dangling_mass = rank[dangling].sum(axis=0)  # (k,)
         new = (
             (1.0 - alpha) * restart
             + alpha * (pulled + dangling_mass[None, :] * restart)
-        ).astype(np.float32)
+        ).astype(np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (ranks)
         delta = float(np.abs(new - rank).sum(axis=0).max())
         rank = new
         if delta < tol:

@@ -48,13 +48,13 @@ def sssp(
         max_iterations = n
     engine.reset_stats()
 
-    dist = np.full(n, np.inf, dtype=np.float32)
+    dist = np.full(n, np.inf, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (distances), matches the paper's GPU value arithmetic; ids stay float64
     dist[source] = 0.0
 
     for _ in range(max_iterations):
         engine.note_iteration()
         relaxed = engine.pull(dist, MIN_PLUS)
-        new = np.minimum(dist, relaxed.astype(np.float32))
+        new = np.minimum(dist, relaxed.astype(np.float32))  # repro-lint: ignore[numeric-cliff] — float32 value payload (distances)
         # ``new <= dist`` always holds (elementwise min), so "no entry
         # improved" is exactly "new == dist" — one check suffices.
         if not (new < dist).any():
@@ -101,13 +101,13 @@ def multi_source_sssp(
         max_iterations = n
     engine.reset_stats()
 
-    dist = np.full((n, k), np.inf, dtype=np.float32)
+    dist = np.full((n, k), np.inf, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — float32 value payload (distances), matches the paper's GPU value arithmetic; ids stay float64
     dist[src, np.arange(k)] = 0.0
 
     for _ in range(max_iterations):
         engine.note_iteration()
         relaxed = engine.pull_multi(dist, MIN_PLUS)
-        new = np.minimum(dist, relaxed.astype(np.float32))
+        new = np.minimum(dist, relaxed.astype(np.float32))  # repro-lint: ignore[numeric-cliff] — float32 value payload (distances)
         if not (new < dist).any():
             break
         dist = new

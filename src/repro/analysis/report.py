@@ -9,7 +9,7 @@ as quoted in §VI.D's prose).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -30,11 +30,11 @@ def format_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in str_rows:
         lines.append(
-            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+            " | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True))
         )
     return "\n".join(lines)
 

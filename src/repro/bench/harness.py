@@ -28,7 +28,6 @@ import numpy as np
 from repro.algorithms import bfs, connected_components, pagerank, sssp, tc
 from repro.datasets.suite import SuiteEntry, evaluation_suite
 from repro.engines import BitEngine, GraphBLASTEngine
-from repro.formats.b2sr import TILE_DIMS
 from repro.formats.stats import bandwidth_profile
 from repro.graph import Graph
 from repro.gpusim.device import DeviceSpec

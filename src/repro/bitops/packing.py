@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitops.intrinsics import dtype_for_width, mask_for_width
+from repro.bitops.intrinsics import dtype_for_width
 
 _VALID_DIMS = (4, 8, 16, 32)
 

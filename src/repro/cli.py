@@ -19,6 +19,10 @@ without writing Python:
 * ``cluster``  — register several serving graphs and dispatch one
   cross-graph Poisson stream across N servers, comparing placement
   policies (and the single-server scheduler) at equal aggregate rate;
+* ``lint``     — the repo-specific AST invariant linter (numeric-cliff,
+  b2sr-immutability, seeded-rng, paper-faithful-skip, verify-contract,
+  hot-path-scatter), with per-rule inline suppressions and text/JSON
+  reports;
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -613,6 +617,39 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        ALL_RULES,
+        get_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        rows = [[r.id, r.description] for r in ALL_RULES]
+        print(format_table(["rule", "invariant"], rows,
+                           title="registered invariant rules"))
+        return 0
+    try:
+        rules = get_rules(args.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations, files_scanned = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(render_json(violations, files_scanned=files_scanned))
+    else:
+        print(
+            render_text(
+                violations,
+                files_scanned=files_scanned,
+                show_suppressed=args.show_suppressed,
+            )
+        )
+    return 1 if any(not v.suppressed for v in violations) else 0
+
+
 def cmd_matrices(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(NAMED_MATRICES):
@@ -783,6 +820,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seeds the Poisson stream and randomized "
                          "placement (reproducible runs)")
     sp.set_defaults(func=cmd_cluster)
+
+    sp = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter: numeric-cliff, "
+             "b2sr-immutability, seeded-rng, paper-faithful-skip, "
+             "verify-contract, hot-path-scatter",
+    )
+    sp.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    sp.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format")
+    sp.add_argument("--select", default=None,
+                    help="comma-separated rule ids (default: all)")
+    sp.add_argument("--show-suppressed", action="store_true",
+                    help="also list sanctioned (suppressed) exceptions")
+    sp.add_argument("--list-rules", action="store_true",
+                    help="print the rule registry and exit")
+    sp.set_defaults(func=cmd_lint)
 
     sp = sub.add_parser("matrices", help="list named stand-ins")
     sp.add_argument("--build", action="store_true",

@@ -40,7 +40,7 @@ email-Eu-core        dot         dense-ish random block
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

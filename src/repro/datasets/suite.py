@@ -14,7 +14,7 @@ matrices in memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -107,7 +107,7 @@ def evaluation_suite(
 
     entries: list[SuiteEntry] = []
     idx = 0
-    for cat, count in zip(cats, counts):
+    for cat, count in zip(cats, counts, strict=True):
         for k in range(count):
             log_n = rng.uniform(np.log(min_n), np.log(max_n))
             n = int(np.exp(log_n))

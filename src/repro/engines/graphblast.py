@@ -71,7 +71,7 @@ class GraphBLASTEngine(Engine):
             # Pull: masked mxv over Aᵀ; early exit skips visited rows, so
             # charge the unvisited fraction of the full SpMV.
             y = csr_spmv_semiring(
-                self.graph.csr_t, frontier.astype(np.float32), BOOLEAN
+                self.graph.csr_t, frontier.astype(np.float32), BOOLEAN  # repro-lint: ignore[numeric-cliff] — boolean frontier payload in {0,1}, far below the 2^24 cliff
             )
             unvisited_frac = float((~visited).mean()) if self.n else 0.0
             stats = csr_spmv_stats(

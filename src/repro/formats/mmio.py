@@ -106,8 +106,8 @@ def write_matrix_market(
     coo = coo_from_csr(csr)
     path.write(f"{csr.nrows} {csr.ncols} {csr.nnz}\n")
     if pattern:
-        for r, c in zip(coo.rows, coo.cols):
+        for r, c in zip(coo.rows, coo.cols, strict=True):
             path.write(f"{r + 1} {c + 1}\n")
     else:
-        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals, strict=True):
             path.write(f"{r + 1} {c + 1} {v:.7g}\n")

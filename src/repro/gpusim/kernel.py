@@ -13,7 +13,7 @@ Timing comes from feeding those counters to :mod:`repro.gpusim.timing`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.gpusim.cache import SetAssociativeCache
 from repro.gpusim.counters import Counters, KernelStats

@@ -160,7 +160,7 @@ class Graph:
         g = nx.DiGraph()
         g.add_nodes_from(range(self.n))
         rows = csr_row_indices(self.csr, self.n)
-        g.add_edges_from(zip(rows.tolist(), self.csr.indices.tolist()))
+        g.add_edges_from(zip(rows.tolist(), self.csr.indices.tolist(), strict=True))
         return g
 
 

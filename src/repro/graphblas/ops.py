@@ -24,7 +24,7 @@ from repro.kernels.bmv import (
 )
 from repro.kernels.csr_spgemm import csr_spgemm_mask_sum, csr_spgemm_sum
 from repro.kernels.csr_spmv import csr_spmv_masked, csr_spmv_semiring
-from repro.semiring import BOOLEAN, Semiring
+from repro.semiring import Semiring
 from repro.formats.convert import b2sr_from_csr
 from repro.bitops.packing import unpack_bitvector
 
@@ -69,7 +69,7 @@ def mxv(
                 )
             return Vector(
                 unpack_bitvector(yw, desc.tile_dim, graph.n).astype(
-                    np.float32
+                    np.float32  # repro-lint: ignore[numeric-cliff] — GraphBLAS value payload; the wrapper's dtype is the semiring value_dtype
                 )
             )
         if mask is None:
@@ -209,7 +209,7 @@ def ewise_add(x: Vector, y: Vector, semiring: Semiring) -> Vector:
     """Elementwise ⊕ of two vectors (GraphBLAS eWiseAdd)."""
     if x.n != y.n:
         raise ValueError(f"length mismatch: {x.n} vs {y.n}")
-    return Vector(semiring.add(x.values, y.values).astype(np.float32))
+    return Vector(semiring.add(x.values, y.values).astype(np.float32))  # repro-lint: ignore[numeric-cliff] — GraphBLAS value payload; ids never flow through eWiseAdd
 
 
 def apply_mask(

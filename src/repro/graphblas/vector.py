@@ -23,7 +23,7 @@ class Vector:
     """
 
     def __init__(self, values: np.ndarray) -> None:
-        self._values = np.asarray(values, dtype=np.float32).copy()
+        self._values = np.asarray(values, dtype=np.float32).copy()  # repro-lint: ignore[numeric-cliff] — Vector stores value payloads only; id/priority surfaces use float64 arrays elsewhere
         if self._values.ndim != 1:
             raise ValueError(
                 f"expected a 1-D vector, got shape {self._values.shape}"
@@ -35,17 +35,17 @@ class Vector:
     # ------------------------------------------------------------------
     @classmethod
     def dense(cls, n: int, fill: float = 0.0) -> "Vector":
-        return cls(np.full(n, fill, dtype=np.float32))
+        return cls(np.full(n, fill, dtype=np.float32))  # repro-lint: ignore[numeric-cliff] — value payload fill
 
     @classmethod
     def sparse(cls, n: int, indices, values=None, fill: float = 0.0) -> "Vector":
         """Build from (indices, values) pairs over a ``fill`` background."""
-        out = np.full(n, fill, dtype=np.float32)
+        out = np.full(n, fill, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — value payload fill
         idx = np.asarray(indices, dtype=np.int64)
         if values is None:
             out[idx] = 1.0
         else:
-            out[idx] = np.asarray(values, dtype=np.float32)
+            out[idx] = np.asarray(values, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — value payload scatter
         return cls(out)
 
     @classmethod
@@ -74,7 +74,7 @@ class Vector:
 
     def assign(self, values: np.ndarray) -> None:
         """Replace the payload (shape-checked)."""
-        arr = np.asarray(values, dtype=np.float32)
+        arr = np.asarray(values, dtype=np.float32)  # repro-lint: ignore[numeric-cliff] — value payload replacement
         if arr.shape != self._values.shape:
             raise ValueError(
                 f"shape mismatch: {arr.shape} vs {self._values.shape}"

@@ -86,10 +86,10 @@ def csr_spgemm_sum(A: CSRMatrix, B: CSRMatrix) -> float:
     if A.nnz == 0 or B.nnz == 0:
         return 0.0
     col_sums = np.zeros(A.ncols, dtype=np.float64)
-    np.add.at(col_sums, A.indices, A.data.astype(np.float64))
+    np.add.at(col_sums, A.indices, A.data.astype(np.float64))  # repro-lint: ignore[hot-path-scatter] — CSR FLOP-count baseline, not the B2SR hot path; runs once per cost estimate
     row_sums = np.zeros(B.nrows, dtype=np.float64)
     b_rows = np.repeat(np.arange(B.nrows, dtype=np.int64), np.diff(B.indptr))
-    np.add.at(row_sums, b_rows, B.data.astype(np.float64))
+    np.add.at(row_sums, b_rows, B.data.astype(np.float64))  # repro-lint: ignore[hot-path-scatter] — CSR FLOP-count baseline, not the B2SR hot path
     return float(col_sums @ row_sums)
 
 

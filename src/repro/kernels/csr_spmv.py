@@ -30,7 +30,7 @@ def csr_spmv(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
         )
     y = np.zeros(csr.nrows, dtype=np.float32)
     if csr.nnz:
-        np.add.at(y, _row_of(csr), csr.data * xv[csr.indices])
+        np.add.at(y, _row_of(csr), csr.data * xv[csr.indices])  # repro-lint: ignore[hot-path-scatter] — CSR reference baseline the B2SR kernels are measured against; scatter is the point of comparison
     return y
 
 

@@ -57,7 +57,7 @@ makes compute elision provably exact for float sums.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -71,6 +71,7 @@ from repro.bitops.segreduce import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.formats.b2sr import B2SRMatrix
+    from repro.semiring import Semiring
 
 #: Default byte budget for cached unpacked bit masks per plan.  A chunk's
 #: mask costs ``(hi - lo) · d²`` bytes (bool); chunks past the budget are
@@ -162,7 +163,7 @@ class SweepPlan:
             if row_aligned:
                 bounds = list(_row_aligned_chunks(A, step))
             else:
-                bounds = [
+                bounds = [  # repro-lint: ignore[hot-path-scatter] — plan construction is launch-invariant cold path; result is memoized per (matrix, step)
                     (lo, min(lo + step, A.n_tiles))
                     for lo in range(0, A.n_tiles, step)
                 ]
@@ -291,7 +292,12 @@ class SweepPlan:
             self._folds[key] = prog
         return prog
 
-    def fold_runs(self, semiring, values: np.ndarray, chunk: SweepChunk):
+    def fold_runs(
+        self,
+        semiring: "Semiring",
+        values: np.ndarray,
+        chunk: SweepChunk,
+    ) -> np.ndarray:
         """Fold per-tile contribution rows into per-tile-row results with
         the semiring's add monoid — through the chunk's precompiled
         sequential plan when the semiring requires strict sequential

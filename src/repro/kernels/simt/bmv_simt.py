@@ -62,7 +62,7 @@ def run_bmv_bin_bin_full_simt(
         group = ctx.laneid // lanes_per_tile  # which tile in the batch
         in_row = ctx.laneid % lanes_per_tile  # which row of that tile
         acc = np.zeros(WARP_SIZE, dtype=np.float64)
-        for base in range(row_start, row_end, tiles_per_warp):
+        for base in range(row_start, row_end, tiles_per_warp):  # repro-lint: ignore[hot-path-scatter] — SIMT lane-level simulation models per-tile warp batches by design (Fig. 7)
             tile = base + group
             active = tile < row_end
             a_words = ctx.gmem.load("tiles", tile * d + in_row, active)
@@ -118,7 +118,7 @@ def run_bmv_bin_bin_bin_simt(
         if row_start == row_end:
             return
         reached = np.zeros(WARP_SIZE, dtype=bool)
-        for tile in range(row_start, row_end):
+        for tile in range(row_start, row_end):  # repro-lint: ignore[hot-path-scatter] — SIMT lane-level simulation iterates tiles to model the device loop
             a_words = ctx.gmem.load("tiles", tile * d + ctx.laneid)
             cols = ctx.gmem.load("colind", np.full(WARP_SIZE, tile))
             b_words = ctx.gmem.load("x", cols[:1].repeat(WARP_SIZE))

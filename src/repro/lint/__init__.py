@@ -1,0 +1,69 @@
+"""Repo-specific static analysis: an AST linter for hand-paid invariants.
+
+Every rule in :mod:`repro.lint.rules` mechanizes a contract this codebase
+once enforced by review alone — and, in most cases, paid for as a shipped
+bug first:
+
+* ``numeric-cliff`` — float32 carries contiguous integers only to 2²⁴;
+  vertex ids, labels and priorities must ride float64 (three separate
+  cliff bugs across CC labels, coloring priorities and MIS draws).
+* ``b2sr-immutability`` — B2SR arrays are frozen at construction so
+  memoized :class:`~repro.kernels.plan.SweepPlan`\\ s can never go stale;
+  nothing outside the format/plan modules may re-enable writes or
+  scatter into them.
+* ``seeded-rng`` — global NumPy RNG state breaks the repo's
+  identical-stdout determinism contract; every draw threads a seeded
+  ``default_rng``.
+* ``paper-faithful-skip`` — reproduction surfaces pin
+  ``skip_inactive=False`` so Table VII artifacts stay byte-identical.
+* ``verify-contract`` — serving launch sites thread ``verify=``
+  explicitly instead of leaning on defaults.
+* ``hot-path-scatter`` — ``ufunc.at`` scatters and per-tile Python loops
+  are banned from the kernel hot path (the planless reference keeps
+  them as the bitwise oracle).
+
+Violations carry ``file:line``, a rule id and a fix hint; sanctioned
+exceptions are inline suppressions that must state their reason::
+
+    x = frontier.astype(np.float32)  # repro-lint: ignore[numeric-cliff] — 0/1 payload, no ids
+
+Run it as ``repro lint [paths...]`` (text or ``--format json``) or via
+:func:`lint_paths` / :func:`lint_source`.
+"""
+
+from repro.lint.core import (
+    LintContext,
+    Rule,
+    RuleVisitor,
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+from repro.lint.rules import ALL_RULES, get_rules, rule_ids
+from repro.lint.suppress import MALFORMED_RULE_ID, Suppression
+
+__all__ = [
+    "ALL_RULES",
+    "JSON_SCHEMA_VERSION",
+    "LintContext",
+    "MALFORMED_RULE_ID",
+    "Rule",
+    "RuleVisitor",
+    "Suppression",
+    "Violation",
+    "get_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,284 @@
+"""Rule framework and file runner for the invariant linter.
+
+The moving parts:
+
+* :class:`Violation` — one finding: ``file:line``, rule id, message and
+  fix hint, plus the node span (so a suppression anywhere on a
+  multi-line statement matches) and its suppression state.
+* :class:`Rule` — a registered invariant.  A rule declares which
+  repo-relative paths it polices (:meth:`Rule.applies_to`) and returns
+  an AST visitor per file (:meth:`Rule.visitor`).
+* :class:`RuleVisitor` — the shared visitor base: tracks the enclosing
+  function stack (rules scope findings to e.g. ``cmd_run``) and funnels
+  findings through :meth:`RuleVisitor.report`.
+* :func:`lint_source` / :func:`lint_file` / :func:`lint_paths` — parse
+  once, run every applicable rule, then fold in the suppression table
+  from :mod:`repro.lint.suppress`.
+
+Paths are matched as normalized POSIX substrings (``"kernels/"``,
+``"bench/harness.py"``), so the same rules fire whether the linter is
+invoked on ``src``, ``src/repro`` or an absolute path — and fixture
+files in tests can impersonate any location via ``lint_source(...,
+path=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.lint.resolve import AliasResolver
+from repro.lint.suppress import MALFORMED_RULE_ID, scan_suppressions
+
+#: Rule id reported for files the parser rejects.
+PARSE_ERROR_RULE_ID = "parse-error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, optionally neutralized by a suppression."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    end_line: int | None = None
+    suppressed: bool = False
+    reason: str = ""
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}{tag}: {self.message}"
+        if self.suppressed and self.reason:
+            text += f" [reason: {self.reason}]"
+        elif self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def normalize_path(path: str | Path) -> str:
+    """POSIX form with no leading ``./`` — the form rules match on."""
+    text = Path(path).as_posix()
+    return text[2:] if text.startswith("./") else text
+
+
+class LintContext:
+    """Per-file state shared by every rule's visitor."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str) -> None:
+        self.path = normalize_path(path)
+        self.tree = tree
+        self.source = source
+        self.resolver = AliasResolver.from_tree(tree)
+        self.violations: list[Violation] = []
+
+    def report(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> None:
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule.id,
+                message=message,
+                hint=rule.hint if hint is None else hint,
+                end_line=getattr(node, "end_lineno", None),
+            )
+        )
+
+
+class Rule:
+    """One registered invariant.
+
+    Subclasses set ``id`` / ``description`` / ``hint``, narrow
+    :meth:`applies_to`, and return a visitor from :meth:`visitor`.
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def visitor(self, ctx: LintContext) -> "RuleVisitor":
+        raise NotImplementedError
+
+    @staticmethod
+    def in_tests(path: str) -> bool:
+        name = path.rsplit("/", 1)[-1]
+        return (
+            "tests/" in path
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Shared visitor base: function-scope tracking + reporting."""
+
+    def __init__(self, rule: Rule, ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.func_stack: list[str] = []
+
+    # -- scope tracking ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self.func_stack.append(getattr(node, "name", "<lambda>"))
+        try:
+            self.generic_visit(node)
+        finally:
+            self.func_stack.pop()
+
+    @property
+    def enclosing_functions(self) -> tuple[str, ...]:
+        return tuple(self.func_stack)
+
+    # -- reporting -----------------------------------------------------
+    def report(
+        self, node: ast.AST, message: str, hint: str | None = None
+    ) -> None:
+        self.ctx.report(self.rule, node, message, hint)
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def _default_rules() -> Sequence[Rule]:
+    from repro.lint.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Lint one module's source as if it lived at ``path``.
+
+    Returns **all** findings, suppressed ones included (marked) — the
+    reporters and exit-code logic filter on :attr:`Violation.suppressed`.
+    """
+    if rules is None:
+        rules = _default_rules()
+    norm = normalize_path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=norm,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE_ID,
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(norm, tree, source)
+    for rule in rules:
+        if rule.applies_to(ctx.path):
+            rule.visitor(ctx).visit(tree)
+
+    known = frozenset(r.id for r in rules)
+    suppressions, malformed = scan_suppressions(source, known)
+    out: list[Violation] = []
+    for line, col, message in malformed:
+        out.append(
+            Violation(
+                path=norm,
+                line=line,
+                col=col,
+                rule=MALFORMED_RULE_ID,
+                message=message,
+                hint="write: # repro-lint: ignore[rule-id] — reason",
+            )
+        )
+    for v in ctx.violations:
+        span_end = v.end_line if v.end_line is not None else v.line
+        match = None
+        for line in range(v.line, span_end + 1):
+            for sup in suppressions.get(line, ()):
+                if v.rule in sup.rules:
+                    match = sup
+                    break
+            if match:
+                break
+        if match is not None:
+            v = replace(v, suppressed=True, reason=match.reason)
+        out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    as_path: str | Path | None = None,
+) -> list[Violation]:
+    """Lint a file on disk (``as_path`` overrides the path rules see)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, as_path if as_path is not None else path, rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for p in paths:
+        root = Path(p)
+        if root.is_dir():
+            candidates: Iterable[Path] = sorted(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            candidates = [root]
+        else:
+            candidates = []
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> tuple[list[Violation], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(violations, files_scanned)``; violations include
+    suppressed findings (marked) in ``(path, line)`` order.
+    """
+    violations: list[Violation] = []
+    count = 0
+    for f in iter_python_files(paths):
+        count += 1
+        violations.extend(lint_file(f, rules))
+    return violations, count
+
+
+__all__ = [
+    "PARSE_ERROR_RULE_ID",
+    "LintContext",
+    "Rule",
+    "RuleVisitor",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "normalize_path",
+]

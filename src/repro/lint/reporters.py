@@ -1,0 +1,94 @@
+"""Violation reporters: human text and machine JSON.
+
+The JSON schema is stable (``"version": 1``) and covered by tests — CI
+tooling may rely on it::
+
+    {
+      "version": 1,
+      "files_scanned": 87,
+      "counts": {
+        "violations": 2,        # active (unsuppressed) findings
+        "suppressed": 21,       # sanctioned exceptions
+        "by_rule": {"numeric-cliff": 2}   # active findings per rule
+      },
+      "violations": [
+        {"path": "...", "line": 12, "col": 4, "rule": "numeric-cliff",
+         "message": "...", "hint": "...",
+         "suppressed": false, "reason": ""}
+      ]
+    }
+
+Suppressed findings are included in ``violations`` (with their recorded
+reason) so the sanctioned allowlist stays auditable from the report.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.lint.core import Violation
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    violations: Sequence[Violation],
+    *,
+    files_scanned: int | None = None,
+    show_suppressed: bool = False,
+) -> str:
+    """Human-readable report; active findings (plus, optionally, the
+    suppressed allowlist) and a one-line summary."""
+    active = [v for v in violations if not v.suppressed]
+    suppressed = [v for v in violations if v.suppressed]
+    lines = [v.format() for v in active]
+    if show_suppressed and suppressed:
+        lines.append("suppressed (sanctioned exceptions):")
+        lines.extend("  " + v.format() for v in suppressed)
+    scanned = (
+        "" if files_scanned is None else f" across {files_scanned} files"
+    )
+    lines.append(
+        f"{len(active)} violation(s), {len(suppressed)} suppressed"
+        + scanned
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation],
+    *,
+    files_scanned: int = 0,
+) -> str:
+    """The stable machine-readable report (see module docstring)."""
+    active = [v for v in violations if not v.suppressed]
+    by_rule: dict[str, int] = {}
+    for v in active:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "counts": {
+            "violations": len(active),
+            "suppressed": len(violations) - len(active),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+                "hint": v.hint,
+                "suppressed": v.suppressed,
+                "reason": v.reason,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]

@@ -1,0 +1,103 @@
+"""Lightweight alias / dtype resolution for lint rules.
+
+Rules need to know that ``np.float32``, ``numpy.float32``,
+``from numpy import float32 as f32`` and ``DTYPE = np.float32`` all name
+the same thing without running the code.  :class:`AliasResolver` does a
+single pre-pass over the module collecting import aliases and trivial
+``NAME = <numpy attribute>`` bindings, then answers "what canonical
+dotted path does this expression name?" for ``Name``/``Attribute``
+chains.
+
+This is deliberately not a type checker: it resolves the handful of
+static spelling variations that appear in real code, and returns
+``None`` for anything dynamic.  Rules therefore never *miss* the plain
+spellings (the ones review has historically caught last) and never
+false-positive on expressions they cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class AliasResolver:
+    """Maps local names to canonical ``numpy.*`` dotted paths."""
+
+    def __init__(self) -> None:
+        #: local name → canonical dotted path ("np" → "numpy",
+        #: "f32" → "numpy.float32", "npr" → "numpy.random").
+        self.aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "AliasResolver":
+        self = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname:
+                        self.aliases[local] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        self.aliases[local] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never name numpy
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.Assign):
+                # Trivial re-binding: DTYPE = np.float32
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    dotted = self._dotted_raw(node.value)
+                    if dotted is not None:
+                        resolved = self._canonical(dotted)
+                        if resolved and resolved.startswith("numpy"):
+                            self.aliases[node.targets[0].id] = resolved
+        return self
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dotted_raw(node: ast.AST) -> str | None:
+        """``a.b.c`` → ``"a.b.c"`` for pure Name/Attribute chains."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def _canonical(self, dotted: str) -> str | None:
+        root, _, rest = dotted.partition(".")
+        base = self.aliases.get(root)
+        if base is None:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+    # ------------------------------------------------------------------
+    def dotted(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of an expression, or ``None``."""
+        raw = self._dotted_raw(node)
+        if raw is None:
+            return None
+        return self._canonical(raw)
+
+    def resolves_to(self, node: ast.AST, canonical: str) -> bool:
+        """Does ``node`` statically name ``canonical`` (e.g.
+        ``"numpy.float32"``)?"""
+        return self.dotted(node) == canonical
+
+    def is_numpy_rooted(self, node: ast.AST) -> bool:
+        """Does the expression resolve into the ``numpy`` namespace?"""
+        d = self.dotted(node)
+        return d is not None and (d == "numpy" or d.startswith("numpy."))
+
+
+__all__ = ["AliasResolver"]

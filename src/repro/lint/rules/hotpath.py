@@ -1,0 +1,102 @@
+"""``hot-path-scatter``: no scatters or per-tile loops in the kernels.
+
+PR 1 rebuilt the BMV/BMM hot paths on ``reduceat`` segment reductions
+(2.6× wall-clock) and PR 5 hoisted the remaining per-launch work into
+memoized sweep plans (another 2.3× warm).  Those wins evaporate one
+convenience at a time: a ``np.add.at`` scatter here, a
+``for tile in ...`` loop there — each individually harmless-looking,
+each reintroducing the O(nnz) Python-loop / buffered-scatter cost the
+earlier PRs paid to remove.
+
+Inside ``kernels/`` (except ``kernels/planless.py``, the preserved seed
+implementation that serves as the bitwise oracle and cold baseline) the
+rule flags:
+
+* ``np.<ufunc>.at(...)`` — buffered scatter; use the segment-reduce
+  helpers in ``bitops/segreduce.py`` (they replay scatter fold order
+  bit-exactly where the semiring demands it);
+* ``for`` loops whose target or iterable mentions tiles — per-tile
+  Python iteration; sweep with vectorized chunk tables from the plan.
+
+Chunk- and plane-granular loops (bounded by ``_CHUNK_TILES`` /
+``plane_count``, not by ``n_tiles``) are the sanctioned sweep structure
+and do not match.  Plan *construction* is launch-invariant cold path;
+its one tile-granular loop carries a suppression saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import LintContext, Rule, RuleVisitor
+
+
+class _Visitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "at"
+            and isinstance(func.value, ast.Attribute)
+            and self.ctx.resolver.is_numpy_rooted(func.value.value)
+        ):
+            self.report(
+                node,
+                f"np.{func.value.attr}.at scatter on the kernel hot "
+                "path (buffered, per-element)",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        header = f"{ast.unparse(node.target)} in {ast.unparse(node.iter)}"
+        if "tile" in header.lower():
+            self.report(
+                node,
+                f"per-tile Python loop on the kernel hot path "
+                f"(`for {header}`)",
+            )
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", ()):
+            header = (
+                f"{ast.unparse(gen.target)} in {ast.unparse(gen.iter)}"
+            )
+            if "tile" in header.lower():
+                self.report(
+                    node,
+                    f"per-tile comprehension on the kernel hot path "
+                    f"(`for {header}`)",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+class HotPathScatterRule(Rule):
+    id = "hot-path-scatter"
+    description = (
+        "no ufunc.at scatters or per-tile Python loops inside kernels/ "
+        "(planless.py, the preserved seed reference, excepted)"
+    )
+    hint = (
+        "use bitops/segreduce helpers for order-exact folds and the "
+        "SweepPlan chunk tables for tile iteration; reference/cold-path "
+        "code may be suppressed with a reason"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return (
+            "kernels/" in path
+            and not path.endswith("planless.py")
+            and not self.in_tests(path)
+        )
+
+    def visitor(self, ctx: LintContext) -> RuleVisitor:
+        return _Visitor(self, ctx)
+
+
+__all__ = ["HotPathScatterRule"]

@@ -1,0 +1,79 @@
+"""``numeric-cliff``: float32 on id/label/priority-bearing surfaces.
+
+float32 represents contiguous integers only up to 2²⁴.  This repo paid
+for that cliff three separate times — CC labels (PR 2), Jones–Plassmann
+coloring priorities and MIS draws (PR 3) — each one a silent wrong
+answer on >16M-vertex graphs.  The fix was uniform: identity-bearing
+payloads ride float64, and the one sanctioned dtype decision point is
+``semiring.value_dtype`` (which routes ≥32-bit integer operands to
+float64 so raw labels can never hit the cliff).
+
+The rule flags every literal float32 cast or dtype on the surfaces
+where ids flow — ``algorithms/``, ``engines/``, ``graphblas/`` — i.e.
+``.astype(np.float32)`` and ``dtype=np.float32`` (any alias spelling).
+Paper-faithful float32 *value* payloads (BFS depth floats, PageRank
+mass, SSSP distances) are legitimate; each such site carries a
+suppression stating why its payload cannot carry vertex ids, which is
+precisely the reviewable allowlist this rule exists to create.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import LintContext, Rule, RuleVisitor
+
+_FLOAT32 = "numpy.float32"
+_SCOPES = ("algorithms/", "engines/", "graphblas/")
+
+
+class _Visitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        resolver = self.ctx.resolver
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and node.args
+            and resolver.resolves_to(node.args[0], _FLOAT32)
+        ):
+            self.report(
+                node.args[0],
+                "astype(float32) on an id-bearing surface: float32 "
+                "represents integers exactly only to 2^24",
+            )
+        for kw in node.keywords:
+            if kw.arg == "dtype" and resolver.resolves_to(
+                kw.value, _FLOAT32
+            ):
+                self.report(
+                    kw.value,
+                    "dtype=float32 on an id-bearing surface: float32 "
+                    "represents integers exactly only to 2^24",
+                )
+        self.generic_visit(node)
+
+
+class NumericCliffRule(Rule):
+    id = "numeric-cliff"
+    description = (
+        "no float32 dtype for vertex-id/label/priority arrays in "
+        "algorithms/, engines/, graphblas/ (the 2^24 integer cliff; "
+        "semiring.value_dtype is the sanctioned dtype decision point)"
+    )
+    hint = (
+        "carry ids/labels/priorities in float64 or route the dtype "
+        "through semiring.value_dtype; a pure value payload may be "
+        "suppressed with a reason"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not self.in_tests(path) and any(
+            scope in path for scope in _SCOPES
+        )
+
+    def visitor(self, ctx: LintContext) -> RuleVisitor:
+        return _Visitor(self, ctx)
+
+
+__all__ = ["NumericCliffRule"]

@@ -1,0 +1,160 @@
+"""Inline suppression comments for the invariant linter.
+
+A sanctioned exception is written next to the code it sanctions::
+
+    arr = x.astype(np.float32)  # repro-lint: ignore[numeric-cliff] — bounded 0/1 payload
+
+Grammar: ``# repro-lint: ignore[rule-id, ...] <sep> reason`` where
+``<sep>`` is an em dash (``—``), ``--``, ``-`` or ``:``.  The reason is
+**mandatory** — a suppression is the reviewable form of an allowlist
+entry, and an allowlist entry without a rationale is exactly the
+implicit convention this linter exists to retire.  A directive that
+cannot be parsed (missing bracket, empty id list, missing reason, or an
+id no registered rule owns) is itself reported under
+:data:`MALFORMED_RULE_ID` so typos cannot silently disable a rule.
+
+A trailing comment applies to the physical line it sits on; a comment
+alone on its line applies to the next code line (handy when the
+offending expression plus a justification will not fit in one line).
+Because rules report the full node span, a suppression anywhere on a
+multi-line statement's lines matches violations anchored to that span.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Rule id used for unparseable / unknown-rule suppression directives.
+MALFORMED_RULE_ID = "malformed-suppression"
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+_IGNORE = re.compile(
+    r"^ignore\s*\[(?P<ids>[^\]]*)\]\s*(?:—|--|-|:)\s*(?P<reason>.*)$"
+)
+_SKIP_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``repro-lint: ignore[...]`` directive."""
+
+    line: int  # physical line the comment sits on
+    target: int  # line the suppression applies to
+    rules: tuple[str, ...]
+    reason: str
+
+
+def scan_suppressions(
+    source: str, known_rules: frozenset[str] | set[str]
+) -> tuple[dict[int, list[Suppression]], list[tuple[int, int, str]]]:
+    """Extract suppressions (keyed by target line) and malformed
+    directives (``(line, col, message)`` triples) from ``source``.
+
+    Uses :mod:`tokenize` so ``#`` characters inside string literals are
+    never mistaken for comments.
+    """
+    by_target: dict[int, list[Suppression]] = {}
+    malformed: list[tuple[int, int, str]] = []
+    pending: list[tuple[int, int, tuple[str, ...], str]] = []
+
+    def flush_pending(target: int) -> None:
+        for line, _col, ids, reason in pending:
+            sup = Suppression(
+                line=line, target=target, rules=ids, reason=reason
+            )
+            by_target.setdefault(target, []).append(sup)
+        pending.clear()
+
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files surface as parse errors in the core; there
+        # is nothing meaningful to suppress.
+        return {}, []
+
+    for tok in tokens:
+        if tok.type not in _SKIP_TOKENS:
+            # First code token after standalone directives: they target
+            # this line.
+            if pending:
+                flush_pending(tok.start[0])
+            continue
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _DIRECTIVE.search(tok.string)
+        if m is None:
+            continue
+        line, col = tok.start
+        body = m.group("body").strip()
+        parsed = _IGNORE.match(body)
+        if parsed is None:
+            malformed.append(
+                (
+                    line,
+                    col,
+                    f"unparseable repro-lint directive {body!r}; expected "
+                    "ignore[rule-id, ...] — reason",
+                )
+            )
+            continue
+        ids = tuple(
+            s.strip() for s in parsed.group("ids").split(",") if s.strip()
+        )
+        reason = parsed.group("reason").strip()
+        if not ids:
+            malformed.append(
+                (line, col, "suppression names no rule ids")
+            )
+            continue
+        unknown = [i for i in ids if i not in known_rules]
+        if unknown:
+            malformed.append(
+                (
+                    line,
+                    col,
+                    f"suppression names unknown rule(s) {unknown}; "
+                    f"known: {sorted(known_rules)}",
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                (
+                    line,
+                    col,
+                    "suppression has no reason; every sanctioned "
+                    "exception must say why it is sound",
+                )
+            )
+            continue
+        # Trailing comment → applies to its own line.  Standalone
+        # comment → applies to the next code line (resolved above).
+        line_text = source.splitlines()[line - 1] if line else ""
+        if line_text[: col].strip():
+            sup = Suppression(
+                line=line, target=line, rules=ids, reason=reason
+            )
+            by_target.setdefault(line, []).append(sup)
+        else:
+            pending.append((line, col, ids, reason))
+
+    # Standalone directives at EOF never reached code; drop them.
+    return by_target, malformed
+
+
+__all__ = ["MALFORMED_RULE_ID", "Suppression", "scan_suppressions"]

@@ -26,7 +26,7 @@ integer arithmetic past ``float32``'s 2²⁴ contiguous-integer ceiling, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

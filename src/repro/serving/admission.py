@@ -32,7 +32,7 @@ simply uses one graph name throughout).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.serving.arrivals import LANES, Arrival
 

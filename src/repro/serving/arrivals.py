@@ -24,7 +24,9 @@ budgets compare directly against ``EngineReport.algorithm_ms``.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TypeAlias
 
 import numpy as np
 
@@ -87,6 +89,12 @@ class Arrival:
                 )
 
 
+#: Anything the stream-normalizing entry points accept: ready-made
+#: :class:`Arrival`\ s or raw ``(time_ms, kind, source, slo_ms[, lane
+#: [, graph]])`` rows, in any order.
+StreamLike: TypeAlias = Iterable["Arrival | Sequence[object]"]
+
+
 def poisson_stream(
     n_vertices: int,
     *,
@@ -125,8 +133,8 @@ def poisson_stream(
     times = np.cumsum(gaps_ms)
     kinds = rng.choice(len(KINDS), size=requests, p=weights)
     urgent = rng.random(requests) < urgent_fraction
-    out = []
-    for t, ki, u in zip(times, kinds, urgent):
+    out: list[Arrival] = []
+    for t, ki, u in zip(times, kinds, urgent, strict=True):
         kind = KINDS[ki]
         source = None if kind == "cc" else int(rng.integers(n_vertices))
         out.append(
@@ -198,7 +206,7 @@ def multi_graph_poisson_stream(
     children = np.random.SeedSequence(seed).spawn(len(graphs))
     out: list[Arrival] = []
     for (name, n), share, count, child in zip(
-        graphs.items(), weight, counts, children
+        graphs.items(), weight, counts, children, strict=True
     ):
         if count == 0:
             continue
@@ -219,7 +227,7 @@ def multi_graph_poisson_stream(
 
 
 def trace_stream(
-    rows, *, n_vertices: int | None = None
+    rows: StreamLike, *, n_vertices: int | None = None
 ) -> list[Arrival]:
     """Build a validated, time-sorted stream from explicit rows.
 
@@ -230,7 +238,7 @@ def trace_stream(
     keep their order); duplicate rows are legal and each one is served
     as its own query.  An empty ``rows`` yields an empty stream.
     """
-    out = []
+    out: list[Arrival] = []
     for row in rows:
         if isinstance(row, Arrival):
             a = row

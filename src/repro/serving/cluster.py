@@ -39,7 +39,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,10 +52,14 @@ from repro.serving.admission import (
     Batch,
     resolve_policy,
 )
-from repro.serving.arrivals import LANES, Arrival, trace_stream
+from repro.serving.arrivals import LANES, Arrival, StreamLike, trace_stream
 from repro.serving.batcher import QueryBatcher
 from repro.serving.estimator import ServiceEstimator
 from repro.serving.events import EPS, EventLoop, QueryOutcome, Server
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.device import DeviceSpec
+    from repro.graph import Graph
 
 
 # ----------------------------------------------------------------------
@@ -88,16 +94,18 @@ class GraphRegistry:
     def add(
         self,
         name: str,
-        graph,
+        graph: Graph,
         *,
-        device=None,
+        device: DeviceSpec | None = None,
         tile_dim: int = 32,
     ) -> GraphEntry:
         """Register ``graph`` under ``name`` on the bit backend (plus a
         symmetrized engine for graph-global CC queries)."""
         from repro.engines import BitEngine
 
-        kwargs = {} if device is None else {"device": device}
+        kwargs: dict[str, DeviceSpec] = (
+            {} if device is None else {"device": device}
+        )
         engine = BitEngine(graph, tile_dim=tile_dim, **kwargs)
         cc_engine = BitEngine(
             graph.symmetrized(), tile_dim=tile_dim, **kwargs
@@ -186,7 +194,7 @@ class GraphRegistry:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[GraphEntry]:
         return iter(self._entries.values())
 
 
@@ -219,7 +227,13 @@ class AffinityPlacement(PlacementPolicy):
 
     name = "affinity"
 
-    def place(self, batch, servers, registry, rng):
+    def place(
+        self,
+        batch: Batch,
+        servers: list[Server],
+        registry: GraphRegistry,
+        rng: np.random.Generator,
+    ) -> Server:
         return servers[registry.index(batch.graph) % len(servers)]
 
 
@@ -228,7 +242,13 @@ class LeastLoadedPlacement(PlacementPolicy):
 
     name = "least-loaded"
 
-    def place(self, batch, servers, registry, rng):
+    def place(
+        self,
+        batch: Batch,
+        servers: list[Server],
+        registry: GraphRegistry,
+        rng: np.random.Generator,
+    ) -> Server:
         return min(servers, key=lambda s: (s.free_at, s.busy_ms, s.sid))
 
 
@@ -237,7 +257,13 @@ class PowerOfTwoPlacement(PlacementPolicy):
 
     name = "p2c"
 
-    def place(self, batch, servers, registry, rng):
+    def place(
+        self,
+        batch: Batch,
+        servers: list[Server],
+        registry: GraphRegistry,
+        rng: np.random.Generator,
+    ) -> Server:
         if len(servers) == 1:
             return servers[0]
         picks = rng.choice(len(servers), size=2, replace=False)
@@ -476,7 +502,7 @@ class Router:
     # ------------------------------------------------------------------
     def run(
         self,
-        arrivals,
+        arrivals: StreamLike,
         *,
         policy: str | AdmissionPolicy = "slo",
         placement: str | PlacementPolicy | None = None,
@@ -507,7 +533,7 @@ class Router:
 
     def compare_placements(
         self,
-        arrivals,
+        arrivals: StreamLike,
         *,
         policy: str | AdmissionPolicy = "slo",
         verify: bool = False,
@@ -519,7 +545,7 @@ class Router:
         earlier runs learned and the compared cells would not be equal.
         """
         base = self.registry.estimator_state()
-        results = {}
+        results: dict[str, tuple[list[QueryOutcome], ClusterReport]] = {}
         for name in PLACEMENTS:
             self.registry.restore_estimator_state(base)
             results[name] = self.run(
@@ -528,11 +554,11 @@ class Router:
         return results
 
     # ------------------------------------------------------------------
-    def _normalize(self, arrivals) -> list[Arrival]:
+    def _normalize(self, arrivals: StreamLike) -> list[Arrival]:
         """Validate and time-sort the stream, resolving every arrival's
         graph key against the registry (and its source against that
         graph's vertex count)."""
-        out = []
+        out: list[Arrival] = []
         for a in trace_stream(arrivals):
             name = self.registry.resolve(a.graph)
             a = (
@@ -566,12 +592,12 @@ class Router:
                 verified=verified,
             )
         queue = np.array([o.queue_ms for o in outcomes])
-        lane_attainment = {}
+        lane_attainment: dict[str, float] = {}
         for lane in LANES:
             hits = [o.slo_met for o in outcomes if o.arrival.lane == lane]
             if hits:
                 lane_attainment[lane] = float(np.mean(hits))
-        graph_attainment = {}
+        graph_attainment: dict[str, float] = {}
         for name in self.registry.names:
             hits = [
                 o.slo_met for o in outcomes if o.arrival.graph == name

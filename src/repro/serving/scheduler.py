@@ -52,6 +52,7 @@ from repro.serving.admission import (  # noqa: F401  (re-exported API)
     POLICIES,
     register_policy,
 )
+from repro.serving.arrivals import StreamLike
 from repro.serving.cluster import ClusterReport, GraphRegistry, Router
 from repro.serving.events import EPS as _EPS  # noqa: F401  (back-compat)
 from repro.serving.events import QueryOutcome
@@ -143,7 +144,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def run(
         self,
-        arrivals,
+        arrivals: StreamLike,
         *,
         policy: str = "slo",
         verify: bool = False,
@@ -161,7 +162,7 @@ class Scheduler:
         return outcomes, self._to_schedule_report(crep)
 
     def compare(
-        self, arrivals, *, verify: bool = False
+        self, arrivals: StreamLike, *, verify: bool = False
     ) -> dict[str, tuple[list[QueryOutcome], ScheduleReport]]:
         """Run every policy on one stream; keyed by policy name."""
         return {

@@ -225,7 +225,7 @@ class TestLargeIdLabels:
         labels = np.arange(40, dtype=np.float64) + 2.0 ** 24 - 20
         # Exact reference in integer arithmetic.
         ref = np.full(40, np.inf)
-        for i, j in zip(*np.nonzero(dense)):
+        for i, j in zip(*np.nonzero(dense), strict=True):
             ref[i] = min(ref[i], labels[j])
 
         A = b2sr_from_dense(dense, 8)

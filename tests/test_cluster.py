@@ -10,7 +10,6 @@ from repro.algorithms import bfs, connected_components, sssp
 from repro.datasets.generators import hybrid_pattern, road_pattern
 from repro.engines import BitEngine
 from repro.serving import (
-    Arrival,
     GraphRegistry,
     PLACEMENTS,
     POLICIES,
@@ -389,7 +388,7 @@ class TestRouterServing:
         r_out, r_rep = router.run(stream, verify=True)
 
         assert len(s_out) == len(r_out)
-        for so, ro in zip(s_out, r_out):
+        for so, ro in zip(s_out, r_out, strict=True):
             assert so.launch_ms == pytest.approx(ro.launch_ms)
             assert so.finish_ms == pytest.approx(ro.finish_ms)
             assert so.batch_width == ro.batch_width

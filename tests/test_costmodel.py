@@ -10,7 +10,7 @@ from repro.datasets.generators import (
     diagonal_pattern,
     dot_pattern,
 )
-from repro.formats.convert import b2sr_from_dense, csr_from_dense
+from repro.formats.convert import b2sr_from_dense
 from repro.gpusim.device import GTX1080, TITAN_V
 from repro.gpusim.timing import time_ms
 from repro.kernels.bmm import bmm_pair_count

@@ -2,9 +2,8 @@
 direction optimization."""
 
 import numpy as np
-import pytest
 
-from repro.algorithms import bfs, pagerank
+from repro.algorithms import bfs
 from repro.datasets.generators import (
     diagonal_pattern,
     dot_pattern,
@@ -63,8 +62,6 @@ class TestAccounting:
         g = diagonal_pattern(256, seed=6)
         e = BitEngine(g)
         _, rep = bfs(e, 0)
-        from dataclasses import replace
-
         from repro.gpusim.timing import time_ms
 
         with_launch = time_ms(rep.kernel_stats, rep.device)

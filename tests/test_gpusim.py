@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.gpusim.cache import (
-    SECTOR_BYTES,
     SetAssociativeCache,
     coalesced_transactions,
     gather_hit_fraction,
@@ -13,7 +12,6 @@ from repro.gpusim.cache import (
 )
 from repro.gpusim.counters import Counters, KernelStats
 from repro.gpusim.device import (
-    DEVICES,
     GTX1080,
     TITAN_V,
     device_by_name,
@@ -179,7 +177,7 @@ class TestHitFraction:
     def test_partial_fit_monotonic(self):
         h = [hit_fraction(ws, 1000) for ws in (1000, 2000, 4000, 10000)]
         assert h[0] == 1.0
-        assert all(a > b for a, b in zip(h, h[1:]))
+        assert all(a > b for a, b in zip(h, h[1:], strict=False))
 
     def test_bounds(self):
         for ws in (10, 1e3, 1e6, 1e9):
@@ -196,7 +194,7 @@ class TestHitFraction:
             gather_hit_fraction(1e6, 65536, loc)
             for loc in (0.0, 0.3, 0.7, 1.0)
         ]
-        assert all(a <= b for a, b in zip(hs, hs[1:]))
+        assert all(a <= b for a, b in zip(hs, hs[1:], strict=False))
 
 
 class TestCoalescing:

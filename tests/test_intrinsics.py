@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bitops.intrinsics import (
-    WARP_SIZE,
     ballot_sync,
     brev,
     dtype_for_width,

@@ -1,8 +1,5 @@
 """Tests for the Algorithm 1 sampling profile and the format advisor."""
 
-import numpy as np
-import pytest
-
 from repro.datasets.generators import (
     block_pattern,
     diagonal_pattern,
