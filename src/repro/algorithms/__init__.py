@@ -30,9 +30,12 @@ from repro.algorithms.tc import triangle_count
 from repro.algorithms.mis import maximal_independent_set
 from repro.algorithms.coloring import greedy_coloring
 from repro.algorithms.diameter import landmark_diameter, pseudo_diameter
+from repro.algorithms.incremental import bfs_repair, fastsv_refine
 
 __all__ = [
     "bfs",
+    "bfs_repair",
+    "fastsv_refine",
     "multi_source_bfs",
     "sssp",
     "multi_source_sssp",

@@ -19,10 +19,14 @@ without writing Python:
 * ``cluster``  — register several serving graphs and dispatch one
   cross-graph Poisson stream across N servers, comparing placement
   policies (and the single-server scheduler) at equal aggregate rate;
+* ``ingest``   — apply a seeded edge-mutation trace to a versioned
+  graph store, either live (epoch swaps interleaved with a served
+  stream, batches never mixing versions) or offline through the
+  bounded-retry ingestion loop;
 * ``lint``     — the repo-specific AST invariant linter (numeric-cliff,
-  b2sr-immutability, seeded-rng, paper-faithful-skip, verify-contract,
-  hot-path-scatter), with per-rule inline suppressions and text/JSON
-  reports;
+  b2sr-immutability, b2sr-from-tiles, seeded-rng, paper-faithful-skip,
+  verify-contract, hot-path-scatter), with per-rule inline suppressions
+  and text/JSON reports;
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -617,6 +621,133 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        GraphStore,
+        Ingester,
+        Router,
+        mutation_trace,
+        poisson_stream,
+    )
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.batches < 1:
+        print("error: --batches must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if not args.rate > 0:
+        print("error: --rate must be > 0", file=sys.stderr)
+        return 2
+    if not 0 <= args.insert_fraction <= 1:
+        print("error: --insert-fraction must be in [0, 1]",
+              file=sys.stderr)
+        return 2
+    device = device_by_name(args.device)
+
+    g = load_matrix(args.matrix)
+    store = GraphStore(max_batch=args.max_batch)
+    store.add(g.name, g, device=device, tile_dim=args.tile_dim)
+
+    # Spread the mutation batches across the expected stream horizon so
+    # swaps land mid-stream, with in-flight batches on both sides.
+    horizon_ms = 1000.0 * args.requests / args.rate
+    gap_ms = horizon_ms / (args.batches + 1)
+    trace = mutation_trace(
+        g,
+        batches=args.batches,
+        batch_size=args.batch_size,
+        insert_fraction=args.insert_fraction,
+        start_ms=gap_ms,
+        gap_ms=gap_ms,
+        seed=args.seed,
+        name=g.name,
+    )
+    print(
+        f"graph: {g.name} (n={g.n}, nnz={g.nnz})  device: {device.name}\n"
+        f"mutations: {args.batches} batches x {args.batch_size} edits "
+        f"({100 * args.insert_fraction:.0f}% inserts), one every "
+        f"{gap_ms:.2f} ms"
+    )
+
+    if args.offline:
+        report = Ingester(store, max_retries=args.max_retries).run(trace)
+        rows = [
+            [
+                f"{r.time_ms:.2f}",
+                r.version if r.ok else "-",
+                r.inserts,
+                r.deletes,
+                f"{100 * r.rebuilt_fraction:.1f}%" if r.ok else "-",
+                r.attempts,
+                "ok" if r.ok else (r.error or "failed"),
+            ]
+            for r in report.records
+        ]
+        print(
+            format_table(
+                ["t ms", "version", "+ins", "-del", "rebuilt",
+                 "attempts", "status"],
+                rows,
+                title=(
+                    f"offline ingest: {report.applied} applied, "
+                    f"{report.retried} retried, {report.failed} failed; "
+                    f"mean rebuilt fraction "
+                    f"{100 * report.mean_rebuilt_fraction:.1f}%"
+                ),
+            )
+        )
+        return 0 if report.failed == 0 else 1
+
+    stream = poisson_stream(
+        g.n,
+        requests=args.requests,
+        rate_qps=args.rate,
+        slo_ms=args.slo,
+        seed=args.seed,
+        graph=g.name,
+    )
+    router = Router(store, n_servers=args.servers, seed=args.seed)
+    outcomes, rep = router.run(
+        stream, verify=not args.no_verify, mutations=trace
+    )
+    mixed = 0
+    by_launch: dict[tuple[int, float], set[int]] = {}
+    for o in outcomes:
+        by_launch.setdefault((o.server, o.launch_ms), set()).add(
+            o.version
+        )
+    mixed = sum(1 for v in by_launch.values() if len(v) > 1)
+    rows = [
+        [
+            f"{s.time_ms:.2f}",
+            s.version,
+            s.inserts,
+            s.deletes,
+            f"{100 * s.rebuilt_fraction:.1f}%",
+        ]
+        for s in rep.extra.get("swaps", [])
+    ]
+    title = (
+        f"live ingest across {rep.swaps} epoch swaps: "
+        f"{rep.served} served, SLO attainment "
+        f"{100 * rep.slo_attainment:.1f}%, {mixed} mixed-version batches"
+    )
+    if rep.verified:
+        title += "; every answer verified on its admitted epoch"
+    print(
+        format_table(
+            ["t ms", "version", "+ins", "-del", "rebuilt"],
+            rows,
+            title=title,
+        )
+    )
+    return 0 if mixed == 0 else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         ALL_RULES,
@@ -822,10 +953,48 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_cluster)
 
     sp = sub.add_parser(
+        "ingest",
+        help="apply a seeded edge-mutation trace to a versioned graph "
+             "store: live (epoch swaps interleaved with a served Poisson "
+             "stream) or --offline (bounded-retry ingestion loop)",
+    )
+    sp.add_argument("matrix", help="the serving graph to mutate")
+    sp.add_argument("--batches", type=int, default=4,
+                    help="number of mutation batches in the trace")
+    sp.add_argument("--batch-size", type=int, default=8,
+                    help="edge edits per mutation batch")
+    sp.add_argument("--insert-fraction", type=float, default=0.5,
+                    help="fraction of each batch that inserts edges "
+                         "(the rest deletes existing ones)")
+    sp.add_argument("--offline", action="store_true",
+                    help="apply the trace through the retrying ingester "
+                         "without serving a query stream")
+    sp.add_argument("--max-retries", type=int, default=2,
+                    help="ingestion retries per batch (offline mode)")
+    sp.add_argument("--servers", type=int, default=2,
+                    help="cluster size for the live serving run")
+    sp.add_argument("--requests", type=int, default=48,
+                    help="Poisson arrivals in the live serving run")
+    sp.add_argument("--rate", type=float, default=4000.0,
+                    help="arrival rate in queries per second")
+    sp.add_argument("--slo", type=float, default=20.0,
+                    help="latency budget in modeled ms")
+    sp.add_argument("--max-batch", type=int, default=32,
+                    help="widest coalesced launch / join capacity")
+    sp.add_argument("--no-verify", action="store_true",
+                    help="skip the standalone bitwise-equality check")
+    sp.add_argument("--tile-dim", type=int, default=32,
+                    choices=list(TILE_DIMS))
+    sp.add_argument("--device", default="pascal")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="seeds the stream and the mutation trace")
+    sp.set_defaults(func=cmd_ingest)
+
+    sp = sub.add_parser(
         "lint",
         help="AST-based invariant linter: numeric-cliff, "
-             "b2sr-immutability, seeded-rng, paper-faithful-skip, "
-             "verify-contract, hot-path-scatter",
+             "b2sr-immutability, b2sr-from-tiles, seeded-rng, "
+             "paper-faithful-skip, verify-contract, hot-path-scatter",
     )
     sp.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to lint (default: src)")

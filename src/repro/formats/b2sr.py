@@ -334,27 +334,45 @@ class B2SRMatrix:
         tile_rows: np.ndarray,
         tile_cols: np.ndarray,
         dense_tiles: np.ndarray,
+        *,
+        packed: bool = False,
     ) -> "B2SRMatrix":
-        """Assemble from per-tile coordinates and dense 0/1 tiles.
+        """Assemble from per-tile coordinates and tile contents.
 
         Tiles are sorted into canonical (row, col) order; duplicate
-        coordinates are OR-combined.
+        coordinates are OR-combined.  ``dense_tiles`` holds dense
+        ``(…, d, d)`` 0/1 tiles by default; with ``packed=True`` it is
+        an ``(n_tiles, d)`` array of already row-major-packed words
+        (the delta path carries untouched tiles over without ever
+        unpacking them).
         """
         tr = np.asarray(tile_rows, dtype=np.int64)
         tc = np.asarray(tile_cols, dtype=np.int64)
-        packed = pack_bits_rowmajor(np.asarray(dense_tiles))
-        if packed.ndim == 1:
-            packed = packed[None, :]
+        if packed:
+            words = np.asarray(
+                dense_tiles, dtype=dtype_for_width(tile_dim)
+            )
+            if words.ndim == 1:
+                words = words[None, :]
+            if words.ndim != 2 or words.shape[1] != tile_dim:
+                raise ValueError(
+                    f"packed tiles must have shape (n_tiles, {tile_dim}), "
+                    f"got {words.shape}"
+                )
+        else:
+            words = pack_bits_rowmajor(np.asarray(dense_tiles))
+            if words.ndim == 1:
+                words = words[None, :]
         n_tile_rows = (nrows + tile_dim - 1) // tile_dim
         n_tile_cols = (ncols + tile_dim - 1) // tile_dim
         keys = tr * n_tile_cols + tc
         order = np.argsort(keys, kind="stable")
-        keys, packed = keys[order], packed[order]
+        keys, words = keys[order], words[order]
         # Duplicate coordinates collapse with one OR-reduction over the
         # sorted key runs (every run is non-empty by construction).
         start = run_starts(keys)
         uniq = keys[start]
-        merged = np.bitwise_or.reduceat(packed, start, axis=0)
+        merged = np.bitwise_or.reduceat(words, start, axis=0)
         rows = (uniq // n_tile_cols).astype(np.int64)
         cols = (uniq % n_tile_cols).astype(np.int64)
         counts = np.bincount(rows, minlength=n_tile_rows)

@@ -1,0 +1,415 @@
+"""Copy-on-write edge deltas over B2SR — the mutation path.
+
+Serving graphs are frozen at registration: every B2SR array is read-only
+(:mod:`repro.formats.b2sr`), which is the whole safety argument for the
+memoized per-matrix :class:`~repro.kernels.plan.SweepPlan`.  Dynamic
+graphs therefore never mutate a matrix — a batch of edge inserts/deletes
+produces a **new** immutable version, built copy-on-write at bit-tile
+granularity:
+
+* only tiles containing an effective edit are rebuilt (old words copied,
+  bits set/cleared, empty tiles dropped);
+* every untouched tile's packed words are carried over verbatim — one
+  vectorized gather, never unpacked — into a fresh matrix assembled via
+  :meth:`B2SRMatrix.from_tiles` with ``packed=True`` (never raw
+  ``__init__``), so the new version is frozen and plan-safe like any
+  other;
+* a delta with no effective edits returns the *same* matrix object, so
+  its warm plan is shared outright.
+
+Edit semantics: deletes apply before inserts (an edge in both lists ends
+up present); deleting an absent edge or inserting a present one is a
+no-op.  Only *effective* edits count toward the rebuilt-tile statistics
+that the re-warm cost model consumes
+(:func:`repro.kernels.costmodel.delta_rewarm_stats`).
+
+:func:`apply_edge_delta` lifts the per-matrix delta to a whole
+:class:`~repro.graph.Graph`: the CSR and its transpose are edited
+key-wise, and every B2SR form cached on the base graph is patched
+copy-on-write and adopted into the new graph's caches — the new version
+never pays a from-scratch CSR→B2SR conversion for a form the old one
+already had.  Construction is verified bitwise against
+:func:`~repro.formats.convert.b2sr_from_csr` on the post-mutation CSR in
+``tests/test_delta.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitops.intrinsics import dtype_for_width
+from repro.formats.b2sr import B2SRMatrix, TILE_DIMS
+from repro.formats.convert import b2sr_from_csr
+from repro.formats.csr import CSRMatrix
+from repro.graph import Graph, csr_row_indices
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeltaStats:
+    """Tile-level accounting for one copy-on-write B2SR delta.
+
+    ``rebuilt_tiles`` survive in the new matrix with edited content;
+    ``dropped_tiles`` were touched but came out all-zero (deleted);
+    ``carried_tiles`` moved over as packed words without being unpacked.
+    ``inserts``/``deletes`` count *effective* edge edits only.
+    """
+
+    inserts: int
+    deletes: int
+    rebuilt_tiles: int
+    carried_tiles: int
+    dropped_tiles: int
+    n_tiles: int
+
+    @property
+    def touched_tiles(self) -> int:
+        """Tiles whose content had to be rebuilt (surviving + dropped)."""
+        return self.rebuilt_tiles + self.dropped_tiles
+
+    @property
+    def rebuilt_fraction(self) -> float:
+        """Fraction of tile-build work redone vs a full rebuild: touched
+        tiles over all tiles processed (touched + carried).  0.0 for a
+        no-op delta, 1.0 when nothing could be carried."""
+        total = self.touched_tiles + self.carried_tiles
+        return self.touched_tiles / total if total else 0.0
+
+
+@dataclass(eq=False)
+class DeltaReport:
+    """Graph-level delta outcome: the effective directed edge edits plus
+    per-form tile statistics (keyed ``"A{d}"`` / ``"At{d}"`` for the
+    adjacency and its transpose at tile_dim ``d``)."""
+
+    inserts: np.ndarray
+    deletes: np.ndarray
+    forms: dict[str, DeltaStats] = field(default_factory=dict)
+
+    @property
+    def n_inserts(self) -> int:
+        return int(self.inserts.shape[0])
+
+    @property
+    def n_deletes(self) -> int:
+        return int(self.deletes.shape[0])
+
+    @property
+    def rebuilt_fraction(self) -> float:
+        """Worst (largest) rebuilt fraction across the patched forms —
+        the conservative input to the re-warm cost model."""
+        if not self.forms:
+            return 0.0
+        return max(s.rebuilt_fraction for s in self.forms.values())
+
+
+# ----------------------------------------------------------------------
+# Edge-list plumbing
+# ----------------------------------------------------------------------
+def _as_edges(
+    edges: np.ndarray | None, nrows: int, ncols: int, label: str
+) -> np.ndarray:
+    """Validate an ``(m, 2)`` integer edge array (``None``/empty ok)."""
+    if edges is None:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(edges)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(
+            f"{label} must be an (m, 2) edge array, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            f"{label} must hold integer vertex ids, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64, copy=False)
+    if (
+        arr[:, 0].min() < 0 or arr[:, 0].max() >= nrows
+        or arr[:, 1].min() < 0 or arr[:, 1].max() >= ncols
+    ):
+        raise ValueError(
+            f"{label} contain out-of-range vertex ids for a "
+            f"{nrows}x{ncols} matrix"
+        )
+    return arr
+
+
+def _edge_keys(edges: np.ndarray, ncols: int) -> np.ndarray:
+    """Unique sorted flat keys ``row * ncols + col`` of an edge array."""
+    if edges.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(edges[:, 0] * np.int64(ncols) + edges[:, 1])
+
+
+def _keys_to_edges(keys: np.ndarray, ncols: int) -> np.ndarray:
+    """Flat keys back to an ``(m, 2)`` edge array."""
+    return np.stack([keys // ncols, keys % ncols], axis=1).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# CSR delta
+# ----------------------------------------------------------------------
+def delta_csr(
+    csr: CSRMatrix,
+    inserts: np.ndarray | None,
+    deletes: np.ndarray | None,
+) -> tuple[CSRMatrix, np.ndarray, np.ndarray]:
+    """Apply an edge-set edit to a binary CSR.
+
+    Returns ``(new_csr, effective_inserts, effective_deletes)`` — the
+    effective arrays hold the edits that actually changed the edge set
+    (deletes before inserts; an edge in both lists stays present), in
+    ``(m, 2)`` form, deduplicated and key-sorted.
+    """
+    ins = _as_edges(inserts, csr.nrows, csr.ncols, "inserts")
+    dels = _as_edges(deletes, csr.nrows, csr.ncols, "deletes")
+    rows = csr_row_indices(csr, csr.nrows)
+    old = np.unique(rows * np.int64(csr.ncols) + csr.indices)
+    ins_k = _edge_keys(ins, csr.ncols)
+    del_k = np.setdiff1d(
+        _edge_keys(dels, csr.ncols), ins_k, assume_unique=True
+    )
+    eff_del = np.intersect1d(old, del_k, assume_unique=True)
+    eff_ins = np.setdiff1d(ins_k, old, assume_unique=True)
+    new_keys = np.union1d(np.setdiff1d(old, eff_del, assume_unique=True),
+                          eff_ins)
+    new_rows = (new_keys // csr.ncols).astype(np.int64)
+    new_cols = (new_keys % csr.ncols).astype(np.int64)
+    counts = np.bincount(new_rows, minlength=csr.nrows)
+    indptr = np.zeros(csr.nrows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    new_csr = CSRMatrix(
+        csr.nrows, csr.ncols, indptr, new_cols,
+        np.ones(new_keys.shape[0], dtype=np.float32),
+    )
+    return (
+        new_csr,
+        _keys_to_edges(eff_ins, csr.ncols),
+        _keys_to_edges(eff_del, csr.ncols),
+    )
+
+
+def edge_diff(
+    old: CSRMatrix, new: CSRMatrix
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edge-set difference ``(inserts, deletes)`` turning ``old`` into
+    ``new`` — the inverse of :func:`delta_csr`, used to patch derived
+    views (the symmetrized graph) whose edits are induced rather than
+    given."""
+    if old.shape != new.shape:
+        raise ValueError(
+            f"edge_diff needs matching shapes, got {old.shape} vs "
+            f"{new.shape}"
+        )
+    ok = np.unique(
+        csr_row_indices(old, old.nrows) * np.int64(old.ncols) + old.indices
+    )
+    nk = np.unique(
+        csr_row_indices(new, new.nrows) * np.int64(new.ncols) + new.indices
+    )
+    ins = np.setdiff1d(nk, ok, assume_unique=True)
+    dels = np.setdiff1d(ok, nk, assume_unique=True)
+    return _keys_to_edges(ins, old.ncols), _keys_to_edges(dels, old.ncols)
+
+
+# ----------------------------------------------------------------------
+# B2SR copy-on-write delta
+# ----------------------------------------------------------------------
+def _present_bits(
+    base: B2SRMatrix, edges: np.ndarray, stored_keys: np.ndarray
+) -> np.ndarray:
+    """Boolean mask: which of ``edges`` are set bits in ``base``."""
+    m = edges.shape[0]
+    if m == 0 or stored_keys.size == 0:
+        return np.zeros(m, dtype=bool)
+    d = base.tile_dim
+    tk = (edges[:, 0] // d) * np.int64(base.n_tile_cols) + edges[:, 1] // d
+    pos = np.searchsorted(stored_keys, tk)
+    pos_c = np.minimum(pos, stored_keys.size - 1)
+    hit = stored_keys[pos_c] == tk
+    out = np.zeros(m, dtype=bool)
+    if hit.any():
+        words = base.tiles[pos_c[hit], edges[hit, 0] % d].astype(np.uint64)
+        out[hit] = ((words >> (edges[hit, 1] % d).astype(np.uint64)) & 1) > 0
+    return out
+
+
+def delta_b2sr(
+    base: B2SRMatrix,
+    inserts: np.ndarray | None,
+    deletes: np.ndarray | None,
+) -> tuple[B2SRMatrix, DeltaStats]:
+    """Apply an edge edit to a B2SR matrix, copy-on-write per tile.
+
+    Only tiles containing an effective edit are rebuilt; every other
+    stored tile's packed words are carried over without unpacking.  A
+    delta with no effective edits returns ``base`` itself (shared warm
+    plan included).  The result is bitwise identical — ``indptr``,
+    ``indices``, ``tiles`` — to a from-scratch
+    :func:`~repro.formats.convert.b2sr_from_csr` of the edited matrix.
+    """
+    d = base.tile_dim
+    ins = _as_edges(inserts, base.nrows, base.ncols, "inserts")
+    dels = _as_edges(deletes, base.nrows, base.ncols, "deletes")
+    ntc = np.int64(base.n_tile_cols)
+    stored_keys = base.tile_row_of() * ntc + base.indices
+
+    # Effective edits only: deletes before inserts, no-ops filtered.
+    ins = _keys_to_edges(_edge_keys(ins, base.ncols), base.ncols)
+    dels = _keys_to_edges(
+        np.setdiff1d(
+            _edge_keys(dels, base.ncols), _edge_keys(ins, base.ncols),
+            assume_unique=True,
+        ),
+        base.ncols,
+    )
+    ins = ins[~_present_bits(base, ins, stored_keys)]
+    dels = dels[_present_bits(base, dels, stored_keys)]
+    if ins.shape[0] == 0 and dels.shape[0] == 0:
+        stats = DeltaStats(
+            inserts=0, deletes=0, rebuilt_tiles=0,
+            carried_tiles=base.n_tiles, dropped_tiles=0,
+            n_tiles=base.n_tiles,
+        )
+        return base, stats
+
+    edits = np.concatenate([dels, ins])
+    edit_tk = (edits[:, 0] // d) * ntc + edits[:, 1] // d
+    touched = np.unique(edit_tk)
+
+    # Carried tiles: stored keys not in the touched set.
+    pos = np.searchsorted(touched, stored_keys)
+    pos_c = np.minimum(pos, touched.size - 1)
+    carried_mask = touched[pos_c] != stored_keys
+
+    # Rebuild touched tiles: start from the old words (zeros for tiles
+    # that did not exist), clear deleted bits, set inserted bits.  The
+    # scatter works in a flat uint64 buffer, like b2sr_from_csr.
+    slot_of_stored = np.searchsorted(touched, stored_keys)
+    existing = ~carried_mask
+    flat = np.zeros(touched.size * d, dtype=np.uint64)
+    if existing.any():
+        rows_existing = (
+            slot_of_stored[existing][:, None] * d + np.arange(d)
+        ).ravel()
+        flat[rows_existing] = base.tiles[existing].astype(np.uint64).ravel()
+    del_slots = (
+        np.searchsorted(touched, (dels[:, 0] // d) * ntc + dels[:, 1] // d)
+        * d + dels[:, 0] % d
+    )
+    np.bitwise_and.at(
+        flat, del_slots,
+        ~(np.uint64(1) << (dels[:, 1] % d).astype(np.uint64)),
+    )
+    ins_slots = (
+        np.searchsorted(touched, (ins[:, 0] // d) * ntc + ins[:, 1] // d)
+        * d + ins[:, 0] % d
+    )
+    np.bitwise_or.at(
+        flat, ins_slots,
+        np.uint64(1) << (ins[:, 1] % d).astype(np.uint64),
+    )
+    words = flat.reshape(touched.size, d).astype(dtype_for_width(d))
+    keep = words.any(axis=1)
+
+    new_keys = np.concatenate([stored_keys[carried_mask], touched[keep]])
+    packed = np.concatenate(
+        [base.tiles[carried_mask], words[keep]], axis=0
+    )
+    out = B2SRMatrix.from_tiles(
+        base.nrows, base.ncols, d,
+        new_keys // ntc, new_keys % ntc, packed, packed=True,
+    )
+    stats = DeltaStats(
+        inserts=int(ins.shape[0]),
+        deletes=int(dels.shape[0]),
+        rebuilt_tiles=int(keep.sum()),
+        carried_tiles=int(carried_mask.sum()),
+        dropped_tiles=int((~keep).sum()),
+        n_tiles=out.n_tiles,
+    )
+    return out, stats
+
+
+# ----------------------------------------------------------------------
+# Graph-level delta
+# ----------------------------------------------------------------------
+def apply_edge_delta(
+    graph: Graph,
+    inserts: np.ndarray | None,
+    deletes: np.ndarray | None,
+    *,
+    tile_dims: tuple[int, ...] | None = None,
+) -> tuple[Graph, DeltaReport]:
+    """Build the next version of ``graph`` from an edge edit.
+
+    The CSR and its transpose are edited key-wise; every B2SR form
+    cached on the base graph is patched copy-on-write (transposed forms
+    with the swapped edge lists) and adopted into the new graph's
+    caches, so engines built on the new version find warm-format state
+    instead of re-converting.  ``tile_dims`` additionally forces those
+    dims to exist on the new version (a form the base never built is
+    converted from the new CSR and reported with ``rebuilt_fraction``
+    1.0 — there was nothing to carry).
+
+    The vertex set is fixed: mutations are edge-level (ids must be in
+    ``[0, n)``); growing the vertex set is a new graph, not a delta.
+    """
+    new_csr, eff_ins, eff_del = delta_csr(graph.csr, inserts, deletes)
+    swapped_ins = eff_ins[:, ::-1]
+    swapped_del = eff_del[:, ::-1]
+    new_csr_t, _, _ = delta_csr(graph.csr_t, swapped_ins, swapped_del)
+    new_graph = Graph(
+        new_csr, name=graph.name, category=graph.category,
+        _csr_t=new_csr_t,
+    )
+    report = DeltaReport(inserts=eff_ins, deletes=eff_del)
+    wanted = set(tile_dims or ())
+    bad = wanted - set(TILE_DIMS)
+    if bad:
+        raise ValueError(f"tile_dims must be from {TILE_DIMS}, got {bad}")
+    for d in sorted(
+        wanted
+        | {t for t in TILE_DIMS if graph.cached_b2sr(t) is not None}
+        | {t for t in TILE_DIMS if graph.cached_b2sr_t(t) is not None}
+    ):
+        mat = mat_t = None
+        base = graph.cached_b2sr(d)
+        if base is not None:
+            mat, report.forms[f"A{d}"] = delta_b2sr(base, eff_ins, eff_del)
+        elif d in wanted:
+            mat = b2sr_from_csr(new_csr, d)
+            report.forms[f"A{d}"] = _full_rebuild_stats(mat)
+        base_t = graph.cached_b2sr_t(d)
+        if base_t is not None:
+            mat_t, report.forms[f"At{d}"] = delta_b2sr(
+                base_t, swapped_ins, swapped_del
+            )
+        elif d in wanted:
+            mat_t = b2sr_from_csr(new_csr_t, d)
+            report.forms[f"At{d}"] = _full_rebuild_stats(mat_t)
+        new_graph.adopt_b2sr(d, mat=mat, mat_t=mat_t)
+    return new_graph, report
+
+
+def _full_rebuild_stats(mat: B2SRMatrix) -> DeltaStats:
+    """Stats for a form built from scratch (no base to carry from)."""
+    return DeltaStats(
+        inserts=0, deletes=0, rebuilt_tiles=mat.n_tiles,
+        carried_tiles=0, dropped_tiles=0, n_tiles=mat.n_tiles,
+    )
+
+
+__all__ = [
+    "DeltaReport",
+    "DeltaStats",
+    "apply_edge_delta",
+    "delta_b2sr",
+    "delta_csr",
+    "edge_diff",
+]

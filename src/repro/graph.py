@@ -98,6 +98,46 @@ class Graph:
             self._b2sr_t[tile_dim] = b2sr_from_csr(self.csr_t, tile_dim)
         return self._b2sr_t[tile_dim]
 
+    def cached_b2sr(self, tile_dim: int) -> B2SRMatrix | None:
+        """The cached B2SR form at ``tile_dim``, or ``None`` if it was
+        never built (unlike :meth:`b2sr`, never triggers a conversion —
+        the delta path uses this to find forms worth patching)."""
+        return self._b2sr.get(tile_dim)
+
+    def cached_b2sr_t(self, tile_dim: int) -> B2SRMatrix | None:
+        """The cached transposed B2SR form at ``tile_dim``, or ``None``."""
+        return self._b2sr_t.get(tile_dim)
+
+    def adopt_b2sr(
+        self,
+        tile_dim: int,
+        *,
+        mat: B2SRMatrix | None = None,
+        mat_t: B2SRMatrix | None = None,
+    ) -> None:
+        """Install pre-built B2SR forms into the caches (the delta path
+        primes a new version's caches with copy-on-write-built matrices
+        instead of re-converting from CSR).  Geometry is validated;
+        content equality with the CSR is the caller's contract —
+        :mod:`repro.formats.delta` construction is verified bitwise
+        against :func:`~repro.formats.convert.b2sr_from_csr` in tests.
+        """
+        if tile_dim not in TILE_DIMS:
+            raise ValueError(f"tile_dim must be one of {TILE_DIMS}")
+        for arr, cache, label in (
+            (mat, self._b2sr, "mat"),
+            (mat_t, self._b2sr_t, "mat_t"),
+        ):
+            if arr is None:
+                continue
+            if arr.shape != (self.n, self.n) or arr.tile_dim != tile_dim:
+                raise ValueError(
+                    f"{label} has shape {arr.shape} tile_dim "
+                    f"{arr.tile_dim}; expected {(self.n, self.n)} at "
+                    f"tile_dim {tile_dim}"
+                )
+            cache[tile_dim] = arr
+
     def out_degrees(self) -> np.ndarray:
         return self.csr.out_degrees()
 

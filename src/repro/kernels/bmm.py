@@ -233,7 +233,7 @@ def bmm_bin_bin_b2sr(A: B2SRMatrix, B: B2SRMatrix) -> B2SRMatrix:
     np.cumsum(np.bincount(rows, minlength=n_tile_rows), out=indptr[1:])
     if tiles_u.shape[0] == 0:
         return B2SRMatrix.empty(A.nrows, B.ncols, d)
-    return B2SRMatrix(A.nrows, B.ncols, d, indptr, cols, tiles_u)
+    return B2SRMatrix(A.nrows, B.ncols, d, indptr, cols, tiles_u)  # repro-lint: ignore[b2sr-from-tiles] — the chunked join emits tiles already key-sorted, duplicate-merged and zero-dropped with indptr built from the final rows; re-canonicalizing through from_tiles would add an argsort per BMM launch
 
 
 def bmm_reference(dense_a: np.ndarray, dense_b: np.ndarray) -> float:

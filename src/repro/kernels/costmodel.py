@@ -260,6 +260,71 @@ def bmv_stats(
 
 
 # ---------------------------------------------------------------------------
+# B2SR delta build + plan re-warm (dynamic graphs)
+# ---------------------------------------------------------------------------
+def delta_rewarm_stats(
+    A: B2SRMatrix,
+    device: DeviceSpec,
+    *,
+    rebuilt_fraction: float = 1.0,
+    k: int = 1,
+) -> KernelStats:
+    """Modeled one-time cost of installing a new graph version: the
+    copy-on-write delta build plus warming the version's sweep plan.
+
+    ``A`` is the *new* version's matrix and ``rebuilt_fraction`` the
+    touched-tile share its :class:`~repro.formats.delta.DeltaStats`
+    reports.  Tile payloads split by fate: the rebuilt fraction pays an
+    unpack/edit/repack round trip (read + write), the carried fraction
+    streams once into the new tile array (copy-on-write shares *array
+    slices*, but the concatenated layout of the fresh immutable matrix
+    still writes them).  The index (indptr + tile keys) is rebuilt in
+    full whatever the fraction — canonicalization sorts every key.  The
+    plan warm then sweeps the new tile index once per word plane of the
+    target batch width ``k`` (plans memoize per matrix and share nothing
+    across versions — that is what makes them safe to reuse).
+
+    A full rebuild is the ``rebuilt_fraction=1.0`` special case, so the
+    delta-vs-rebuild crossover the dynamic bench sweeps falls out of one
+    formula.
+    """
+    if not 0.0 <= rebuilt_fraction <= 1.0:
+        raise ValueError(
+            f"rebuilt_fraction must be in [0, 1], got {rebuilt_fraction}"
+        )
+    if k < 1:
+        raise ValueError(f"batch width k must be >= 1, got {k}")
+    d = A.tile_dim
+    n_tiles = float(A.n_tiles)
+    tile_bytes = bytes_per_tile(d)
+    stats = KernelStats(launches=2, tag="delta_rewarm")
+
+    # Rebuilt tiles: read old words, edit bits, write new words (the
+    # scatter path of the tile editor); carried tiles: stream once into
+    # the new concatenated tile array.
+    rebuilt = n_tiles * rebuilt_fraction
+    carried = n_tiles - rebuilt
+    stats.dram_bytes += rebuilt * tile_bytes * 2.0
+    stats.dram_bytes += carried * tile_bytes
+    # Index rebuild: sort/merge every tile key, write indptr + indices.
+    stats.dram_bytes += 8.0 * n_tiles + 4.0 * (A.n_tile_rows + 1)
+    stats.warp_instructions += 12.0 * n_tiles / 32.0  # sort/merge lanes
+    stats.warp_instructions += 5.0 * rebuilt  # per-tile bit edits
+
+    # Plan warm: one pass over the tile index per word plane — chunk
+    # tables, gather indices, cached bit masks (SweepPlan.warm).
+    planes = plane_count(k, d)
+    stats.dram_bytes += planes * (4.0 * n_tiles + 4.0 * (A.n_tile_rows + 1))
+    stats.warp_instructions += planes * 4.0 * n_tiles / 32.0
+    stats.min_compute_us += _latency_bound_us(
+        stats.warp_instructions, max(A.n_tile_rows, 1), device
+    )
+    # One host-side allocation/synchronisation per installed version.
+    stats.host_us += 25.0
+    return stats
+
+
+# ---------------------------------------------------------------------------
 # Baseline: cuSPARSE CSR SpGEMM
 # ---------------------------------------------------------------------------
 def csr_spgemm_stats(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.lint.core import Rule
+from repro.lint.rules.construction import B2SRFromTilesRule
 from repro.lint.rules.hotpath import HotPathScatterRule
 from repro.lint.rules.immutability import B2SRImmutabilityRule
 from repro.lint.rules.numeric import NumericCliffRule
@@ -21,6 +22,7 @@ from repro.lint.rules.rng import SeededRngRule
 ALL_RULES: tuple[Rule, ...] = (
     NumericCliffRule(),
     B2SRImmutabilityRule(),
+    B2SRFromTilesRule(),
     SeededRngRule(),
     PaperFaithfulSkipRule(),
     VerifyContractRule(),
@@ -53,6 +55,7 @@ def get_rules(select: str | Sequence[str] | None = None) -> tuple[Rule, ...]:
 
 __all__ = [
     "ALL_RULES",
+    "B2SRFromTilesRule",
     "B2SRImmutabilityRule",
     "HotPathScatterRule",
     "NumericCliffRule",

@@ -1,0 +1,77 @@
+"""``b2sr-from-tiles``: construct B2SR matrices through ``from_tiles``.
+
+``B2SRMatrix.from_tiles`` is the canonicalizing constructor: it sorts
+tile keys, OR-merges duplicates, rebuilds ``indptr`` from the merged
+runs and freezes the arrays.  Raw ``B2SRMatrix(...)`` skips all of that
+— a caller handing it unsorted or duplicated tiles produces a matrix
+that *looks* valid, sweeps wrong, and poisons every memoized
+:class:`~repro.kernels.plan.SweepPlan` built over it.  The versioned
+delta path leans on this harder still: every new graph epoch is
+assembled from a mix of carried and rebuilt tiles, and ``from_tiles``
+(``packed=True``) is the one place the carried/rebuilt merge is proved
+canonical.
+
+Outside ``formats/`` (the owners of the representation) the rule flags
+any call whose callee statically names the ``B2SRMatrix`` class itself —
+``B2SRMatrix(...)``, an import alias of it, or a dotted spelling like
+``b2sr.B2SRMatrix(...)``.  The classmethod constructors
+(``from_tiles`` / ``empty``) do not match: they *are* the sanctioned
+surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import LintContext, Rule, RuleVisitor
+
+_CLASS = "B2SRMatrix"
+
+
+def _names_b2sr_class(visitor: RuleVisitor, func: ast.AST) -> bool:
+    """Does the call target statically name the ``B2SRMatrix`` class?"""
+    resolver = visitor.ctx.resolver
+    dotted = resolver.dotted(func)
+    if dotted is not None:
+        return dotted == _CLASS or dotted.endswith(f".{_CLASS}")
+    # No import alias recorded (e.g. the defining module itself, or a
+    # TYPE_CHECKING-gated import): fall back to the literal spelling.
+    raw = resolver._dotted_raw(func)
+    return raw is not None and raw.split(".")[-1] == _CLASS
+
+
+class _Visitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        if _names_b2sr_class(self, node.func):
+            self.report(
+                node,
+                "raw B2SRMatrix(...) construction bypasses from_tiles "
+                "canonicalization (key sort, duplicate OR-merge, indptr "
+                "rebuild, array freeze)",
+            )
+        self.generic_visit(node)
+
+
+class B2SRFromTilesRule(Rule):
+    id = "b2sr-from-tiles"
+    description = (
+        "construct B2SRMatrix via from_tiles/empty outside formats/ "
+        "(raw __init__ skips tile canonicalization and the freeze that "
+        "keeps memoized SweepPlans valid)"
+    )
+    hint = (
+        "use B2SRMatrix.from_tiles (packed=True for already-packed "
+        "words) or B2SRMatrix.empty; raw construction belongs in "
+        "formats/ where canonical form is proved"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        in_formats = "/formats/" in norm or norm.startswith("formats/")
+        return not self.in_tests(path) and not in_formats
+
+    def visitor(self, ctx: LintContext) -> RuleVisitor:
+        return _Visitor(self, ctx)
+
+
+__all__ = ["B2SRFromTilesRule"]

@@ -43,6 +43,7 @@ from repro.serving.admission import (
 from repro.serving.arrivals import (
     LANES,
     Arrival,
+    MutationBatch,
     multi_graph_poisson_stream,
     poisson_stream,
     trace_stream,
@@ -57,12 +58,20 @@ from repro.serving.cluster import (
     ClusterReport,
     GraphEntry,
     GraphRegistry,
+    GraphStore,
     PLACEMENTS,
     PlacementPolicy,
     Router,
+    SwapRecord,
     register_placement,
 )
 from repro.serving.estimator import ServiceEstimator
+from repro.serving.ingest import (
+    Ingester,
+    IngestRecord,
+    IngestReport,
+    mutation_trace,
+)
 from repro.serving.events import EventLoop, QueryOutcome, Server
 from repro.serving.scheduler import (
     Policy,
@@ -80,7 +89,12 @@ __all__ = [
     "EventLoop",
     "GraphEntry",
     "GraphRegistry",
+    "GraphStore",
+    "IngestRecord",
+    "IngestReport",
+    "Ingester",
     "LANES",
+    "MutationBatch",
     "PLACEMENTS",
     "POLICIES",
     "PlacementPolicy",
@@ -94,6 +108,7 @@ __all__ = [
     "Scheduler",
     "Server",
     "ServiceEstimator",
+    "SwapRecord",
     "multi_graph_poisson_stream",
     "poisson_stream",
     "register_placement",

@@ -43,7 +43,11 @@ class Batch:
 
     ``sid`` is the placement commitment: ``None`` until a router asks a
     placement policy for a server, then pinned (the batch launches when
-    *that* server frees).
+    *that* server frees).  ``version`` is the graph epoch the batch was
+    admitted against: under a versioned store an epoch swap strands the
+    open batches on their admitted version — later arrivals (which see
+    the new epoch) open fresh batches instead of joining, so a batch
+    never mixes versions.
     """
 
     kind: str
@@ -53,6 +57,7 @@ class Batch:
     members: list[tuple[int, Arrival]]  # (stream position, arrival)
     launch_at: float = 0.0
     sid: int | None = None
+    version: int = 0
 
 
 @dataclass(frozen=True)
@@ -63,12 +68,20 @@ class AdmissionContext:
     current width (the router routes it to the right graph's
     estimator); ``n_servers`` scales the contention reserve — with N
     servers, the other open batches queue against N slots, not one.
+    ``version_of`` maps a graph name to its *current* serving epoch
+    (``None`` — the unversioned registries — pins everything to epoch
+    0); new batches are stamped with it and joins require it to match.
     """
 
     max_batch: int
     slack_factor: float
     estimate: Callable[[Batch], float]
     n_servers: int = 1
+    version_of: Callable[[str], int] | None = None
+
+    def current_version(self, graph: str) -> int:
+        """The serving epoch a batch opened now would be admitted on."""
+        return 0 if self.version_of is None else self.version_of(graph)
 
 
 class AdmissionPolicy:
@@ -96,11 +109,13 @@ class AdmissionPolicy:
     ) -> int:
         """Join an open compatible batch (mid-flight) or open a new one.
         Returns 1 when the query joined an existing batch."""
+        version = ctx.current_version(graph)
         if self.batching:
             for b in open_batches:
                 if (
                     b.graph == graph
                     and b.kind == arrival.kind
+                    and b.version == version
                     and len(b.members) < ctx.max_batch
                     and (not self.lanes or b.lane == arrival.lane)
                 ):
@@ -114,6 +129,7 @@ class AdmissionPolicy:
                 graph=graph,
                 created_ms=arrival.time_ms,
                 members=[(seq, arrival)],
+                version=version,
             )
         )
         self.refresh(open_batches, ctx)
@@ -171,6 +187,7 @@ class AdmissionPolicy:
             if b is not batch
             and b.graph == batch.graph
             and b.kind == batch.kind
+            and b.version == batch.version
         ]
         candidates = sorted(
             ((a.deadline_ms, seq, a, b) for b in donors

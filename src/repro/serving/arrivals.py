@@ -89,6 +89,46 @@ class Arrival:
                 )
 
 
+@dataclass(frozen=True)
+class MutationBatch:
+    """One timestamped edge-mutation batch against a named serving graph.
+
+    The router applies due mutations *before* admitting arrivals at the
+    same instant, so an arrival landing exactly at the swap time is
+    served on the new epoch.  ``inserts``/``deletes`` are ``(m, 2)``
+    edge arrays (either may be ``None``); semantics follow
+    :func:`repro.formats.delta.apply_edge_delta` — deletes are applied
+    before inserts, so an edge named in both lists stays present.
+    """
+
+    time_ms: float
+    graph: str
+    inserts: np.ndarray | None = None
+    deletes: np.ndarray | None = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any malformed field."""
+        if not np.isfinite(self.time_ms) or self.time_ms < 0:
+            raise ValueError(
+                f"mutation time must be >= 0, got {self.time_ms}"
+            )
+        if not self.graph or not isinstance(self.graph, str):
+            raise ValueError(
+                f"mutations target a named graph, got {self.graph!r}"
+            )
+        for label, edges in (
+            ("inserts", self.inserts), ("deletes", self.deletes)
+        ):
+            if edges is None:
+                continue
+            arr = np.asarray(edges)
+            if arr.size and (arr.ndim != 2 or arr.shape[1] != 2):
+                raise ValueError(
+                    f"{label} must be an (m, 2) edge array, got shape "
+                    f"{arr.shape}"
+                )
+
+
 #: Anything the stream-normalizing entry points accept: ready-made
 #: :class:`Arrival`\ s or raw ``(time_ms, kind, source, slo_ms[, lane
 #: [, graph]])`` rows, in any order.

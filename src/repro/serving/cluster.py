@@ -46,13 +46,20 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.engines.base import Engine
+from repro.formats.delta import DeltaReport, apply_edge_delta, delta_b2sr, edge_diff
 from repro.serving.admission import (
     AdmissionContext,
     AdmissionPolicy,
     Batch,
     resolve_policy,
 )
-from repro.serving.arrivals import LANES, Arrival, StreamLike, trace_stream
+from repro.serving.arrivals import (
+    LANES,
+    Arrival,
+    MutationBatch,
+    StreamLike,
+    trace_stream,
+)
 from repro.serving.batcher import QueryBatcher
 from repro.serving.estimator import ServiceEstimator
 from repro.serving.events import EPS, EventLoop, QueryOutcome, Server
@@ -67,7 +74,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # ----------------------------------------------------------------------
 @dataclass
 class GraphEntry:
-    """One registered serving graph with its private serving state."""
+    """One registered serving graph with its private serving state.
+
+    Under a versioned :class:`GraphStore`, an entry is one *epoch* of a
+    named graph: ``version`` counts mutations applied since
+    registration, ``graph``/``sym_graph`` retain the source graphs so
+    the next delta can be applied copy-on-write, and ``delta`` records
+    the edit that produced this epoch (``None`` for the seed epoch).
+    Every epoch is fully immutable once built — engines, batcher, warm
+    plans and verification cache all belong to the epoch, which is what
+    lets in-flight batches finish on their admitted version while new
+    arrivals see the next one.
+    """
 
     name: str
     engine: Engine
@@ -75,6 +93,10 @@ class GraphEntry:
     batcher: QueryBatcher
     estimator: ServiceEstimator
     singles_cache: dict = field(default_factory=dict)
+    version: int = 0
+    graph: Graph | None = field(default=None, repr=False)
+    sym_graph: Graph | None = field(default=None, repr=False)
+    delta: DeltaReport | None = field(default=None, repr=False)
 
 
 class GraphRegistry:
@@ -83,6 +105,9 @@ class GraphRegistry:
     ``max_batch`` is the cluster-wide coalescing cap applied to every
     entry's batcher (and the routers' mid-flight-join capacity).
     """
+
+    #: Whether this registry supports epoch swaps (:class:`GraphStore`).
+    versioned: bool = False
 
     def __init__(self, *, max_batch: int = 64) -> None:
         if max_batch < 1:
@@ -106,11 +131,15 @@ class GraphRegistry:
         kwargs: dict[str, DeviceSpec] = (
             {} if device is None else {"device": device}
         )
+        sym = graph.symmetrized()
         engine = BitEngine(graph, tile_dim=tile_dim, **kwargs)
-        cc_engine = BitEngine(
-            graph.symmetrized(), tile_dim=tile_dim, **kwargs
-        )
-        return self.add_engines(name, engine, cc_engine=cc_engine)
+        cc_engine = BitEngine(sym, tile_dim=tile_dim, **kwargs)
+        entry = self.add_engines(name, engine, cc_engine=cc_engine)
+        # Retain the source graphs so a versioned store can apply the
+        # next mutation batch as a copy-on-write delta.
+        entry.graph = graph
+        entry.sym_graph = sym
+        return entry
 
     def add_engines(
         self,
@@ -141,6 +170,18 @@ class GraphRegistry:
         self._entries[name] = entry
         return entry
 
+    def mutate(
+        self,
+        name: str,
+        inserts: np.ndarray | None = None,
+        deletes: np.ndarray | None = None,
+    ) -> tuple[GraphEntry, DeltaReport]:
+        """Unversioned registries cannot mutate; use :class:`GraphStore`."""
+        raise NotImplementedError(
+            "this registry is unversioned; register the graphs in a "
+            "GraphStore to apply mutations"
+        )
+
     # ------------------------------------------------------------------
     @property
     def names(self) -> tuple[str, ...]:
@@ -167,6 +208,24 @@ class GraphRegistry:
                 f"{sorted(self._entries)}"
             )
         return graph
+
+    def current_version(self, name: str) -> int:
+        """The serving epoch new arrivals against ``name`` are admitted
+        on (always 0 for an unversioned registry)."""
+        return self._entries[name].version
+
+    def entry_for(self, name: str, version: int) -> GraphEntry:
+        """The entry serving ``name`` at ``version``.  A plain registry
+        retains only the current epoch; :class:`GraphStore` keeps the
+        whole chain so in-flight batches resolve their admitted epoch
+        across a swap."""
+        entry = self._entries[name]
+        if entry.version != version:
+            raise KeyError(
+                f"graph {name!r} is at version {entry.version}; "
+                f"version {version} is not retained"
+            )
+        return entry
 
     def estimator_state(self) -> dict[str, dict[str, float]]:
         """Snapshot every entry's learned service estimates, keyed by
@@ -196,6 +255,141 @@ class GraphRegistry:
 
     def __iter__(self) -> Iterator[GraphEntry]:
         return iter(self._entries.values())
+
+
+class GraphStore(GraphRegistry):
+    """A version-aware registry: an epoch chain per named graph.
+
+    :meth:`mutate` applies an edge-mutation batch as a copy-on-write
+    delta (:func:`repro.formats.delta.apply_edge_delta`): only touched
+    B2SR tiles are rebuilt, the new epoch warms its own kernel plans
+    *before* it becomes servable, and the previous epochs stay alive in
+    the chain so batches admitted against them finish unchanged.  The
+    registry lookup surface (``store[name]``, :meth:`resolve`,
+    :meth:`current_version`) always answers with the newest epoch;
+    :meth:`entry_for` resolves any retained one.
+    """
+
+    versioned = True
+
+    def __init__(self, *, max_batch: int = 64) -> None:
+        super().__init__(max_batch=max_batch)
+        self._chains: dict[str, list[GraphEntry]] = {}
+
+    def add_engines(
+        self,
+        name: str,
+        engine: Engine,
+        *,
+        cc_engine: Engine | None = None,
+    ) -> GraphEntry:
+        entry = super().add_engines(name, engine, cc_engine=cc_engine)
+        self._chains[name] = [entry]
+        return entry
+
+    # ------------------------------------------------------------------
+    def versions(self, name: str) -> tuple[int, ...]:
+        """Retained epoch numbers for ``name``, oldest first."""
+        return tuple(e.version for e in self._chains[name])
+
+    def history(self, name: str) -> tuple[GraphEntry, ...]:
+        """The retained epoch chain for ``name``, oldest first."""
+        return tuple(self._chains[name])
+
+    def entry_for(self, name: str, version: int) -> GraphEntry:
+        for entry in self._chains.get(name, ()):
+            if entry.version == version:
+                return entry
+        raise KeyError(
+            f"graph {name!r} retains versions "
+            f"{[e.version for e in self._chains.get(name, [])]}; "
+            f"version {version} is not among them"
+        )
+
+    # ------------------------------------------------------------------
+    def mutate(
+        self,
+        name: str,
+        inserts: np.ndarray | None = None,
+        deletes: np.ndarray | None = None,
+    ) -> tuple[GraphEntry, DeltaReport]:
+        """Apply an edge-mutation batch to ``name`` and install the new
+        epoch.
+
+        The delta path: patch the directed graph's cached B2SR forms
+        tile-by-tile, diff-and-patch the symmetrized view the CC engine
+        serves, build fresh engines over the patched forms, warm the new
+        epoch's sweep plans, then append it to the chain and swap the
+        current-epoch pointer.  Everything up to the final swap is off
+        the serving hot path — a router applying a due mutation admits
+        the very next arrival against fully warm plans.  The previous
+        epoch's learned service estimates carry over (the graph changed
+        by one small delta; relearning from scratch would thrash the
+        admission deadlines).
+        """
+        if name not in self._entries:
+            raise KeyError(
+                f"unknown serving graph {name!r}; registered: "
+                f"{sorted(self._entries)}"
+            )
+        entry = self._entries[name]
+        if entry.graph is None:
+            raise ValueError(
+                f"graph {name!r} was registered from bare engines; "
+                "mutation needs the source Graph (register via add())"
+            )
+        tile_dim = getattr(entry.engine, "tile_dim", 32)
+        # Patch whatever B2SR forms the old epoch actually built (for a
+        # BitEngine registration that is the transposed pull operand);
+        # forms nobody cached are not force-rebuilt — an engine that
+        # later needs one converts lazily, exactly like the seed epoch.
+        new_graph, report = apply_edge_delta(entry.graph, inserts, deletes)
+
+        # Patch the symmetrized view (what the CC engine sweeps) by
+        # diffing the undirected edge sets — the symmetric closure of a
+        # small delta is still small, so its B2SR patch is too.
+        new_sym = new_graph.symmetrized()
+        old_sym = entry.sym_graph
+        if new_sym is not new_graph and old_sym is not None:
+            sym_ins, sym_del = edge_diff(old_sym.csr, new_sym.csr)
+            base_t = old_sym.cached_b2sr_t(tile_dim)
+            if base_t is not None:
+                patched, sym_stats = delta_b2sr(
+                    base_t, sym_ins[:, ::-1], sym_del[:, ::-1]
+                )
+                new_sym.adopt_b2sr(tile_dim, mat_t=patched)
+                report.forms[f"Sym_At{tile_dim}"] = sym_stats
+
+        from repro.engines import BitEngine
+
+        eng_kwargs = {
+            "tile_dim": tile_dim,
+            "skip_inactive": getattr(entry.engine, "skip_inactive", True),
+        }
+        if entry.engine.device is not None:
+            eng_kwargs["device"] = entry.engine.device
+        engine = BitEngine(new_graph, **eng_kwargs)
+        cc_engine = BitEngine(new_sym, **eng_kwargs)
+        new_entry = GraphEntry(
+            name=name,
+            engine=engine,
+            cc_engine=cc_engine,
+            batcher=QueryBatcher(
+                engine, cc_engine=cc_engine, max_batch=self.max_batch
+            ),
+            estimator=ServiceEstimator(engine, cc_engine=cc_engine),
+            version=entry.version + 1,
+            graph=new_graph,
+            sym_graph=new_sym,
+            delta=report,
+        )
+        new_entry.estimator.restore(entry.estimator.snapshot())
+        # Warm the new epoch's plans BEFORE the swap: the first query
+        # after the epoch flips must not pay plan construction.
+        new_entry.batcher.warm()
+        self._chains[name].append(new_entry)
+        self._entries[name] = new_entry
+        return new_entry, report
 
 
 # ----------------------------------------------------------------------
@@ -304,6 +498,18 @@ def resolve_placement(placement: str | PlacementPolicy) -> PlacementPolicy:
 # ----------------------------------------------------------------------
 # Reports
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SwapRecord:
+    """One applied epoch swap during a routed run."""
+
+    time_ms: float
+    graph: str
+    version: int
+    inserts: int
+    deletes: int
+    rebuilt_fraction: float
+
+
 @dataclass
 class ClusterReport:
     """Aggregate accounting for one simulated stream on one cluster."""
@@ -327,6 +533,7 @@ class ClusterReport:
     server_busy_ms: list[float]
     server_launches: list[int]
     verified: bool = False
+    swaps: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -357,6 +564,7 @@ class _RouterController:
         placement: PlacementPolicy,
         rng: np.random.Generator,
         verify: bool,
+        mutations: list[MutationBatch] | None = None,
     ) -> None:
         self.router = router
         self.registry = router.registry
@@ -368,36 +576,78 @@ class _RouterController:
         self.ctx = AdmissionContext(
             max_batch=self.registry.max_batch,
             slack_factor=router.slack_factor,
-            estimate=lambda b: self.registry[b.graph]
+            estimate=lambda b: self.registry.entry_for(b.graph, b.version)
             .estimator.estimate_ms(b.kind, len(b.members)),
             n_servers=len(servers),
+            version_of=self.registry.current_version,
         )
         self.open_batches: list[Batch] = []
         self.outcomes: dict[int, QueryOutcome] = {}
         self.widths: list[int] = []
         self.joins = 0
+        self.mutations = sorted(
+            mutations or [], key=lambda m: m.time_ms
+        )
+        self._next_mutation = 0
+        self.swaps: list[SwapRecord] = []
+
+    # -- epoch swaps ---------------------------------------------------
+    def _apply_due_mutations(self, now: float) -> None:
+        """Apply every mutation whose time has been crossed.  Called on
+        entry to both event hooks, so an arrival landing exactly at the
+        swap instant is admitted against the new epoch while batches
+        already open stay pinned to theirs."""
+        while (
+            self._next_mutation < len(self.mutations)
+            and self.mutations[self._next_mutation].time_ms <= now + EPS
+        ):
+            mut = self.mutations[self._next_mutation]
+            self._next_mutation += 1
+            entry, report = self.registry.mutate(
+                mut.graph, mut.inserts, mut.deletes
+            )
+            self.swaps.append(
+                SwapRecord(
+                    time_ms=mut.time_ms,
+                    graph=mut.graph,
+                    version=entry.version,
+                    inserts=report.n_inserts,
+                    deletes=report.n_deletes,
+                    rebuilt_fraction=report.rebuilt_fraction,
+                )
+            )
 
     # -- EventLoop controller hooks ------------------------------------
     def on_arrival(self, now: float, seq: int, arrival: Arrival) -> None:
+        self._apply_due_mutations(now)
         self.joins += self.policy.admit(
             arrival, seq, arrival.graph, self.open_batches, self.ctx
         )
 
     def has_pending(self) -> bool:
-        return bool(self.open_batches)
+        return (
+            bool(self.open_batches)
+            or self._next_mutation < len(self.mutations)
+        )
 
     def next_timer(self, now: float) -> float:
-        return min(
+        timer = min(
             (
                 b.launch_at for b in self.open_batches
                 if b.launch_at > now + EPS
             ),
             default=math.inf,
         )
+        if self._next_mutation < len(self.mutations):
+            nxt = self.mutations[self._next_mutation].time_ms
+            if nxt > now + EPS:
+                timer = min(timer, nxt)
+        return timer
 
     def dispatch(self, now: float) -> bool:
         """Launch the most overdue ready batch whose placed server is
         idle; returns ``True`` when a launch happened."""
+        self._apply_due_mutations(now)
         ready = [
             b for b in self.open_batches if b.launch_at <= now + EPS
         ]
@@ -430,8 +680,10 @@ class _RouterController:
         """Serve the batch through its graph's QueryBatcher (one
         coalesced launch group; the verification path re-runs singles
         when asked) and record every member's outcome.  Returns the
-        modeled service ms."""
-        entry = self.registry[batch.graph]
+        modeled service ms.  The batch resolves the epoch it was
+        *admitted* against — a swap between admission and launch never
+        changes what a query answers over."""
+        entry = self.registry.entry_for(batch.graph, batch.version)
         submitted = [
             (entry.batcher.submit(a.kind, a.source), seq, a)
             for seq, a in batch.members
@@ -453,6 +705,7 @@ class _RouterController:
                 joined=width > 1,
                 baseline_ms=res.baseline_ms,
                 server=server.sid,
+                version=batch.version,
             )
         entry.estimator.observe(batch.kind, width, service)
         return service
@@ -507,6 +760,7 @@ class Router:
         policy: str | AdmissionPolicy = "slo",
         placement: str | PlacementPolicy | None = None,
         verify: bool = False,
+        mutations: list[MutationBatch] | None = None,
     ) -> tuple[list[QueryOutcome], ClusterReport]:
         """Simulate serving ``arrivals`` on the cluster.
 
@@ -514,16 +768,34 @@ class Router:
         report.  With ``verify=True`` every launch re-runs its queries
         standalone through the owning graph's verification path and
         raises on any non-bitwise-identical answer.
+
+        ``mutations`` interleaves timestamped edge-mutation batches with
+        the arrival stream (the registry must be a versioned
+        :class:`GraphStore`): each one swaps the target graph's serving
+        epoch at its timestamp — batches already open finish on the
+        epoch they were admitted against, arrivals from the swap instant
+        on are served on the new one, and no batch ever mixes epochs.
+        The applied swaps land in ``report.extra["swaps"]``.
         """
         pol = resolve_policy(policy)
         placer = resolve_placement(
             self.placement if placement is None else placement
         )
+        muts: list[MutationBatch] = list(mutations or [])
+        if muts:
+            if not self.registry.versioned:
+                raise ValueError(
+                    "mutations need a versioned GraphStore registry; "
+                    f"got {type(self.registry).__name__}"
+                )
+            for m in muts:
+                m.validate()
+                self.registry.resolve(m.graph)
         stream = self._normalize(arrivals)
         servers = [Server(sid) for sid in range(self.n_servers)]
         controller = _RouterController(
             self, servers, pol, placer,
-            np.random.default_rng(self.seed), verify,
+            np.random.default_rng(self.seed), verify, muts,
         )
         EventLoop(servers).run(stream, controller)
         ordered = [controller.outcomes[j] for j in range(len(stream))]
@@ -537,20 +809,28 @@ class Router:
         *,
         policy: str | AdmissionPolicy = "slo",
         verify: bool = False,
+        placements: list[str] | None = None,
     ) -> dict[str, tuple[list[QueryOutcome], ClusterReport]]:
-        """Run every registered placement on one stream, keyed by name.
+        """Run every registered placement on one stream, keyed by name
+        (or just ``placements``, in the given order).
 
-        Each run starts from the registry's current estimator state —
-        without that reset, later placements would inherit estimates the
-        earlier runs learned and the compared cells would not be equal.
+        Estimator-state hygiene: each candidate run snapshots the
+        registry's learned service estimates and restores them after, so
+        no placement is scored with EWMAs warmed by an earlier candidate
+        — the reported cells are identical whatever the comparison
+        order — and the registry leaves the comparison exactly as it
+        entered it.
         """
-        base = self.registry.estimator_state()
+        names = list(PLACEMENTS) if placements is None else list(placements)
         results: dict[str, tuple[list[QueryOutcome], ClusterReport]] = {}
-        for name in PLACEMENTS:
-            self.registry.restore_estimator_state(base)
-            results[name] = self.run(
-                arrivals, policy=policy, placement=name, verify=verify
-            )
+        for name in names:
+            base = self.registry.estimator_state()
+            try:
+                results[name] = self.run(
+                    arrivals, policy=policy, placement=name, verify=verify
+                )
+            finally:
+                self.registry.restore_estimator_state(base)
         return results
 
     # ------------------------------------------------------------------
@@ -590,6 +870,8 @@ class Router:
                 server_busy_ms=[0.0] * len(servers),
                 server_launches=[0] * len(servers),
                 verified=verified,
+                swaps=len(controller.swaps),
+                extra={"swaps": list(controller.swaps)},
             )
         queue = np.array([o.queue_ms for o in outcomes])
         lane_attainment: dict[str, float] = {}
@@ -628,6 +910,8 @@ class Router:
             server_busy_ms=[s.busy_ms for s in servers],
             server_launches=[s.launches for s in servers],
             verified=verified,
+            swaps=len(controller.swaps),
+            extra={"swaps": list(controller.swaps)},
         )
 
 
@@ -636,11 +920,13 @@ __all__ = [
     "ClusterReport",
     "GraphEntry",
     "GraphRegistry",
+    "GraphStore",
     "LeastLoadedPlacement",
     "PLACEMENTS",
     "PlacementPolicy",
     "PowerOfTwoPlacement",
     "Router",
+    "SwapRecord",
     "register_placement",
     "resolve_placement",
 ]

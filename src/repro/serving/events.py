@@ -144,7 +144,12 @@ class EventLoop:
 
 @dataclass
 class QueryOutcome:
-    """One served query: its answer plus the full latency decomposition."""
+    """One served query: its answer plus the full latency decomposition.
+
+    ``version`` is the graph epoch the query was admitted against — under
+    a versioned store, every member of a batch shares it (batches never
+    mix versions across an epoch swap).
+    """
 
     arrival: Arrival
     result: np.ndarray
@@ -154,6 +159,7 @@ class QueryOutcome:
     joined: bool
     baseline_ms: float | None = None
     server: int = 0
+    version: int = 0
 
     @property
     def queue_ms(self) -> float:

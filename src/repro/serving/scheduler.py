@@ -164,11 +164,23 @@ class Scheduler:
     def compare(
         self, arrivals: StreamLike, *, verify: bool = False
     ) -> dict[str, tuple[list[QueryOutcome], ScheduleReport]]:
-        """Run every policy on one stream; keyed by policy name."""
-        return {
-            name: self.run(arrivals, policy=name, verify=verify)
-            for name in POLICIES
-        }
+        """Run every policy on one stream; keyed by policy name.
+
+        Estimator-state hygiene: each candidate run restores the learned
+        service estimates it started from, so no policy is scored with
+        EWMAs warmed by an earlier candidate and the cells are identical
+        whatever the comparison order.
+        """
+        results: dict[str, tuple[list[QueryOutcome], ScheduleReport]] = {}
+        for name in POLICIES:
+            base = self.registry.estimator_state()
+            try:
+                results[name] = self.run(
+                    arrivals, policy=name, verify=verify
+                )
+            finally:
+                self.registry.restore_estimator_state(base)
+        return results
 
     # ------------------------------------------------------------------
     @staticmethod

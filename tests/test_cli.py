@@ -198,6 +198,31 @@ class TestCommands:
             ["cluster", "gen:hybrid:64:1", "--rate", "0"]
         ) == 2
 
+    def test_ingest_live(self, capsys):
+        assert main(
+            ["ingest", "gen:hybrid:300:1", "--requests", "16",
+             "--rate", "3000", "--batches", "2", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "live ingest across 2 epoch swaps" in out
+        assert "0 mixed-version batches" in out
+        assert "verified on its admitted epoch" in out
+
+    def test_ingest_offline(self, capsys):
+        assert main(
+            ["ingest", "gen:road:300:1", "--offline", "--batches", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "offline ingest: 3 applied, 0 retried, 0 failed" in out
+        assert "rebuilt" in out
+
+    def test_ingest_rejects_bad_args(self, capsys):
+        assert main(["ingest", "gen:hybrid:64:1", "--requests", "0"]) == 2
+        assert main(["ingest", "gen:hybrid:64:1", "--batches", "0"]) == 2
+        assert main(
+            ["ingest", "gen:hybrid:64:1", "--insert-fraction", "2"]
+        ) == 2
+
     def test_matrices_listing(self, capsys):
         assert main(["matrices"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,225 @@
+"""Tests for incremental recompute (`repro.algorithms.incremental`) and
+the delta re-warm cost model.
+
+The headline contract: `bfs_repair` / `fastsv_refine` on the
+post-mutation graph are **bitwise identical** to from-scratch `bfs` /
+`connected_components` runs, for any delta.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    bfs,
+    bfs_repair,
+    connected_components,
+    fastsv_refine,
+)
+from repro.engines import BitEngine
+from repro.formats.b2sr import TILE_DIMS
+from repro.formats.convert import b2sr_from_csr
+from repro.formats.delta import apply_edge_delta
+from repro.graph import Graph, csr_row_indices
+from repro.gpusim.device import GTX1080
+from repro.kernels.costmodel import delta_rewarm_stats
+
+
+def random_delta(seed):
+    """A random graph plus an applied edge delta (returns old graph, new
+    graph, and the effective delta report)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 80))
+    m = int(rng.integers(0, 4 * n))
+    g = Graph.from_edges(n, rng.integers(0, n, size=(m, 2)))
+    ins = rng.integers(0, n, size=(int(rng.integers(0, 10)), 2))
+    rows = csr_row_indices(g.csr, n)
+    exist = (
+        np.stack([rows, g.csr.indices], axis=1)
+        if g.nnz else np.empty((0, 2), np.int64)
+    )
+    k = min(int(rng.integers(0, 12)), exist.shape[0])
+    picks = (
+        exist[rng.choice(exist.shape[0], size=k, replace=False)]
+        if k else np.empty((0, 2), np.int64)
+    )
+    dels = np.concatenate([picks, rng.integers(0, n, size=(2, 2))])
+    g2, report = apply_edge_delta(g, ins, dels)
+    return g, g2, report
+
+
+class TestBFSRepair:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        tile_dim=st.sampled_from(TILE_DIMS),
+    )
+    def test_bitwise_equal_to_scratch(self, seed, tile_dim):
+        g, g2, report = random_delta(seed)
+        source = int(np.random.default_rng(seed + 1).integers(g.n))
+        old_depth, _ = bfs(BitEngine(g, tile_dim=tile_dim), source)
+        want, _ = bfs(BitEngine(g2, tile_dim=tile_dim), source)
+        got, rep = bfs_repair(
+            BitEngine(g2, tile_dim=tile_dim), source, old_depth,
+            report.inserts, report.deletes,
+        )
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+        assert rep.extra["invalidated"] >= 0
+
+    def test_empty_delta_is_a_fixpoint(self):
+        rng = np.random.default_rng(3)
+        g = Graph.from_edges(40, rng.integers(0, 40, size=(120, 2)))
+        old_depth, _ = bfs(BitEngine(g, tile_dim=8), 0)
+        got, rep = bfs_repair(BitEngine(g, tile_dim=8), 0, old_depth)
+        assert np.array_equal(got, old_depth)
+        assert rep.extra["invalidated"] == 0
+        # One relaxation round confirms the fixpoint, none repair it.
+        assert rep.extra["repair_rounds"] == 1
+
+    def test_delete_breaks_reachability(self):
+        # Path 0 -> 1 -> 2; deleting (1, 2) makes 2 unreachable.
+        g = Graph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        old_depth, _ = bfs(BitEngine(g, tile_dim=4), 0)
+        g2, report = apply_edge_delta(g, None, np.array([[1, 2]]))
+        got, _ = bfs_repair(
+            BitEngine(g2, tile_dim=4), 0, old_depth,
+            report.inserts, report.deletes,
+        )
+        assert got.tolist() == [0, 1, -1]
+
+    def test_insert_shortcuts_path(self):
+        # Chain 0->1->2->3 plus shortcut insert (0, 3).
+        g = Graph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        old_depth, _ = bfs(BitEngine(g, tile_dim=4), 0)
+        g2, report = apply_edge_delta(g, np.array([[0, 3]]), None)
+        got, _ = bfs_repair(
+            BitEngine(g2, tile_dim=4), 0, old_depth,
+            report.inserts, report.deletes,
+        )
+        assert got.tolist() == [0, 1, 2, 1]
+
+    def test_source_never_invalidated(self):
+        # A deleted self-loopish edge into the source must not strand it.
+        g = Graph.from_edges(3, np.array([[1, 0], [0, 1], [1, 2]]))
+        old_depth, _ = bfs(BitEngine(g, tile_dim=4), 0)
+        g2, report = apply_edge_delta(g, None, np.array([[1, 0]]))
+        got, _ = bfs_repair(
+            BitEngine(g2, tile_dim=4), 0, old_depth,
+            report.inserts, report.deletes,
+        )
+        want, _ = bfs(BitEngine(g2, tile_dim=4), 0)
+        assert np.array_equal(got, want)
+        assert got[0] == 0
+
+    def test_validation(self):
+        g = Graph.from_edges(5, np.array([[0, 1]]))
+        eng = BitEngine(g, tile_dim=4)
+        depth = np.zeros(5, dtype=np.int64)
+        with pytest.raises(ValueError, match="source"):
+            bfs_repair(eng, 9, depth)
+        with pytest.raises(ValueError, match="old_depth"):
+            bfs_repair(eng, 0, depth[:3])
+        with pytest.raises(ValueError, match="out-of-range"):
+            bfs_repair(eng, 0, depth, inserts=np.array([[0, 7]]))
+
+
+class TestFastSVRefine:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        tile_dim=st.sampled_from(TILE_DIMS),
+    )
+    def test_bitwise_equal_to_scratch(self, seed, tile_dim):
+        g, g2, report = random_delta(seed)
+        sym_old = g.symmetrized()
+        sym_new = g2.symmetrized()
+        old_labels, _ = connected_components(
+            BitEngine(sym_old, tile_dim=tile_dim)
+        )
+        want, _ = connected_components(
+            BitEngine(sym_new, tile_dim=tile_dim)
+        )
+        got, rep = fastsv_refine(
+            BitEngine(sym_new, tile_dim=tile_dim), old_labels,
+            report.inserts, report.deletes,
+        )
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+        assert rep.extra["reset_vertices"] >= 0
+
+    def test_insert_only_merges_without_reset(self):
+        # Two components 0-1 and 2-3; insert (1, 2) merges them.
+        g = Graph.from_edges(
+            4, np.array([[0, 1], [2, 3]]), symmetrize=True
+        )
+        old_labels, _ = connected_components(BitEngine(g, tile_dim=4))
+        g2, report = apply_edge_delta(
+            g, np.array([[1, 2], [2, 1]]), None
+        )
+        got, rep = fastsv_refine(
+            BitEngine(g2.symmetrized(), tile_dim=4), old_labels,
+            report.inserts, report.deletes,
+        )
+        assert got.tolist() == [0, 0, 0, 0]
+        assert rep.extra["reset_vertices"] == 0
+
+    def test_delete_splits_component(self):
+        # Chain 0-1-2 (undirected); deleting the 1-2 link splits it.
+        g = Graph.from_edges(
+            3, np.array([[0, 1], [1, 2]]), symmetrize=True
+        )
+        old_labels, _ = connected_components(BitEngine(g, tile_dim=4))
+        g2, report = apply_edge_delta(
+            g, None, np.array([[1, 2], [2, 1]])
+        )
+        got, rep = fastsv_refine(
+            BitEngine(g2.symmetrized(), tile_dim=4), old_labels,
+            report.inserts, report.deletes,
+        )
+        assert got.tolist() == [0, 0, 2]
+        assert rep.extra["reset_vertices"] == 3  # the touched component
+
+    def test_validation(self):
+        g = Graph.from_edges(5, np.array([[0, 1]]), symmetrize=True)
+        eng = BitEngine(g, tile_dim=4)
+        with pytest.raises(ValueError, match="old_labels"):
+            fastsv_refine(eng, np.zeros(3, dtype=np.int64))
+
+
+class TestDeltaRewarmStats:
+    def _matrix(self, tile_dim=8):
+        rng = np.random.default_rng(0)
+        g = Graph.from_edges(100, rng.integers(0, 100, size=(400, 2)))
+        return b2sr_from_csr(g.csr, tile_dim)
+
+    def test_scales_with_rebuilt_fraction(self):
+        A = self._matrix()
+        costs = [
+            delta_rewarm_stats(A, GTX1080, rebuilt_fraction=f).dram_bytes
+            for f in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_full_rebuild_is_the_unit_fraction(self):
+        A = self._matrix()
+        full = delta_rewarm_stats(A, GTX1080)
+        explicit = delta_rewarm_stats(A, GTX1080, rebuilt_fraction=1.0)
+        assert full.dram_bytes == explicit.dram_bytes
+        assert full.warp_instructions == explicit.warp_instructions
+
+    def test_planes_scale_warm_cost(self):
+        A = self._matrix(tile_dim=8)
+        k1 = delta_rewarm_stats(A, GTX1080, k=1)
+        k32 = delta_rewarm_stats(A, GTX1080, k=32)  # 4 planes at d=8
+        assert k32.dram_bytes > k1.dram_bytes
+        assert k32.warp_instructions > k1.warp_instructions
+
+    def test_validation(self):
+        A = self._matrix()
+        with pytest.raises(ValueError, match="rebuilt_fraction"):
+            delta_rewarm_stats(A, GTX1080, rebuilt_fraction=1.5)
+        with pytest.raises(ValueError, match="k must be"):
+            delta_rewarm_stats(A, GTX1080, k=0)

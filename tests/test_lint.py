@@ -129,6 +129,66 @@ class TestB2SRImmutability:
 
 
 # ----------------------------------------------------------------------
+# b2sr-from-tiles
+# ----------------------------------------------------------------------
+class TestB2SRFromTiles:
+    PATH = "src/repro/kernels/fake.py"
+
+    def test_flags_raw_construction(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix\n"
+            "m = B2SRMatrix(8, 8, 8, indptr, cols, tiles)\n"
+        )
+        assert ids(lint_source(src, self.PATH)) == ["b2sr-from-tiles"]
+
+    def test_flags_aliased_construction(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix as BM\n"
+            "m = BM(8, 8, 8, indptr, cols, tiles)\n"
+        )
+        assert ids(lint_source(src, self.PATH)) == ["b2sr-from-tiles"]
+
+    def test_flags_dotted_construction(self):
+        src = (
+            "from repro.formats import b2sr\n"
+            "m = b2sr.B2SRMatrix(8, 8, 8, indptr, cols, tiles)\n"
+        )
+        assert ids(lint_source(src, self.PATH)) == ["b2sr-from-tiles"]
+
+    def test_from_tiles_and_empty_are_sanctioned(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix\n"
+            "a = B2SRMatrix.from_tiles(8, 8, 8, tr, tc, tiles)\n"
+            "b = B2SRMatrix.from_tiles(8, 8, 8, tr, tc, w, packed=True)\n"
+            "c = B2SRMatrix.empty(8, 8, 8)\n"
+        )
+        assert ids(lint_source(src, self.PATH)) == []
+
+    def test_annotations_and_isinstance_not_flagged(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix\n"
+            "def f(m: B2SRMatrix) -> B2SRMatrix:\n"
+            "    return m if isinstance(m, B2SRMatrix) else m\n"
+        )
+        assert ids(lint_source(src, self.PATH)) == []
+
+    def test_formats_modules_exempt(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix\n"
+            "m = B2SRMatrix(8, 8, 8, indptr, cols, tiles)\n"
+        )
+        assert ids(lint_source(src, "src/repro/formats/delta.py")) == []
+        assert ids(lint_source(src, "src/repro/formats/convert.py")) == []
+
+    def test_tests_exempt(self):
+        src = (
+            "from repro.formats.b2sr import B2SRMatrix\n"
+            "m = B2SRMatrix(8, 8, 8, indptr, cols, tiles)\n"
+        )
+        assert ids(lint_source(src, "tests/test_fake.py")) == []
+
+
+# ----------------------------------------------------------------------
 # seeded-rng
 # ----------------------------------------------------------------------
 class TestSeededRng:
