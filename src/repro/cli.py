@@ -23,10 +23,13 @@ without writing Python:
   graph store, either live (epoch swaps interleaved with a served
   stream, batches never mixing versions) or offline through the
   bounded-retry ingestion loop;
-* ``lint``     — the repo-specific AST invariant linter (numeric-cliff,
-  b2sr-immutability, b2sr-from-tiles, seeded-rng, paper-faithful-skip,
-  verify-contract, hot-path-scatter), with per-rule inline suppressions
-  and text/JSON reports;
+* ``lint``     — the repo-specific invariant linter: per-file AST rules
+  (numeric-cliff, b2sr-immutability, b2sr-from-tiles, seeded-rng,
+  paper-faithful-skip, verify-contract, hot-path-scatter) plus
+  cross-module call-graph rules (hook-ordering, estimator-hygiene,
+  modeled-time-purity, shared-state-determinism), with per-rule inline
+  suppressions, an mtime+hash warm-run cache, ``--baseline`` diffing
+  and text/JSON/SARIF reports;
 * ``matrices`` — list the named paper-matrix stand-ins;
 * ``suite``    — describe the 521-matrix evaluation suite.
 
@@ -38,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -749,17 +753,23 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.lint import (
         ALL_RULES,
+        LintPathError,
+        apply_baseline,
         get_rules,
-        lint_paths,
+        lint_project,
+        load_baseline,
         render_json,
+        render_sarif,
         render_text,
     )
 
     if args.list_rules:
-        rows = [[r.id, r.description] for r in ALL_RULES]
-        print(format_table(["rule", "invariant"], rows,
+        rows = [[r.id, r.scope, r.description] for r in ALL_RULES]
+        print(format_table(["rule", "scope", "invariant"], rows,
                            title="registered invariant rules"))
         return 0
     try:
@@ -767,17 +777,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    violations, files_scanned = lint_paths(args.paths, rules=rules)
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(
+                Path(args.baseline).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+    cache_path = None if args.no_cache else args.cache
+    try:
+        report = lint_project(
+            args.paths, rules=rules, cache_path=cache_path
+        )
+    except LintPathError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations = report.violations
+    if baseline is not None:
+        violations, _matched = apply_baseline(violations, baseline)
     if args.format == "json":
-        print(render_json(violations, files_scanned=files_scanned))
+        print(render_json(violations, files_scanned=report.files_scanned))
+    elif args.format == "sarif":
+        print(render_sarif(violations, ALL_RULES))
     else:
         print(
             render_text(
                 violations,
-                files_scanned=files_scanned,
+                files_scanned=report.files_scanned,
                 show_suppressed=args.show_suppressed,
             )
         )
+    if args.stats:
+        print(_json.dumps(report.stats.to_row(), sort_keys=True))
     return 1 if any(not v.suppressed for v in violations) else 0
 
 
@@ -992,20 +1026,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser(
         "lint",
-        help="AST-based invariant linter: numeric-cliff, "
-             "b2sr-immutability, b2sr-from-tiles, seeded-rng, "
-             "paper-faithful-skip, verify-contract, hot-path-scatter",
+        help="invariant linter: per-file AST rules plus cross-module "
+             "call-graph rules (hook-ordering, estimator-hygiene, "
+             "modeled-time-purity, shared-state-determinism)",
     )
     sp.add_argument("paths", nargs="*", default=["src"],
-                    help="files or directories to lint (default: src)")
-    sp.add_argument("--format", choices=("text", "json"), default="text",
-                    help="report format")
+                    help="files or directories to lint (default: src); "
+                         "a missing path is an error (exit 2)")
+    sp.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text", help="report format")
     sp.add_argument("--select", default=None,
                     help="comma-separated rule ids (default: all)")
     sp.add_argument("--show-suppressed", action="store_true",
                     help="also list sanctioned (suppressed) exceptions")
     sp.add_argument("--list-rules", action="store_true",
                     help="print the rule registry and exit")
+    sp.add_argument("--baseline", default=None, metavar="FILE",
+                    help="previous --format json report; only findings "
+                         "not present in it are reported")
+    sp.add_argument("--cache", default=".repro-lint-cache.json",
+                    metavar="FILE",
+                    help="on-disk analysis cache (mtime+hash keyed)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable the analysis cache for this run")
+    sp.add_argument("--stats", action="store_true",
+                    help="append per-rule timing + cache hit rate as a "
+                         "JSON row")
     sp.set_defaults(func=cmd_lint)
 
     sp = sub.add_parser("matrices", help="list named stand-ins")

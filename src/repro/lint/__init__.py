@@ -31,8 +31,10 @@ Run it as ``repro lint [paths...]`` (text or ``--format json``) or via
 :func:`lint_paths` / :func:`lint_source`.
 """
 
+from repro.lint.cache import DEFAULT_CACHE_NAME, LintCache, cache_signature
 from repro.lint.core import (
     LintContext,
+    LintPathError,
     Rule,
     RuleVisitor,
     Violation,
@@ -41,9 +43,20 @@ from repro.lint.core import (
     lint_paths,
     lint_source,
 )
+from repro.lint.project import (
+    LintStats,
+    ProjectIndex,
+    ProjectReport,
+    ProjectRule,
+    lint_project,
+    lint_project_sources,
+)
 from repro.lint.reporters import (
     JSON_SCHEMA_VERSION,
+    apply_baseline,
+    load_baseline,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.lint.rules import ALL_RULES, get_rules, rule_ids
@@ -51,19 +64,32 @@ from repro.lint.suppress import MALFORMED_RULE_ID, Suppression
 
 __all__ = [
     "ALL_RULES",
+    "DEFAULT_CACHE_NAME",
     "JSON_SCHEMA_VERSION",
+    "LintCache",
     "LintContext",
+    "LintPathError",
+    "LintStats",
     "MALFORMED_RULE_ID",
+    "ProjectIndex",
+    "ProjectReport",
+    "ProjectRule",
     "Rule",
     "RuleVisitor",
     "Suppression",
     "Violation",
+    "apply_baseline",
+    "cache_signature",
     "get_rules",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "lint_project_sources",
     "lint_source",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
 ]

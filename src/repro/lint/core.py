@@ -36,6 +36,19 @@ from repro.lint.suppress import MALFORMED_RULE_ID, scan_suppressions
 PARSE_ERROR_RULE_ID = "parse-error"
 
 
+class LintPathError(Exception):
+    """A lint target does not exist or cannot be read.
+
+    Carries the offending path so the CLI can name it; ``repro lint``
+    maps this to exit code 2 (a misuse, distinct from exit 1 = findings).
+    """
+
+    def __init__(self, path: str | Path, detail: str) -> None:
+        self.path = str(path)
+        self.detail = detail
+        super().__init__(f"{detail}: {self.path}")
+
+
 @dataclass(frozen=True)
 class Violation:
     """One lint finding, optionally neutralized by a suppression."""
@@ -101,11 +114,17 @@ class Rule:
 
     Subclasses set ``id`` / ``description`` / ``hint``, narrow
     :meth:`applies_to`, and return a visitor from :meth:`visitor`.
+
+    ``scope`` distinguishes the two rule families: ``"file"`` rules see
+    one module at a time through an AST visitor; ``"project"`` rules
+    (:class:`repro.lint.project.ProjectRule`) run over the whole-tree
+    call-graph/effect index and are skipped by the per-file runners.
     """
 
     id: str = ""
     description: str = ""
     hint: str = ""
+    scope: str = "file"
 
     def applies_to(self, path: str) -> bool:
         return True
@@ -165,6 +184,60 @@ def _default_rules() -> Sequence[Rule]:
     return ALL_RULES
 
 
+def decorator_lines_by_def(tree: ast.AST) -> dict[int, tuple[int, ...]]:
+    """Map each decorated ``def``/``class`` line to its decorator lines.
+
+    A suppression directive naturally lands on whichever of the two
+    lines the author is looking at — rules anchor function-scoped
+    findings to the ``def`` line, so matching must accept directives on
+    any decorator line of that definition as well.
+    """
+    out: dict[int, tuple[int, ...]] = {}
+    for node in ast.walk(tree):
+        if isinstance(
+            node, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef
+        ) and node.decorator_list:
+            lines: list[int] = []
+            for dec in node.decorator_list:
+                end = getattr(dec, "end_lineno", dec.lineno)
+                # ``@`` sits one column before the expression but on the
+                # same line as the decorator's first token.
+                lines.extend(range(dec.lineno, end + 1))
+            out[node.lineno] = tuple(lines)
+    return out
+
+
+def apply_suppressions(
+    violations: Iterable[Violation],
+    suppressions: dict[int, list],
+    decorator_map: dict[int, tuple[int, ...]] | None = None,
+) -> list[Violation]:
+    """Mark violations matched by the file's suppression table.
+
+    Candidate lines for each violation are its node span plus — when
+    the violation anchors to a decorated ``def`` line — the decorator
+    lines above it (see :func:`decorator_lines_by_def`).
+    """
+    out: list[Violation] = []
+    for v in violations:
+        span_end = v.end_line if v.end_line is not None else v.line
+        candidates = list(range(v.line, span_end + 1))
+        if decorator_map:
+            candidates.extend(decorator_map.get(v.line, ()))
+        match = None
+        for line in candidates:
+            for sup in suppressions.get(line, ()):
+                if v.rule in sup.rules:
+                    match = sup
+                    break
+            if match:
+                break
+        if match is not None:
+            v = replace(v, suppressed=True, reason=match.reason)
+        out.append(v)
+    return out
+
+
 def lint_source(
     source: str,
     path: str | Path,
@@ -192,7 +265,7 @@ def lint_source(
         ]
     ctx = LintContext(norm, tree, source)
     for rule in rules:
-        if rule.applies_to(ctx.path):
+        if rule.scope == "file" and rule.applies_to(ctx.path):
             rule.visitor(ctx).visit(tree)
 
     known = frozenset(r.id for r in rules)
@@ -209,21 +282,21 @@ def lint_source(
                 hint="write: # repro-lint: ignore[rule-id] — reason",
             )
         )
-    for v in ctx.violations:
-        span_end = v.end_line if v.end_line is not None else v.line
-        match = None
-        for line in range(v.line, span_end + 1):
-            for sup in suppressions.get(line, ()):
-                if v.rule in sup.rules:
-                    match = sup
-                    break
-            if match:
-                break
-        if match is not None:
-            v = replace(v, suppressed=True, reason=match.reason)
-        out.append(v)
+    out.extend(
+        apply_suppressions(
+            ctx.violations, suppressions, decorator_lines_by_def(tree)
+        )
+    )
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return out
+
+
+def read_lint_target(path: str | Path) -> str:
+    """Read a lint target, raising :class:`LintPathError` on failure."""
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintPathError(path, f"cannot read ({exc.strerror})") from exc
 
 
 def lint_file(
@@ -232,21 +305,26 @@ def lint_file(
     as_path: str | Path | None = None,
 ) -> list[Violation]:
     """Lint a file on disk (``as_path`` overrides the path rules see)."""
-    text = Path(path).read_text(encoding="utf-8")
+    text = read_lint_target(path)
     return lint_source(text, as_path if as_path is not None else path, rules)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    A path that does not exist raises :class:`LintPathError`: an
+    invocation naming a missing target must fail loudly (exit 2 in the
+    CLI) instead of reporting a clean empty scan.
+    """
     seen: set[Path] = set()
     for p in paths:
         root = Path(p)
         if root.is_dir():
             candidates: Iterable[Path] = sorted(root.rglob("*.py"))
-        elif root.suffix == ".py":
-            candidates = [root]
+        elif root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
         else:
-            candidates = []
+            raise LintPathError(root, "no such file or directory")
         for f in candidates:
             if f not in seen:
                 seen.add(f)
@@ -260,25 +338,30 @@ def lint_paths(
     """Lint every ``.py`` file under ``paths``.
 
     Returns ``(violations, files_scanned)``; violations include
-    suppressed findings (marked) in ``(path, line)`` order.
+    suppressed findings (marked) in ``(path, line)`` order.  Runs the
+    full analysis — per-file rules *and* the cross-module project rules
+    (cacheless; use :func:`repro.lint.project.lint_project` directly for
+    the cached/stats-bearing variant).
     """
-    violations: list[Violation] = []
-    count = 0
-    for f in iter_python_files(paths):
-        count += 1
-        violations.extend(lint_file(f, rules))
-    return violations, count
+    from repro.lint.project import lint_project
+
+    report = lint_project(paths, rules)
+    return report.violations, report.files_scanned
 
 
 __all__ = [
     "PARSE_ERROR_RULE_ID",
     "LintContext",
+    "LintPathError",
     "Rule",
     "RuleVisitor",
     "Violation",
+    "apply_suppressions",
+    "decorator_lines_by_def",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "normalize_path",
+    "read_lint_target",
 ]

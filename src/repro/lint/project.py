@@ -1,0 +1,734 @@
+"""Project-level analysis: call graph, effect fixpoint, and runners.
+
+The per-file rules in :mod:`repro.lint.rules` see one module at a time;
+the contracts PR 6 left open (EventLoop hook ordering, estimator
+snapshot/restore hygiene, the wall-clock ban in the modeled-millisecond
+domain) are *properties of call paths*, not of single files.  This
+module closes that gap:
+
+* :class:`ProjectIndex` — parse-once summaries of every module
+  (:mod:`repro.lint.summary`) stitched into a call graph.  Edges come
+  from statically-resolvable spellings only (imports, module-local
+  names, ``self.m()``, known-constructor receivers); everything dynamic
+  resolves to *no* edge, so path-based rules under-approximate rather
+  than guess.
+* an **effect-inference fixpoint** — every function's transitive
+  effect set (wall clock, unseeded RNG, B2SR mutation, dispatch) with
+  provenance, so a violation message can print the offending call
+  chain across files.
+* :class:`ProjectRule` — the registry face of a cross-module rule:
+  same ``id``/``description``/``hint`` surface as per-file rules, but
+  checked per *module* against the full index (which is what makes the
+  cached-findings story per-module too).
+* :func:`lint_project` / :func:`lint_project_sources` — the disk and
+  in-memory runners.  The disk runner threads the mtime+hash cache
+  (:mod:`repro.lint.cache`): warm runs re-parse only changed files and
+  re-check cross-module rules only for modules whose dependency cone
+  changed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import time
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.cache import LintCache, cache_signature
+from repro.lint.core import (
+    PARSE_ERROR_RULE_ID,
+    LintContext,
+    Rule,
+    RuleVisitor,
+    Violation,
+    apply_suppressions,
+    iter_python_files,
+    normalize_path,
+    read_lint_target,
+)
+from repro.lint.suppress import (
+    MALFORMED_RULE_ID,
+    Suppression,
+    scan_suppressions,
+)
+from repro.lint.summary import (
+    ClassSummary,
+    FunctionSummary,
+    GlobalBinding,
+    ModuleSummary,
+    summarize_module,
+)
+
+#: Safety valve on fixpoint iterations — effects are monotone over a
+#: finite lattice so the worklist always converges, but a bound turns a
+#: future non-monotonicity bug into a loud flag instead of a hang.
+MAX_FIXPOINT_PASSES_PER_FUNCTION = 64
+
+
+# ----------------------------------------------------------------------
+# Project rules
+# ----------------------------------------------------------------------
+class ProjectRule(Rule):
+    """A rule over the whole-project index instead of one file's AST.
+
+    Subclasses implement :meth:`check_module`, returning the violations
+    *reported in* ``module`` (their facts may span the whole index).
+    Per-module reporting is what lets the cache reuse a module's
+    cross-module findings while its dependency cone is unchanged.
+    """
+
+    scope = "project"
+
+    def check_module(
+        self, project: "ProjectIndex", module: ModuleSummary
+    ) -> list[Violation]:
+        raise NotImplementedError
+
+    def visitor(self, ctx: LintContext) -> RuleVisitor:  # pragma: no cover
+        raise TypeError(f"{self.id} is a project-scope rule")
+
+
+# ----------------------------------------------------------------------
+# The index
+# ----------------------------------------------------------------------
+class ProjectIndex:
+    """Call graph + transitive effects over a set of module summaries."""
+
+    def __init__(self, modules: Iterable[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        for m in modules:
+            self.modules[m.module] = m
+        self.functions: dict[str, FunctionSummary] = {}
+        self.function_module: dict[str, str] = {}
+        self.class_index: dict[str, tuple[ModuleSummary, ClassSummary]] = {}
+        for m in self.modules.values():
+            for qual, fn in m.functions.items():
+                self.functions[qual] = fn
+                self.function_module[qual] = m.module
+            for cname, cls in m.classes.items():
+                self.class_index[f"{m.module}.{cname}"] = (m, cls)
+        #: qualname → [(callee qualname, call line)]
+        self.edges: dict[str, list[tuple[str, int]]] = {}
+        #: qualname → transitive effect set
+        self.effects: dict[str, set[str]] = {}
+        #: provenance: qualname → effect → (callee qualname, call line)
+        self.effect_via: dict[str, dict[str, tuple[str, int]]] = {}
+        #: functions forward-reachable from serving ``dispatch`` hooks,
+        #: with the edge they were first reached through.
+        self.dispatch_reachable: dict[str, tuple[str | None, int]] = {}
+        self.fixpoint_passes = 0
+        self.fixpoint_bounded = False
+        self._build_edges()
+        self._run_fixpoint()
+        self._compute_dispatch_reach()
+
+    # -- resolution ----------------------------------------------------
+    def resolve_method(
+        self, class_key: str, method: str, _seen: frozenset[str] | None = None
+    ) -> str | None:
+        """Qualname of ``method`` on ``class_key`` (walking static base
+        candidates), or ``None``."""
+        if _seen is None:
+            _seen = frozenset()
+        if class_key in _seen or class_key not in self.class_index:
+            return None
+        mod, cls = self.class_index[class_key]
+        if method in cls.methods:
+            return f"{class_key}.{method}"
+        seen = _seen | {class_key}
+        for base in cls.bases:
+            found = self.resolve_method(base, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_call(
+        self, site_kind: str, target: str, caller: FunctionSummary
+    ) -> str | None:
+        if site_kind == "dot":
+            if target in self.functions:
+                return target
+            if target in self.class_index:
+                return self.resolve_method(target, "__init__")
+            head, _, last = target.rpartition(".")
+            if head and head in self.class_index:
+                return self.resolve_method(head, last)
+            return None
+        if site_kind == "self":
+            if caller.cls is None:
+                return None
+            module = self.function_module.get(caller.qualname, "")
+            return self.resolve_method(f"{module}.{caller.cls}", target)
+        if site_kind == "onattr":
+            class_key, _, method = target.partition("::")
+            return self.resolve_method(class_key, method)
+        return None
+
+    def find_global(self, dotted: str) -> tuple[str, GlobalBinding] | None:
+        """``(module, binding)`` for a dotted module-global, if indexed."""
+        head, _, name = dotted.rpartition(".")
+        if head in self.modules:
+            binding = self.modules[head].mutable_globals.get(name)
+            if binding is not None:
+                return head, binding
+        return None
+
+    def path_of(self, qualname: str) -> str:
+        return self.modules[self.function_module[qualname]].path
+
+    # -- graph build ---------------------------------------------------
+    def _build_edges(self) -> None:
+        for fn in self.functions.values():
+            out: list[tuple[str, int]] = []
+            for site in fn.calls:
+                callee = self._resolve_call(site.kind, site.target, fn)
+                if callee is not None and callee != fn.qualname:
+                    out.append((callee, site.line))
+            self.edges[fn.qualname] = out
+
+    def _run_fixpoint(self) -> None:
+        callers: dict[str, list[tuple[str, int]]] = {
+            q: [] for q in self.functions
+        }
+        for caller, outs in self.edges.items():
+            for callee, line in outs:
+                callers[callee].append((caller, line))
+        for qual, fn in self.functions.items():
+            self.effects[qual] = set(fn.direct_effects)
+            self.effect_via[qual] = {}
+        work = deque(self.functions)
+        queued = set(work)
+        bound = MAX_FIXPOINT_PASSES_PER_FUNCTION * max(
+            1, len(self.functions)
+        )
+        while work:
+            self.fixpoint_passes += 1
+            if self.fixpoint_passes > bound:  # pragma: no cover - valve
+                self.fixpoint_bounded = True
+                break
+            qual = work.popleft()
+            queued.discard(qual)
+            mine = self.effects[qual]
+            grew = False
+            for callee, line in self.edges[qual]:
+                for effect in self.effects[callee] - mine:
+                    mine.add(effect)
+                    self.effect_via[qual].setdefault(
+                        effect, (callee, line)
+                    )
+                    grew = True
+            if grew:
+                for caller, _line in callers[qual]:
+                    if caller not in queued:
+                        queued.add(caller)
+                        work.append(caller)
+
+    def _compute_dispatch_reach(self) -> None:
+        roots = [
+            qual
+            for qual, fn in self.functions.items()
+            if fn.name == "dispatch"
+            and "serving/" in self.path_of(qual)
+            and not Rule.in_tests(self.path_of(qual))
+        ]
+        work = deque()
+        for root in sorted(roots):
+            if root not in self.dispatch_reachable:
+                self.dispatch_reachable[root] = (None, 0)
+                work.append(root)
+        while work:
+            qual = work.popleft()
+            for callee, line in self.edges[qual]:
+                if callee not in self.dispatch_reachable:
+                    self.dispatch_reachable[callee] = (qual, line)
+                    work.append(callee)
+
+    # -- provenance rendering ------------------------------------------
+    def effect_chain(
+        self, qualname: str, effect: str, limit: int = 12
+    ) -> list[str]:
+        """Human-readable hop list from ``qualname`` to the effect's
+        direct witness, each hop as ``"callee (path:line)"``."""
+        hops: list[str] = []
+        seen: set[str] = set()
+        current = qualname
+        while len(hops) < limit and current not in seen:
+            seen.add(current)
+            fn = self.functions[current]
+            direct = fn.direct_effects.get(effect)
+            if direct is not None:
+                hops.append(
+                    f"{direct.detail} ({self.path_of(current)}:{direct.line})"
+                )
+                return hops
+            via = self.effect_via.get(current, {}).get(effect)
+            if via is None:
+                break
+            callee, line = via
+            hops.append(
+                f"{self._short(callee)} ({self.path_of(current)}:{line})"
+            )
+            current = callee
+        return hops
+
+    def dispatch_path(self, qualname: str, limit: int = 12) -> list[str]:
+        """Hop list from the dispatch root down to ``qualname``."""
+        hops: list[str] = []
+        current: str | None = qualname
+        while current is not None and len(hops) < limit:
+            parent, _line = self.dispatch_reachable.get(
+                current, (None, 0)
+            )
+            hops.append(self._short(current))
+            current = parent
+        return list(reversed(hops))
+
+    @staticmethod
+    def _short(qualname: str) -> str:
+        parts = qualname.split(".")
+        return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+    def decorator_map_for(self, module: ModuleSummary) -> dict[int, tuple[int, ...]]:
+        return {
+            fn.line: fn.decorator_lines
+            for fn in module.functions.values()
+            if fn.decorator_lines
+        }
+
+
+# ----------------------------------------------------------------------
+# Per-file analysis products
+# ----------------------------------------------------------------------
+@dataclass
+class FileRecord:
+    """Everything one parse of one file yields (cacheable as a unit)."""
+
+    norm_path: str
+    sha256: str
+    summary: ModuleSummary
+    raw_violations: list[Violation]
+    suppressions: dict[int, list[Suppression]]
+    malformed: list[tuple[int, int, str]]
+    from_cache: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "norm_path": self.norm_path,
+            "sha256": self.sha256,
+            "summary": self.summary.to_dict(),
+            "raw_violations": [
+                _violation_to_dict(v) for v in self.raw_violations
+            ],
+            "suppressions": [
+                {
+                    "line": s.line,
+                    "target": s.target,
+                    "rules": list(s.rules),
+                    "reason": s.reason,
+                }
+                for sups in self.suppressions.values()
+                for s in sups
+            ],
+            "malformed": [list(m) for m in self.malformed],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FileRecord":
+        suppressions: dict[int, list[Suppression]] = {}
+        for s in d["suppressions"]:
+            sup = Suppression(
+                line=s["line"],
+                target=s["target"],
+                rules=tuple(s["rules"]),
+                reason=s["reason"],
+            )
+            suppressions.setdefault(sup.target, []).append(sup)
+        return cls(
+            norm_path=d["norm_path"],
+            sha256=d["sha256"],
+            summary=ModuleSummary.from_dict(d["summary"]),
+            raw_violations=[
+                _violation_from_dict(v) for v in d["raw_violations"]
+            ],
+            suppressions=suppressions,
+            malformed=[tuple(m) for m in d["malformed"]],
+            from_cache=True,
+        )
+
+
+def _violation_to_dict(v: Violation) -> dict:
+    return {
+        "path": v.path,
+        "line": v.line,
+        "col": v.col,
+        "rule": v.rule,
+        "message": v.message,
+        "hint": v.hint,
+        "end_line": v.end_line,
+    }
+
+
+def _violation_from_dict(d: dict) -> Violation:
+    return Violation(
+        path=d["path"],
+        line=d["line"],
+        col=d["col"],
+        rule=d["rule"],
+        message=d["message"],
+        hint=d["hint"],
+        end_line=d["end_line"],
+    )
+
+
+def _known_rule_ids() -> frozenset[str]:
+    """Every registered rule id — the vocabulary suppressions may name.
+
+    Deliberately the *full* registry, not the ``--select`` subset: a
+    suppression for a deselected rule is still well-formed, and cached
+    suppression tables must not depend on the selection.
+    """
+    from repro.lint.rules import ALL_RULES
+
+    return frozenset(r.id for r in ALL_RULES)
+
+
+def _file_rules(rules: Sequence[Rule]) -> list[Rule]:
+    return [r for r in rules if r.scope == "file"]
+
+
+def _project_rules(rules: Sequence[Rule]) -> list[ProjectRule]:
+    return [r for r in rules if isinstance(r, ProjectRule)]
+
+
+def analyze_file(
+    source: str,
+    path: str | Path,
+    file_rules: Sequence[Rule],
+    rule_ms: dict[str, float] | None = None,
+) -> FileRecord:
+    """Parse one file and run every per-file rule over it.
+
+    The returned record carries *raw* (pre-suppression) violations —
+    suppression folding happens once, after project rules contribute
+    their findings, so both families share one suppression path.
+    """
+    norm = normalize_path(path)
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return FileRecord(
+            norm_path=norm,
+            sha256=digest,
+            summary=ModuleSummary(
+                module=f"<unparsed:{norm}>", path=norm
+            ),
+            raw_violations=[
+                Violation(
+                    path=norm,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE_ID,
+                    message=f"could not parse: {exc.msg}",
+                )
+            ],
+            suppressions={},
+            malformed=[],
+        )
+    ctx = LintContext(norm, tree, source)
+    for rule in file_rules:
+        if rule.scope != "file" or not rule.applies_to(ctx.path):
+            continue
+        t0 = time.perf_counter()
+        rule.visitor(ctx).visit(tree)
+        if rule_ms is not None:
+            rule_ms[rule.id] = rule_ms.get(rule.id, 0.0) + (
+                time.perf_counter() - t0
+            )
+    summary = summarize_module(norm, tree)
+    suppressions, malformed = scan_suppressions(source, _known_rule_ids())
+    return FileRecord(
+        norm_path=norm,
+        sha256=digest,
+        summary=summary,
+        raw_violations=ctx.violations,
+        suppressions=suppressions,
+        malformed=malformed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class LintStats:
+    """One run's cost accounting (the ``--stats`` JSON row)."""
+
+    files: int = 0
+    parsed: int = 0
+    file_cache_hits: int = 0
+    parsed_paths: list[str] = field(default_factory=list)
+    project_modules: int = 0
+    project_reused: int = 0
+    project_reanalyzed: list[str] = field(default_factory=list)
+    rule_ms: dict[str, float] = field(default_factory=dict)
+    fixpoint_passes: int = 0
+    total_ms: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.file_cache_hits / self.files if self.files else 0.0
+
+    def to_row(self) -> dict:
+        """BENCH_-style machine-readable row."""
+        return {
+            "bench": "lint",
+            "files": self.files,
+            "parsed": self.parsed,
+            "file_cache_hits": self.file_cache_hits,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "project_modules": self.project_modules,
+            "project_reused": self.project_reused,
+            "project_reanalyzed": len(self.project_reanalyzed),
+            "fixpoint_passes": self.fixpoint_passes,
+            "rule_ms": {
+                k: round(v * 1e3, 3)
+                for k, v in sorted(self.rule_ms.items())
+            },
+            "total_ms": round(self.total_ms, 3),
+        }
+
+
+@dataclass
+class ProjectReport:
+    """Result of one project lint run."""
+
+    violations: list[Violation]
+    files_scanned: int
+    stats: LintStats
+
+
+# ----------------------------------------------------------------------
+# Shared back half: index build → project rules → suppression folding
+# ----------------------------------------------------------------------
+def _finish(
+    records: list[FileRecord],
+    rules: Sequence[Rule],
+    stats: LintStats,
+    cache: LintCache | None = None,
+) -> list[Violation]:
+    project_rules = _project_rules(rules)
+    selected_ids = {r.id for r in rules}
+    index = ProjectIndex(r.summary for r in records)
+    stats.fixpoint_passes = index.fixpoint_passes
+    stats.project_modules = len(index.modules)
+
+    by_module: dict[str, FileRecord] = {
+        r.summary.module: r for r in records
+    }
+    cones = _module_cones(index) if project_rules else {}
+    project_found: dict[str, list[Violation]] = {}
+    for mod_name, record in sorted(by_module.items()):
+        if not project_rules:
+            break
+        digest = _cone_digest(cones.get(mod_name, {mod_name}), by_module)
+        cached = (
+            cache.get_project(mod_name, digest)
+            if cache is not None
+            else None
+        )
+        if cached is not None:
+            project_found[mod_name] = [
+                _violation_from_dict(v) for v in cached
+            ]
+            stats.project_reused += 1
+            continue
+        found: list[Violation] = []
+        module = index.modules[mod_name]
+        for rule in project_rules:
+            t0 = time.perf_counter()
+            if rule.applies_to(module.path):
+                found.extend(rule.check_module(index, module))
+            stats.rule_ms[rule.id] = stats.rule_ms.get(rule.id, 0.0) + (
+                time.perf_counter() - t0
+            )
+        project_found[mod_name] = found
+        stats.project_reanalyzed.append(mod_name)
+        if cache is not None:
+            cache.put_project(
+                mod_name,
+                digest,
+                [_violation_to_dict(v) for v in found],
+            )
+
+    # Fold suppressions per file over both rule families at once.
+    out: list[Violation] = []
+    for record in records:
+        module = record.summary
+        decorator_map = index.decorator_map_for(module)
+        raw = list(record.raw_violations) + project_found.get(
+            module.module, []
+        )
+        raw = [
+            v
+            for v in raw
+            if v.rule in selected_ids or v.rule == PARSE_ERROR_RULE_ID
+        ]
+        out.extend(
+            apply_suppressions(raw, record.suppressions, decorator_map)
+        )
+        for line, col, message in record.malformed:
+            out.append(
+                Violation(
+                    path=record.norm_path,
+                    line=line,
+                    col=col,
+                    rule=MALFORMED_RULE_ID,
+                    message=message,
+                    hint="write: # repro-lint: ignore[rule-id] — reason",
+                )
+            )
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def _module_cones(index: ProjectIndex) -> dict[str, set[str]]:
+    """Module → the modules whose content its project findings depend
+    on: the transitive closure over call edges (both directions — a
+    dispatch-reachability verdict depends on *callers*, an effect
+    verdict on *callees*) plus referenced module globals."""
+    neighbors: dict[str, set[str]] = {m: set() for m in index.modules}
+    for caller, outs in index.edges.items():
+        cm = index.function_module[caller]
+        for callee, _line in outs:
+            dm = index.function_module[callee]
+            if cm != dm:
+                neighbors[cm].add(dm)
+                neighbors[dm].add(cm)
+    for fn in index.functions.values():
+        fm = index.function_module[fn.qualname]
+        for mut in fn.global_mutations:
+            found = index.find_global(mut.target)
+            if found is not None and found[0] != fm:
+                neighbors[fm].add(found[0])
+                neighbors[found[0]].add(fm)
+    cones: dict[str, set[str]] = {}
+    for mod in index.modules:
+        seen = {mod}
+        work = deque([mod])
+        while work:
+            cur = work.popleft()
+            for nxt in neighbors[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        cones[mod] = seen
+    return cones
+
+
+def _cone_digest(
+    cone: set[str], by_module: dict[str, FileRecord]
+) -> str:
+    h = hashlib.sha256()
+    for mod in sorted(cone):
+        record = by_module.get(mod)
+        if record is not None:
+            h.update(mod.encode())
+            h.update(record.sha256.encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def _default_rules() -> Sequence[Rule]:
+    from repro.lint.rules import ALL_RULES
+
+    return ALL_RULES
+
+
+def lint_project_sources(
+    sources: dict[str, str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Project-lint a set of in-memory modules (fixture entry point).
+
+    ``sources`` maps repo-relative paths to source text; the modules see
+    each other through the same import resolution as a disk run.
+    """
+    if rules is None:
+        rules = _default_rules()
+    stats = LintStats()
+    records = [
+        analyze_file(text, path, _file_rules(rules))
+        for path, text in sorted(sources.items())
+    ]
+    stats.files = stats.parsed = len(records)
+    return _finish(records, rules, stats)
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    *,
+    cache_path: str | Path | None = None,
+) -> ProjectReport:
+    """Project-lint every ``.py`` file under ``paths``.
+
+    With ``cache_path``, per-file parse products are reused while the
+    file's mtime+hash is unchanged, and per-module cross-module findings
+    are reused while the module's dependency cone is unchanged.
+    Raises :class:`repro.lint.core.LintPathError` on missing targets.
+    """
+    if rules is None:
+        rules = _default_rules()
+    t_start = time.perf_counter()
+    stats = LintStats()
+    cache = None
+    if cache_path is not None:
+        cache = LintCache(Path(cache_path))
+        cache.load(cache_signature())
+    file_rules = _file_rules(rules)
+
+    records: list[FileRecord] = []
+    for f in iter_python_files(paths):
+        stats.files += 1
+        abspath = str(f.resolve())
+        norm = normalize_path(f)
+        entry = None
+        if cache is not None:
+            entry = cache.get_file(abspath, f)
+        if entry is not None and entry.get("norm_path") == norm:
+            records.append(FileRecord.from_dict(entry))
+            stats.file_cache_hits += 1
+            continue
+        source = read_lint_target(f)
+        record = analyze_file(source, f, file_rules, stats.rule_ms)
+        records.append(record)
+        stats.parsed += 1
+        stats.parsed_paths.append(norm)
+        if cache is not None:
+            cache.put_file(abspath, f, record.to_dict())
+    violations = _finish(records, rules, stats, cache)
+    if cache is not None:
+        cache.save()
+    stats.total_ms = (time.perf_counter() - t_start) * 1e3
+    return ProjectReport(
+        violations=violations, files_scanned=stats.files, stats=stats
+    )
+
+
+__all__ = [
+    "FileRecord",
+    "LintStats",
+    "MAX_FIXPOINT_PASSES_PER_FUNCTION",
+    "ProjectIndex",
+    "ProjectReport",
+    "ProjectRule",
+    "analyze_file",
+    "lint_project",
+    "lint_project_sources",
+]

@@ -1,4 +1,4 @@
-"""Violation reporters: human text and machine JSON.
+"""Violation reporters: human text, machine JSON, SARIF, baselines.
 
 The JSON schema is stable (``"version": 1``) and covered by tests — CI
 tooling may rely on it::
@@ -20,16 +20,27 @@ tooling may rely on it::
 
 Suppressed findings are included in ``violations`` (with their recorded
 reason) so the sanctioned allowlist stays auditable from the report.
+
+Besides text/JSON there is a SARIF 2.1.0 renderer (for GitHub code
+scanning — suppressed findings become SARIF ``inSource`` suppressions
+carrying their justification) and a baseline differ: feed a previous
+``--format json`` report to :func:`apply_baseline` and only findings
+not present in it survive, which is how a legacy tree adopts a new rule
+without a flag day.
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from collections.abc import Sequence
 
-from repro.lint.core import Violation
+from repro.lint.core import Rule, Violation
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(
@@ -91,4 +102,119 @@ def render_json(
     return json.dumps(payload, indent=2, sort_keys=False)
 
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+def render_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule] = (),
+) -> str:
+    """SARIF 2.1.0 report (GitHub code-scanning compatible).
+
+    Every finding is emitted; suppressed ones carry an ``inSource``
+    suppression with the written justification, which code scanning
+    renders as dismissed instead of open.
+    """
+    known = {r.id: r for r in rules}
+    driver_rules = []
+    seen_ids = []
+    for rule_id in list(known) + sorted(
+        {v.rule for v in violations} - set(known)
+    ):
+        if rule_id in seen_ids:
+            continue
+        seen_ids.append(rule_id)
+        rule = known.get(rule_id)
+        entry: dict = {"id": rule_id}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.description}
+            if rule.hint:
+                entry["help"] = {"text": rule.hint}
+        driver_rules.append(entry)
+    rule_index = {rid: i for i, rid in enumerate(seen_ids)}
+    results = []
+    for v in violations:
+        result: dict = {
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if v.suppressed:
+            result["suppressions"] = [
+                {"kind": "inSource", "justification": v.reason}
+            ]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def load_baseline(text: str) -> Counter:
+    """Parse a previous ``--format json`` report into the multiset of
+    active findings a baseline run sanctions."""
+    data = json.loads(text)
+    baseline: Counter = Counter()
+    for v in data.get("violations", []):
+        if not v.get("suppressed", False):
+            baseline[(v["path"], v["rule"], v["message"])] += 1
+    return baseline
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Counter
+) -> tuple[list[Violation], int]:
+    """Drop active findings present in ``baseline`` (matched as a
+    ``(path, rule, message)`` multiset — line numbers shift too easily
+    to key on).  Returns ``(new_violations, matched_count)``; suppressed
+    findings pass through untouched."""
+    remaining = Counter(baseline)
+    out: list[Violation] = []
+    matched = 0
+    for v in violations:
+        key = (v.path, v.rule, v.message)
+        if not v.suppressed and remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+            continue
+        out.append(v)
+    return out, matched
+
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

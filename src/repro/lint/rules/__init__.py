@@ -12,13 +12,20 @@ from collections.abc import Sequence
 
 from repro.lint.core import Rule
 from repro.lint.rules.construction import B2SRFromTilesRule
+from repro.lint.rules.crossmodule import (
+    EstimatorHygieneRule,
+    HookOrderingRule,
+    ModeledTimePurityRule,
+    SharedStateDeterminismRule,
+)
 from repro.lint.rules.hotpath import HotPathScatterRule
 from repro.lint.rules.immutability import B2SRImmutabilityRule
 from repro.lint.rules.numeric import NumericCliffRule
 from repro.lint.rules.paper import PaperFaithfulSkipRule, VerifyContractRule
 from repro.lint.rules.rng import SeededRngRule
 
-#: Every registered rule, in reporting-priority order.
+#: Every registered rule, in reporting-priority order (per-file rules
+#: first, then the cross-module project rules).
 ALL_RULES: tuple[Rule, ...] = (
     NumericCliffRule(),
     B2SRImmutabilityRule(),
@@ -27,6 +34,10 @@ ALL_RULES: tuple[Rule, ...] = (
     PaperFaithfulSkipRule(),
     VerifyContractRule(),
     HotPathScatterRule(),
+    HookOrderingRule(),
+    EstimatorHygieneRule(),
+    ModeledTimePurityRule(),
+    SharedStateDeterminismRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}
@@ -57,11 +68,15 @@ __all__ = [
     "ALL_RULES",
     "B2SRFromTilesRule",
     "B2SRImmutabilityRule",
+    "EstimatorHygieneRule",
+    "HookOrderingRule",
     "HotPathScatterRule",
+    "ModeledTimePurityRule",
     "NumericCliffRule",
     "PaperFaithfulSkipRule",
     "RULES_BY_ID",
     "SeededRngRule",
+    "SharedStateDeterminismRule",
     "VerifyContractRule",
     "get_rules",
     "rule_ids",

@@ -1,0 +1,237 @@
+"""Cross-module rules over the call-graph/effect index.
+
+These are the contracts per-file pattern matching cannot see — each one
+is a property of a *path* through the call graph, witnessed across
+files.  All four ride :class:`repro.lint.project.ProjectRule`: they run
+once per module against the whole-project :class:`ProjectIndex`, and
+their messages carry the offending call chain so a finding in
+``serving/cluster.py`` can point at the wall-clock read three hops away.
+
+* ``hook-ordering`` — an ``on_arrival`` hook must never reach
+  ``dispatch``: the EventLoop re-arms timers *after* the arrival hook
+  returns, so dispatching from inside it runs against stale timer
+  state (and double-dispatches the admitting batch).
+* ``estimator-hygiene`` — a ``compare*`` surface that drives real runs
+  (anything transitively reaching ``dispatch``) must snapshot and
+  restore ``estimator_state()`` so candidate B learns nothing from
+  candidate A's traffic.
+* ``modeled-time-purity`` — the serving/kernels hot path lives in
+  modeled milliseconds derived from operation counts; a wall-clock
+  read anywhere in its transitive closure makes results
+  machine-dependent.  ``bench_*`` wall-clock mode is the sanctioned
+  exception.
+* ``shared-state-determinism`` — module-level mutable state written by
+  code reachable from serving dispatch is exactly what stops being
+  safe when the planned multiprocessing data plane makes dispatch
+  paths truly concurrent; flag it now, while every occurrence is still
+  a deliberate choice.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Rule, Violation
+from repro.lint.project import ProjectIndex, ProjectRule
+from repro.lint.summary import CALLS_DISPATCH, ModuleSummary, WALL_CLOCK
+
+
+def _chain_text(hops: list[str]) -> str:
+    return " -> ".join(hops) if hops else "(direct)"
+
+
+class HookOrderingRule(ProjectRule):
+    id = "hook-ordering"
+    description = (
+        "controller on_arrival hooks must not reach dispatch (timers "
+        "re-arm only after the hook returns)"
+    )
+    hint = (
+        "record the arrival and return; let the event loop's timer "
+        "re-arm path invoke dispatch"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not Rule.in_tests(path)
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for fn in module.functions.values():
+            if fn.name != "on_arrival" or fn.cls is None:
+                continue
+            if CALLS_DISPATCH not in project.effects.get(fn.qualname, ()):
+                continue
+            chain = project.effect_chain(fn.qualname, CALLS_DISPATCH)
+            out.append(
+                Violation(
+                    path=module.path,
+                    line=fn.line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"'{fn.cls}.on_arrival' can reach dispatch "
+                        f"before timers re-arm: {_chain_text(chain)}"
+                    ),
+                    hint=self.hint,
+                )
+            )
+        return out
+
+
+class EstimatorHygieneRule(ProjectRule):
+    id = "estimator-hygiene"
+    description = (
+        "compare* surfaces that drive runs must snapshot/restore "
+        "estimator_state() around each candidate"
+    )
+    hint = (
+        "wrap each candidate run in registry.estimator_state() / "
+        "registry.restore_estimator_state(snapshot)"
+    )
+
+    _REQUIRED = frozenset({"estimator_state", "restore_estimator_state"})
+
+    def applies_to(self, path: str) -> bool:
+        return not Rule.in_tests(path)
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for fn in module.functions.values():
+            if fn.name != "compare" and not fn.name.startswith("compare_"):
+                continue
+            if CALLS_DISPATCH not in project.effects.get(fn.qualname, ()):
+                continue
+            missing = sorted(self._REQUIRED - fn.called_names)
+            if not missing:
+                continue
+            chain = project.effect_chain(fn.qualname, CALLS_DISPATCH)
+            out.append(
+                Violation(
+                    path=module.path,
+                    line=fn.line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"'{fn.qualname}' drives estimator-bearing runs "
+                        f"(reaches dispatch: {_chain_text(chain)}) but "
+                        f"never calls {', '.join(missing)} — candidate "
+                        "runs contaminate each other's estimators"
+                    ),
+                    hint=self.hint,
+                )
+            )
+        return out
+
+
+class ModeledTimePurityRule(ProjectRule):
+    id = "modeled-time-purity"
+    description = (
+        "nothing reachable from serving/ or kernels/ hot paths may read "
+        "the wall clock (modeled-ms domain; bench_* excepted)"
+    )
+    hint = (
+        "derive timing from modeled operation counts "
+        "(gpusim.timing) or move the measurement into a bench_* "
+        "harness"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        name = path.rsplit("/", 1)[-1]
+        if Rule.in_tests(path) or name.startswith("bench_"):
+            return False
+        return "serving/" in path or "kernels/" in path
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for fn in module.functions.values():
+            if fn.name.startswith("bench_"):
+                continue  # sanctioned wall-clock mode
+            if WALL_CLOCK not in project.effects.get(fn.qualname, ()):
+                continue
+            chain = project.effect_chain(fn.qualname, WALL_CLOCK)
+            out.append(
+                Violation(
+                    path=module.path,
+                    line=fn.line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"'{fn.qualname}' is on the modeled-time hot "
+                        f"path but transitively reads the wall clock: "
+                        f"{_chain_text(chain)}"
+                    ),
+                    hint=self.hint,
+                )
+            )
+        return out
+
+
+class SharedStateDeterminismRule(ProjectRule):
+    id = "shared-state-determinism"
+    description = (
+        "module-level mutable state must not be written by code "
+        "reachable from serving dispatch (hazard for the parallel "
+        "data plane)"
+    )
+    hint = (
+        "thread the state through the controller/server objects, or "
+        "make the binding immutable at module scope"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not Rule.in_tests(path)
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for fn in module.functions.values():
+            if fn.qualname not in project.dispatch_reachable:
+                continue
+            for mut in fn.global_mutations:
+                found = project.find_global(mut.target)
+                head, _, _name = mut.target.rpartition(".")
+                if found is not None:
+                    gmod, binding = found
+                    desc = (
+                        f"module-level {binding.kind} "
+                        f"(defined {project.modules[gmod].path}:"
+                        f"{binding.line})"
+                    )
+                elif head in project.modules and mut.how in (
+                    "assignment",
+                    "augmented assignment",
+                ):
+                    desc = "module global"
+                else:
+                    continue
+                path_text = " -> ".join(
+                    project.dispatch_path(fn.qualname)
+                )
+                out.append(
+                    Violation(
+                        path=module.path,
+                        line=mut.line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"'{fn.qualname}' mutates '{mut.target}' "
+                            f"({mut.how}), a {desc}, while reachable "
+                            f"from serving dispatch: {path_text}"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return out
+
+
+__all__ = [
+    "EstimatorHygieneRule",
+    "HookOrderingRule",
+    "ModeledTimePurityRule",
+    "SharedStateDeterminismRule",
+]

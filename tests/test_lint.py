@@ -13,9 +13,14 @@ import pytest
 from repro.lint import (
     JSON_SCHEMA_VERSION,
     MALFORMED_RULE_ID,
+    LintPathError,
+    apply_baseline,
+    iter_python_files,
     lint_paths,
     lint_source,
+    load_baseline,
     render_json,
+    render_sarif,
     render_text,
     rule_ids,
 )
@@ -507,3 +512,194 @@ class TestSelfClean:
         for v in violations:
             if v.suppressed:
                 assert v.reason.strip(), v.format()
+
+    def test_full_tree_is_clean(self):
+        # The CI invocation: src, tests and benchmarks all lint clean
+        # under every rule, cross-module ones included.
+        violations, scanned = lint_paths(
+            [SRC, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+        )
+        assert scanned > 100
+        offenders = active(violations)
+        assert offenders == [], "\n".join(v.format() for v in offenders)
+
+
+# ----------------------------------------------------------------------
+# Missing lint targets are a hard error (satellite bugfix)
+# ----------------------------------------------------------------------
+class TestMissingPath:
+    def test_iter_python_files_raises(self, tmp_path):
+        with pytest.raises(LintPathError, match="no-such-dir"):
+            list(iter_python_files([tmp_path / "no-such-dir"]))
+
+    def test_lint_paths_raises(self, tmp_path):
+        with pytest.raises(LintPathError):
+            lint_paths([tmp_path / "gone.py"])
+
+    def test_cli_missing_path_exits_2(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint",
+             "definitely/not/here"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "definitely/not/here" in proc.stderr
+        assert proc.stdout == ""
+
+    def test_existing_paths_still_work_alongside(self, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        violations, scanned = lint_paths([good])
+        assert scanned == 1
+        assert active(violations) == []
+
+
+# ----------------------------------------------------------------------
+# SARIF reporter
+# ----------------------------------------------------------------------
+class TestSarif:
+    SRC_BAD = "import numpy as np\nx = v.astype(np.float32)\n"
+
+    def _violations(self):
+        return lint_source(
+            self.SRC_BAD, "src/repro/algorithms/fake.py"
+        )
+
+    def test_sarif_shape(self):
+        payload = json.loads(
+            render_sarif(self._violations(), ALL_RULES)
+        )
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "numeric-cliff"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == (
+            "src/repro/algorithms/fake.py"
+        )
+        assert loc["region"]["startLine"] == 2
+        assert "suppressions" not in result
+
+    def test_rule_metadata_included(self):
+        payload = json.loads(
+            render_sarif(self._violations(), ALL_RULES)
+        )
+        driver_rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {r["id"]: r for r in driver_rules}
+        assert "numeric-cliff" in by_id
+        assert by_id["numeric-cliff"]["shortDescription"]["text"]
+
+    def test_suppressed_findings_carry_justification(self):
+        src = (
+            "import numpy as np\n"
+            "x = v.astype(np.float32)"
+            "  # repro-lint: ignore[numeric-cliff] — bounded payload\n"
+        )
+        violations = lint_source(src, "src/repro/algorithms/fake.py")
+        payload = json.loads(render_sarif(violations, ALL_RULES))
+        (result,) = payload["runs"][0]["results"]
+        (sup,) = result["suppressions"]
+        assert sup["kind"] == "inSource"
+        assert sup["justification"] == "bounded payload"
+
+    def test_cli_sarif_format(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.SRC_BAD)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(bad),
+             "--format", "sarif", "--no-cache"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["runs"][0]["results"][0]["ruleId"] == (
+            "numeric-cliff"
+        )
+
+
+# ----------------------------------------------------------------------
+# Baseline diff mode
+# ----------------------------------------------------------------------
+class TestBaseline:
+    OLD = "import numpy as np\nx = v.astype(np.float32)\n"
+    NEW = (
+        "import numpy as np\n"
+        "x = v.astype(np.float32)\n"
+        "y = w.astype(np.float32)\n"
+    )
+
+    def test_baselined_findings_are_dropped(self):
+        old = lint_source(self.OLD, "src/repro/algorithms/fake.py")
+        baseline = load_baseline(render_json(old, files_scanned=1))
+        new = lint_source(self.OLD, "src/repro/algorithms/fake.py")
+        remaining, matched = apply_baseline(new, baseline)
+        assert matched == 1
+        assert active(remaining) == []
+
+    def test_new_findings_survive(self):
+        old = lint_source(self.OLD, "src/repro/algorithms/fake.py")
+        baseline = load_baseline(render_json(old, files_scanned=1))
+        new = lint_source(self.NEW, "src/repro/algorithms/fake.py")
+        remaining, matched = apply_baseline(new, baseline)
+        assert matched == 1
+        assert len(active(remaining)) == 1
+        assert active(remaining)[0].line == 3
+
+    def test_cli_baseline_round_trip(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.OLD)
+        env = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"}
+        first = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(bad),
+             "--format", "json", "--no-cache"],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+        assert first.returncode == 1
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(first.stdout)
+        second = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(bad),
+             "--baseline", str(baseline_file), "--no-cache"],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+        )
+        assert second.returncode == 0, second.stdout
+        assert "0 violation(s)" in second.stdout
+
+    def test_cli_unreadable_baseline_exits_2(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src",
+             "--baseline", str(tmp_path / "missing.json")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "missing.json" in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# --stats
+# ----------------------------------------------------------------------
+class TestCliStats:
+    def test_stats_row_on_stdout(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", str(clean),
+             "--stats", "--cache", str(tmp_path / "cache.json")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        row = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert row["bench"] == "lint"
+        assert row["files"] == 1
+        assert "rule_ms" in row and "cache_hit_rate" in row
