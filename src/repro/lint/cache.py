@@ -16,10 +16,11 @@ Two layers, one JSON file (default ``.repro-lint-cache.json``, see
   reverse-dependency cone — and nothing else.
 
 The whole cache self-invalidates when :func:`cache_signature` changes:
-it folds in an analysis-version counter plus the registered rule ids,
-so growing the rule set or changing analysis semantics never serves
-stale findings.  Corrupt or unreadable cache files degrade to a cold
-run, never to an error.
+it folds in an analysis-version counter plus the *active* rule ids —
+the full registry, or the ``--select`` subset actually run — so growing
+the rule set, changing analysis semantics, or switching the selection
+never serves findings computed under a different rule set.  Corrupt or
+unreadable cache files degrade to a cold run, never to an error.
 """
 
 from __future__ import annotations
@@ -28,7 +29,12 @@ import hashlib
 import json
 import os
 import tempfile
+from collections.abc import Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.core import Rule
 
 #: Bump when summary extraction, graph building, or fixpoint semantics
 #: change in a way that alters findings for identical sources.
@@ -37,13 +43,21 @@ ANALYSIS_VERSION = 1
 DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
 
 
-def cache_signature() -> str:
-    """Digest of everything that determines findings besides sources."""
-    from repro.lint.rules import ALL_RULES
+def cache_signature(rules: Sequence[Rule] | None = None) -> str:
+    """Digest of everything that determines findings besides sources.
 
+    ``rules`` is the rule set the run actually executes (default: the
+    full registry).  Cached records hold raw violations computed under
+    exactly that set, so a ``--select`` run and a full run must never
+    share entries — folding the active ids in keys them apart.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
     h = hashlib.sha256()
     h.update(f"analysis-v{ANALYSIS_VERSION}".encode())
-    for rule_id in sorted(r.id for r in ALL_RULES):
+    for rule_id in sorted(r.id for r in rules):
         h.update(rule_id.encode())
     return h.hexdigest()
 
@@ -114,10 +128,14 @@ class LintCache:
         ):
             return entry.get("record")
         # mtime moved: fall back to content identity before re-analyzing.
+        # Hash the same universal-newline-decoded text that
+        # FileRecord.sha256 was computed from — raw bytes would never
+        # match for CRLF files, forcing a re-parse on every mtime bump.
         try:
-            digest = hashlib.sha256(p.read_bytes()).hexdigest()
-        except OSError:
+            text = p.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
             return None
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         record = entry.get("record") or {}
         if record.get("sha256") == digest:
             entry["mtime_ns"] = st.st_mtime_ns

@@ -690,7 +690,9 @@ def lint_project(
     cache = None
     if cache_path is not None:
         cache = LintCache(Path(cache_path))
-        cache.load(cache_signature())
+        # Key the cache on the *active* rule set: records computed
+        # under a --select subset must never satisfy a full run.
+        cache.load(cache_signature(rules))
     file_rules = _file_rules(rules)
 
     records: list[FileRecord] = []

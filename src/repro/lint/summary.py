@@ -738,10 +738,23 @@ class _FunctionCollector(ast.NodeVisitor):
         self.locals.add(node.name)  # nested classes: opaque
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
-        # Folded into the enclosing function (its params become locals
-        # so they are not mistaken for module globals).
-        self.locals.update(a.arg for a in node.args.args)
+        # Folded into the enclosing function, but the params (every
+        # kind: positional-only, keyword-only, *args/**kwargs) are a
+        # private scope — visible only while walking the body, then
+        # restored so a param shadowing a module global cannot suppress
+        # mutation/effect detection for the rest of the function.
+        a = node.args
+        for default in (*a.defaults, *a.kw_defaults):
+            if default is not None:  # defaults evaluate in outer scope
+                self.visit(default)
+        params = {p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)}
+        for star in (a.vararg, a.kwarg):
+            if star is not None:
+                params.add(star.arg)
+        saved = set(self.locals)
+        self.locals |= params
         self.visit(node.body)
+        self.locals = saved
 
     def finish(self) -> None:
         self.s.calls = tuple(self._calls)

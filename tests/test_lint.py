@@ -496,6 +496,24 @@ class TestCli:
         proc = self._run("--select", "bogus-rule", "src")
         assert proc.returncode == 2
 
+    def test_select_cache_does_not_mask_full_run(self, tmp_path):
+        # Regression: `--select X --cache c` followed by a full run on
+        # the same cache used to reuse the select-run records and
+        # report exit 0 on a file with a seeded-rng violation.
+        bad = tmp_path / "src" / "repro" / "algorithms" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        cache = tmp_path / "cache.json"
+        first = self._run(
+            str(bad), "--select", "numeric-cliff", "--cache", str(cache)
+        )
+        assert first.returncode == 0
+        second = self._run(str(bad), "--cache", str(cache))
+        assert second.returncode == 1
+        assert "seeded-rng" in second.stdout
+
 
 # ----------------------------------------------------------------------
 # Self-clean gate: the repo's own source must lint clean.

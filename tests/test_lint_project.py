@@ -12,6 +12,7 @@ import os
 import time
 
 from repro.lint import (
+    get_rules,
     lint_paths,
     lint_project,
     lint_project_sources,
@@ -530,6 +531,55 @@ class TestSharedStateDeterminism:
         vs = lint_project_sources(srcs)
         assert "shared-state-determinism" not in ids(vs)
 
+    def test_lambda_param_shadow_does_not_mask_mutation(self):
+        # Regression: lambda params used to leak into the enclosing
+        # function's locals, so a param shadowing a module global hid
+        # every later mutation of that global from the rule.
+        vs = lint_project_sources(
+            {
+                "src/repro/serving/ctl.py": (
+                    "LOG: list = []\n"
+                    "class Ctl:\n"
+                    "    def dispatch(self, now):\n"
+                    "        key = lambda LOG: len(LOG)\n"
+                    "        LOG.append((key, now))\n"
+                ),
+            }
+        )
+        assert "shared-state-determinism" in ids(vs)
+
+
+# ----------------------------------------------------------------------
+# Lambda parameter scoping in the summary layer
+# ----------------------------------------------------------------------
+class TestLambdaScoping:
+    def test_lambda_params_scoped_to_body(self):
+        # Every param kind masks the global inside the body only; the
+        # mutation after the lambda is the one real global mutation.
+        rec = analyze_file(
+            "VALS: list = []\n"
+            "def f():\n"
+            "    g = lambda *VALS, **extra: VALS.append(len(extra))\n"
+            "    VALS.append(1)\n",
+            "src/repro/m.py",
+            [],
+        )
+        fn = rec.summary.functions["repro.m.f"]
+        assert [m.target for m in fn.global_mutations] == ["repro.m.VALS"]
+        assert fn.global_mutations[0].line == 4
+
+    def test_posonly_and_kwonly_params_masked_in_body(self):
+        rec = analyze_file(
+            "A: list = []\n"
+            "B: list = []\n"
+            "def f():\n"
+            "    g = lambda A, /, *, B=(): A.append(B)\n",
+            "src/repro/m.py",
+            [],
+        )
+        fn = rec.summary.functions["repro.m.f"]
+        assert fn.global_mutations == ()
+
 
 # ----------------------------------------------------------------------
 # Decorated-function suppressions (satellite bugfix)
@@ -673,6 +723,46 @@ class TestCache:
         cache = tmp_path / "cache.json"
         lint_project([tmp_path / "src"], cache_path=cache)
         target = tmp_path / "src/repro/x/c.py"
+        os.utime(target, (time.time() + 5, time.time() + 5))
+        warm = lint_project([tmp_path / "src"], cache_path=cache)
+        assert warm.stats.parsed == 0
+        assert warm.stats.file_cache_hits == len(TREE)
+
+    def test_select_run_does_not_poison_full_run_cache(self, tmp_path):
+        # Regression: a --select run used to store records computed with
+        # only the selected rules under the same cache signature as a
+        # full run, so the next full run silently reused them and
+        # dropped every other rule's findings (exit 0 on a dirty tree).
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/x/r.py": (
+                    "import numpy as np\n"
+                    "def draw():\n"
+                    "    return np.random.default_rng()\n"
+                ),
+            },
+        )
+        cache = tmp_path / "cache.json"
+        selected = lint_project(
+            [tmp_path / "src"],
+            rules=get_rules("numeric-cliff"),
+            cache_path=cache,
+        )
+        assert ids(selected.violations) == []
+        full = lint_project([tmp_path / "src"], cache_path=cache)
+        assert "seeded-rng" in ids(full.violations)
+        # The selection mismatch forces a cold run, never a silent reuse.
+        assert full.stats.parsed == 1
+
+    def test_crlf_file_touch_hits_sha_fallback(self, tmp_path):
+        # The fallback digest must use the same universal-newline text
+        # as FileRecord.sha256, or CRLF files re-parse on every touch.
+        write_tree(tmp_path, TREE)
+        target = tmp_path / "src/repro/x/c.py"
+        target.write_bytes(b"def helper2():\r\n    return 1\r\n")
+        cache = tmp_path / "cache.json"
+        lint_project([tmp_path / "src"], cache_path=cache)
         os.utime(target, (time.time() + 5, time.time() + 5))
         warm = lint_project([tmp_path / "src"], cache_path=cache)
         assert warm.stats.parsed == 0
