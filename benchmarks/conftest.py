@@ -39,12 +39,26 @@ def pytest_addoption(parser):
         help="directory to write machine-readable BENCH_<name>.json "
              "measurement rows into (one file per bench)",
     )
+    parser.addoption(
+        "--wallclock",
+        action="store_true",
+        default=False,
+        help="enable the real wall-clock data-plane benches (spawned "
+             "worker processes, timed with perf_counter rather than "
+             "modeled ms); skipped by default",
+    )
 
 
 @pytest.fixture(scope="session")
 def algo(request) -> str:
     """Algorithm filter for the multi-source benches (``--algo``)."""
     return request.config.getoption("--algo")
+
+
+@pytest.fixture(scope="session")
+def wallclock(request) -> bool:
+    """Whether the real wall-clock benches were enabled (``--wallclock``)."""
+    return request.config.getoption("--wallclock")
 
 
 @pytest.fixture(scope="session")

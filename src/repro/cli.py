@@ -512,6 +512,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         GraphRegistry,
         PLACEMENTS,
         Router,
+        WorkerPool,
         multi_graph_poisson_stream,
     )
 
@@ -520,6 +521,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         return 2
     if args.servers < 1:
         print("error: --servers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 0:
+        print("error: --workers must be >= 0", file=sys.stderr)
         return 2
     if not args.rate > 0:
         print("error: --rate must be > 0", file=sys.stderr)
@@ -573,41 +577,52 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     rows = []
     base_estimates = registry.estimator_state()
     server_counts = [1] if args.servers == 1 else [1, args.servers]
-    for n_servers in server_counts:
-        router = Router(
-            registry,
-            n_servers=n_servers,
-            slack_factor=args.slack_factor,
-            seed=args.seed,
-        )
-        names = ("affinity",) if n_servers == 1 else placements
-        for name in names:
-            # Every row starts from identical estimator state so the
-            # compared cells are run under equal conditions.
-            registry.restore_estimator_state(base_estimates)
-            _, rep = router.run(
-                stream, policy=args.policy, placement=name,
-                verify=verify,
+    pool = (
+        None if args.workers is None
+        else WorkerPool(registry, processes=args.workers)
+    )
+    planes: list[dict] = []
+    try:
+        for n_servers in server_counts:
+            router = Router(
+                registry,
+                n_servers=n_servers,
+                slack_factor=args.slack_factor,
+                seed=args.seed,
             )
-            graphs = " ".join(
-                f"{g}={100 * att:.0f}%"
-                for g, att in sorted(rep.graph_attainment.items())
-            )
-            label = "single" if n_servers == 1 else name
-            rows.append(
-                [
-                    label,
-                    n_servers,
-                    f"{100 * rep.slo_attainment:.1f}%",
-                    graphs,
-                    rep.batches,
-                    f"{rep.mean_batch_width:.1f}",
-                    rep.joins,
-                    f"{rep.mean_queue_ms:.2f}",
-                    f"{rep.busy_ms:.2f}",
-                    f"{rep.imbalance:.2f}",
-                ]
-            )
+            names = ("affinity",) if n_servers == 1 else placements
+            for name in names:
+                # Every row starts from identical estimator state so the
+                # compared cells are run under equal conditions.
+                registry.restore_estimator_state(base_estimates)
+                _, rep = router.run(
+                    stream, policy=args.policy, placement=name,
+                    verify=verify, data_plane=pool,
+                )
+                if "data_plane" in rep.extra:
+                    planes.append(rep.extra["data_plane"])
+                graphs = " ".join(
+                    f"{g}={100 * att:.0f}%"
+                    for g, att in sorted(rep.graph_attainment.items())
+                )
+                label = "single" if n_servers == 1 else name
+                rows.append(
+                    [
+                        label,
+                        n_servers,
+                        f"{100 * rep.slo_attainment:.1f}%",
+                        graphs,
+                        rep.batches,
+                        f"{rep.mean_batch_width:.1f}",
+                        rep.joins,
+                        f"{rep.mean_queue_ms:.2f}",
+                        f"{rep.busy_ms:.2f}",
+                        f"{rep.imbalance:.2f}",
+                    ]
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     title = (
         f"sharded cluster serving ({len(registry)} graphs, policy "
         f"{args.policy})"
@@ -622,6 +637,16 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             title=title,
         )
     )
+    if planes:
+        launches = sum(len(p["launches"]) for p in planes)
+        wall = sum(p["wall_ms_total"] for p in planes)
+        p0 = planes[0]
+        print(
+            f"data plane: {p0['backend']} backend "
+            f"({p0['processes']} workers, {p0['transport']} transport) "
+            f"— {launches} real launches across {len(planes)} rows, "
+            f"{wall:.1f} ms wall-clock kernel time"
+        )
     return 0
 
 
@@ -978,6 +1003,12 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("all", "affinity", "least-loaded", "p2c"))
     sp.add_argument("--no-verify", action="store_true",
                     help="skip the standalone bitwise-equality check")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="execute committed batches on N real worker "
+                         "processes over zero-copy shared memory "
+                         "(0 = in-process serial backend; degrades to "
+                         "serial with a warning when POSIX shm is "
+                         "unavailable); omit for modeled-only serving")
     sp.add_argument("--tile-dim", type=int, default=32,
                     choices=list(TILE_DIMS))
     sp.add_argument("--device", default="pascal")

@@ -144,6 +144,73 @@ class B2SRMatrix:
         arr.flags.writeable = False
         return arr
 
+    @classmethod
+    def from_shared_views(
+        cls,
+        nrows: int,
+        ncols: int,
+        tile_dim: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        tiles: np.ndarray,
+    ) -> "B2SRMatrix":
+        """Adopt pre-frozen array *views* without copying.
+
+        The normal constructor copies any view before freezing it
+        (:meth:`_own`) so no caller can mutate the matrix through the
+        view's base.  The shared-memory attach path
+        (:mod:`repro.formats.shm`) needs the opposite: the arrays *are*
+        views into a read-only mapped segment, and copying them would
+        defeat zero-copy.  This constructor therefore requires every
+        array to arrive already read-only with the exact stored dtype,
+        runs the same geometry validation as ``__post_init__``, and
+        adopts the views as-is.
+        """
+        if tile_dim not in TILE_DIMS:
+            raise ValueError(f"tile_dim must be one of {TILE_DIMS}")
+        want_dtype = dtype_for_width(tile_dim)
+        for name, arr, dtype in (
+            ("indptr", indptr, np.dtype(np.int64)),
+            ("indices", indices, np.dtype(np.int64)),
+            ("tiles", tiles, want_dtype),
+        ):
+            if arr.dtype != dtype:
+                raise ValueError(f"{name} must be {dtype}, got {arr.dtype}")
+            if arr.flags.writeable:
+                raise ValueError(f"{name} must be read-only to be adopted")
+        n_tile_rows = (nrows + tile_dim - 1) // tile_dim
+        n_tile_cols = (ncols + tile_dim - 1) // tile_dim
+        if indptr.shape != (n_tile_rows + 1,):
+            raise ValueError(
+                f"indptr must have length {n_tile_rows + 1}, "
+                f"got {indptr.shape}"
+            )
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing from 0")
+        if indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr[-1] must equal number of tiles")
+        if tiles.shape != (indices.shape[0], tile_dim):
+            raise ValueError(
+                f"tiles must have shape (n_tiles, {tile_dim}), "
+                f"got {tiles.shape}"
+            )
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= n_tile_cols
+        ):
+            raise ValueError("tile column index out of range")
+        mat = cls.__new__(cls)
+        mat.nrows = nrows
+        mat.ncols = ncols
+        mat.tile_dim = tile_dim
+        mat.indptr = indptr
+        mat.indices = indices
+        mat.tiles = tiles
+        mat._nnz_cache = None
+        mat._tile_rows_cache = None
+        mat._colmajor_cache = None
+        mat._plan_cache = None
+        return mat
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------

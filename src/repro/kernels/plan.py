@@ -193,6 +193,26 @@ class SweepPlan:
             )
         return self._gather
 
+    def adopt_gather(self, gather: np.ndarray) -> None:
+        """Install a precomputed gather index without rebuilding it.
+
+        The shared-memory attach path (:mod:`repro.formats.shm`) maps
+        the exporter's frozen :attr:`gather_index` into the worker as a
+        read-only view; adopting it here makes the first semiring launch
+        as warm as the exporter's.  The view must be read-only and match
+        exactly what :attr:`gather_index` would compute.
+        """
+        A = self.matrix
+        want = (A.n_tiles, A.tile_dim)
+        if gather.shape != want or gather.dtype != np.int64:
+            raise ValueError(
+                f"gather must be int64 with shape {want}, got "
+                f"{gather.dtype} {gather.shape}"
+            )
+        if gather.flags.writeable:
+            raise ValueError("gather must be read-only to be adopted")
+        self._gather = gather
+
     def bits(
         self, chunk: SweepChunk, subset: np.ndarray | None = None
     ) -> np.ndarray:

@@ -119,11 +119,16 @@ class ProjectIndex:
         #: functions forward-reachable from serving ``dispatch`` hooks,
         #: with the edge they were first reached through.
         self.dispatch_reachable: dict[str, tuple[str | None, int]] = {}
+        #: Functions reachable from a worker-process entry point
+        #: (``worker_main`` in non-test serving code), with the edge
+        #: they were first reached through.
+        self.worker_reachable: dict[str, tuple[str | None, int]] = {}
         self.fixpoint_passes = 0
         self.fixpoint_bounded = False
         self._build_edges()
         self._run_fixpoint()
         self._compute_dispatch_reach()
+        self._compute_worker_reach()
 
     # -- resolution ----------------------------------------------------
     def resolve_method(
@@ -246,6 +251,26 @@ class ProjectIndex:
                     self.dispatch_reachable[callee] = (qual, line)
                     work.append(callee)
 
+    def _compute_worker_reach(self) -> None:
+        roots = [
+            qual
+            for qual, fn in self.functions.items()
+            if fn.name == "worker_main"
+            and "serving/" in self.path_of(qual)
+            and not Rule.in_tests(self.path_of(qual))
+        ]
+        work = deque()
+        for root in sorted(roots):
+            if root not in self.worker_reachable:
+                self.worker_reachable[root] = (None, 0)
+                work.append(root)
+        while work:
+            qual = work.popleft()
+            for callee, line in self.edges[qual]:
+                if callee not in self.worker_reachable:
+                    self.worker_reachable[callee] = (qual, line)
+                    work.append(callee)
+
     # -- provenance rendering ------------------------------------------
     def effect_chain(
         self, qualname: str, effect: str, limit: int = 12
@@ -280,6 +305,18 @@ class ProjectIndex:
         current: str | None = qualname
         while current is not None and len(hops) < limit:
             parent, _line = self.dispatch_reachable.get(
+                current, (None, 0)
+            )
+            hops.append(self._short(current))
+            current = parent
+        return list(reversed(hops))
+
+    def worker_path(self, qualname: str, limit: int = 12) -> list[str]:
+        """Hop list from the worker entry point down to ``qualname``."""
+        hops: list[str] = []
+        current: str | None = qualname
+        while current is not None and len(hops) < limit:
+            parent, _line = self.worker_reachable.get(
                 current, (None, 0)
             )
             hops.append(self._short(current))

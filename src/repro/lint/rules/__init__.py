@@ -17,6 +17,7 @@ from repro.lint.rules.crossmodule import (
     HookOrderingRule,
     ModeledTimePurityRule,
     SharedStateDeterminismRule,
+    WorkerQueueDisciplineRule,
 )
 from repro.lint.rules.hotpath import HotPathScatterRule
 from repro.lint.rules.immutability import B2SRImmutabilityRule
@@ -38,6 +39,7 @@ ALL_RULES: tuple[Rule, ...] = (
     EstimatorHygieneRule(),
     ModeledTimePurityRule(),
     SharedStateDeterminismRule(),
+    WorkerQueueDisciplineRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}
@@ -78,6 +80,7 @@ __all__ = [
     "SeededRngRule",
     "SharedStateDeterminismRule",
     "VerifyContractRule",
+    "WorkerQueueDisciplineRule",
     "get_rules",
     "rule_ids",
 ]

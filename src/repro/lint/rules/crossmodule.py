@@ -2,7 +2,7 @@
 
 These are the contracts per-file pattern matching cannot see — each one
 is a property of a *path* through the call graph, witnessed across
-files.  All four ride :class:`repro.lint.project.ProjectRule`: they run
+files.  All five ride :class:`repro.lint.project.ProjectRule`: they run
 once per module against the whole-project :class:`ProjectIndex`, and
 their messages carry the offending call chain so a finding in
 ``serving/cluster.py`` can point at the wall-clock read three hops away.
@@ -25,6 +25,14 @@ their messages carry the offending call chain so a finding in
   safe when the planned multiprocessing data plane makes dispatch
   paths truly concurrent; flag it now, while every occurrence is still
   a deliberate choice.
+* ``worker-queue-discipline`` — code reachable from a worker-process
+  entry point (``worker_main``) runs in a spawned child that shares
+  nothing with the router: module-global writes silently diverge per
+  process, wall-clock reads outside the designated timing hooks make
+  launch timings unattributable, and any call into the host-side graph
+  owners (``serving/cluster``, ``serving/batcher``, ``serving/ingest``,
+  ``repro.graph``) means the worker is touching objects that were never
+  exported across the queue.
 """
 
 from __future__ import annotations
@@ -229,9 +237,114 @@ class SharedStateDeterminismRule(ProjectRule):
         return out
 
 
+class WorkerQueueDisciplineRule(ProjectRule):
+    id = "worker-queue-discipline"
+    description = (
+        "worker-entry-reachable code must not write module globals, "
+        "read wall clocks outside the designated timing hooks, or call "
+        "into host-side graph owners"
+    )
+    hint = (
+        "ship state through LaunchSpec/LaunchResult records and the "
+        "exported shm segments; time through the sanctioned hook "
+        "(_wall_ms)"
+    )
+
+    #: Function names sanctioned to read the wall clock directly on
+    #: worker paths (mirrors ``repro.serving.parallel.TIMING_HOOKS``).
+    _TIMING_HOOKS = frozenset({"_wall_ms"})
+
+    #: Host-side modules a worker process must never call into: they
+    #: own Graph/registry/batcher state that exists only in the router
+    #: process and was never exported across the queue.
+    _HOST_MODULES = frozenset(
+        {
+            "repro.graph",
+            "repro.serving.batcher",
+            "repro.serving.cluster",
+            "repro.serving.ingest",
+        }
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not Rule.in_tests(path)
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for fn in module.functions.values():
+            if fn.qualname not in project.worker_reachable:
+                continue
+            path_text = " -> ".join(project.worker_path(fn.qualname))
+            for mut in fn.global_mutations:
+                found = project.find_global(mut.target)
+                head, _, _name = mut.target.rpartition(".")
+                if found is None and not (
+                    head in project.modules
+                    and mut.how in ("assignment", "augmented assignment")
+                ):
+                    continue
+                out.append(
+                    Violation(
+                        path=module.path,
+                        line=mut.line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"'{fn.qualname}' mutates module-level "
+                            f"state '{mut.target}' ({mut.how}) while "
+                            f"reachable from a worker entry point: "
+                            f"{path_text} — spawned workers share no "
+                            "module state with the router"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+            wall = fn.direct_effects.get(WALL_CLOCK)
+            if wall is not None and fn.name not in self._TIMING_HOOKS:
+                out.append(
+                    Violation(
+                        path=module.path,
+                        line=wall.line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"'{fn.qualname}' reads the wall clock "
+                            f"({wall.detail}) outside the designated "
+                            f"timing hooks while reachable from a "
+                            f"worker entry point: {path_text}"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+            for callee, line in project.edges.get(fn.qualname, ()):
+                callee_mod = project.function_module.get(callee)
+                if callee_mod not in self._HOST_MODULES:
+                    continue
+                out.append(
+                    Violation(
+                        path=module.path,
+                        line=line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"'{fn.qualname}' calls "
+                            f"'{callee}' in host-side module "
+                            f"{callee_mod} while reachable from a "
+                            f"worker entry point: {path_text} — that "
+                            "state was never exported to the worker"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return out
+
+
 __all__ = [
     "EstimatorHygieneRule",
     "HookOrderingRule",
     "ModeledTimePurityRule",
     "SharedStateDeterminismRule",
+    "WorkerQueueDisciplineRule",
 ]

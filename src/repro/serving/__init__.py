@@ -27,6 +27,11 @@ gap in layers:
   one arrival stream, dispatched across N servers by pluggable
   :data:`PLACEMENTS` policies (graph-affinity sharding, least-loaded,
   power-of-two-choices).
+* :class:`WorkerPool` (:mod:`~repro.serving.parallel`) — the real data
+  plane: worker processes pinned to cluster servers executing committed
+  batches as real kernel launches over B2SR tiles shared zero-copy
+  through :mod:`repro.formats.shm`; ``Router.run(data_plane=...)``
+  swaps it in under the modeled control plane.
 
 Every coalesced answer — single server or sharded cluster — is bitwise
 identical to the answer an isolated run would have produced;
@@ -66,6 +71,11 @@ from repro.serving.cluster import (
     register_placement,
 )
 from repro.serving.estimator import ServiceEstimator
+from repro.serving.parallel import (
+    LaunchResult,
+    LaunchSpec,
+    WorkerPool,
+)
 from repro.serving.ingest import (
     Ingester,
     IngestRecord,
@@ -94,6 +104,8 @@ __all__ = [
     "IngestReport",
     "Ingester",
     "LANES",
+    "LaunchResult",
+    "LaunchSpec",
     "MutationBatch",
     "PLACEMENTS",
     "POLICIES",
@@ -109,6 +121,7 @@ __all__ = [
     "Server",
     "ServiceEstimator",
     "SwapRecord",
+    "WorkerPool",
     "multi_graph_poisson_stream",
     "poisson_stream",
     "register_placement",

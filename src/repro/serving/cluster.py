@@ -63,10 +63,12 @@ from repro.serving.arrivals import (
 from repro.serving.batcher import QueryBatcher
 from repro.serving.estimator import ServiceEstimator
 from repro.serving.events import EPS, EventLoop, QueryOutcome, Server
+from repro.serving.parallel import LaunchSpec, solo_reference
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpusim.device import DeviceSpec
     from repro.graph import Graph
+    from repro.serving.parallel import WorkerPool
 
 
 # ----------------------------------------------------------------------
@@ -565,6 +567,7 @@ class _RouterController:
         rng: np.random.Generator,
         verify: bool,
         mutations: list[MutationBatch] | None = None,
+        data_plane: WorkerPool | None = None,
     ) -> None:
         self.router = router
         self.registry = router.registry
@@ -573,6 +576,11 @@ class _RouterController:
         self.placement = placement
         self.rng = rng
         self.verify = verify
+        # Real-parallel data plane: committed batches become LaunchSpecs
+        # on the pool's per-server queues instead of in-process batcher
+        # flushes; results are installed after the event loop drains.
+        self.pool = data_plane
+        self.pool_pending: list[tuple[LaunchSpec, Batch]] = []
         self.ctx = AdmissionContext(
             max_batch=self.registry.max_batch,
             slack_factor=router.slack_factor,
@@ -606,6 +614,14 @@ class _RouterController:
             entry, report = self.registry.mutate(
                 mut.graph, mut.inserts, mut.deletes
             )
+            if self.pool is not None:
+                # Export the new epoch's segments *before* any launch
+                # can reference it (attach and launch share each
+                # worker's FIFO queue), then schedule the old epoch's
+                # segments for unlink — deferred until its last
+                # in-flight batch drains.
+                self.pool.publish(entry)
+                self.pool.retire(mut.graph, entry.version - 1)
             self.swaps.append(
                 SwapRecord(
                     time_ms=mut.time_ms,
@@ -684,6 +700,8 @@ class _RouterController:
         *admitted* against — a swap between admission and launch never
         changes what a query answers over."""
         entry = self.registry.entry_for(batch.graph, batch.version)
+        if self.pool is not None:
+            return self._launch_pool(batch, now, server, entry)
         submitted = [
             (entry.batcher.submit(a.kind, a.source), seq, a)
             for seq, a in batch.members
@@ -708,6 +726,49 @@ class _RouterController:
                 version=batch.version,
             )
         entry.estimator.observe(batch.kind, width, service)
+        return service
+
+    def _launch_pool(
+        self, batch: Batch, now: float, server: Server, entry: GraphEntry
+    ) -> float:
+        """Dispatch the batch to the real data plane.
+
+        The worker pinned to ``server`` executes the coalesced launch
+        for real; the event loop keeps running on the *estimated*
+        modeled service (the estimator is not re-observed — there is no
+        in-process modeled run to observe).  Results and per-launch
+        wall timings are installed after the loop drains the pool
+        (:meth:`Router._finish_pool`); outcomes carry a placeholder
+        until then."""
+        assert self.pool is not None
+        width = len(batch.members)
+        spec = LaunchSpec(
+            batch_id=self.pool.next_batch_id(),
+            graph=batch.graph,
+            version=batch.version,
+            kind=batch.kind,
+            sources=tuple(
+                int(a.source)
+                for _, a in batch.members
+                if a.source is not None
+            ),
+            width=width,
+        )
+        self.pool.submit(server.sid, spec)
+        self.pool_pending.append((spec, batch))
+        service = entry.estimator.estimate_ms(batch.kind, width)
+        finish = now + service
+        for seq, a in batch.members:
+            self.outcomes[seq] = QueryOutcome(
+                arrival=a,
+                result=None,
+                launch_ms=now,
+                finish_ms=finish,
+                batch_width=width,
+                joined=width > 1,
+                server=server.sid,
+                version=batch.version,
+            )
         return service
 
 
@@ -761,6 +822,7 @@ class Router:
         placement: str | PlacementPolicy | None = None,
         verify: bool = False,
         mutations: list[MutationBatch] | None = None,
+        data_plane: WorkerPool | None = None,
     ) -> tuple[list[QueryOutcome], ClusterReport]:
         """Simulate serving ``arrivals`` on the cluster.
 
@@ -768,6 +830,18 @@ class Router:
         report.  With ``verify=True`` every launch re-runs its queries
         standalone through the owning graph's verification path and
         raises on any non-bitwise-identical answer.
+
+        ``data_plane`` attaches a real
+        :class:`~repro.serving.parallel.WorkerPool`: committed batches
+        are executed as real kernel launches by the worker pinned to
+        their placed server (zero-copy over shared B2SR segments)
+        instead of in-process batcher flushes.  The event loop still
+        advances on modeled service estimates; real per-launch
+        wall-clock timings land in ``report.extra["data_plane"]`` and
+        ``verify=True`` keeps the bitwise-equal-to-solo contract across
+        the process boundary.  Epoch swaps export the new version's
+        segments before the swap serves and unlink the old version's
+        only after its last in-flight batch drains.
 
         ``mutations`` interleaves timestamped edge-mutation batches with
         the arrival stream (the registry must be a versioned
@@ -796,12 +870,82 @@ class Router:
         controller = _RouterController(
             self, servers, pol, placer,
             np.random.default_rng(self.seed), verify, muts,
+            data_plane,
         )
         EventLoop(servers).run(stream, controller)
+        plane_extra = (
+            None if data_plane is None
+            else self._finish_pool(controller, data_plane, verify)
+        )
         ordered = [controller.outcomes[j] for j in range(len(stream))]
-        return ordered, self._report(
+        report = self._report(
             pol.name, placer.name, ordered, controller, servers, verify
         )
+        if plane_extra is not None:
+            report.extra["data_plane"] = plane_extra
+        return ordered, report
+
+    def _finish_pool(
+        self,
+        controller: _RouterController,
+        pool: WorkerPool,
+        verify: bool,
+    ) -> dict:
+        """Drain the data plane and install the real answers.
+
+        Every pending launch's columns replace the placeholder outcomes
+        recorded at dispatch time; with ``verify`` each member is
+        checked bitwise against its standalone run (memoized in the
+        entry's ``singles_cache``, exactly like the in-process
+        verification path).  Returns the ``extra["data_plane"]``
+        payload: per-launch wall-clock rows plus backend facts."""
+        results = pool.drain()
+        rows: list[dict] = []
+        for spec, batch in controller.pool_pending:
+            res = results.get(spec.batch_id)
+            if res is None or res.error is not None or res.columns is None:
+                why = res.error if res is not None else "no result"
+                raise RuntimeError(
+                    f"data plane lost batch {spec.batch_id} "
+                    f"({spec.kind} on {spec.graph!r} v{spec.version}): "
+                    f"{why}"
+                )
+            entry = self.registry.entry_for(batch.graph, batch.version)
+            cols = res.columns
+            for j, (seq, a) in enumerate(batch.members):
+                outcome = controller.outcomes[seq]
+                got = cols.copy() if spec.kind == "cc" else cols[:, j].copy()
+                outcome.result = got
+                if verify:
+                    ref, solo_ms = solo_reference(
+                        entry.engine, entry.cc_engine,
+                        a.kind, a.source, entry.singles_cache,
+                    )
+                    assert np.array_equal(got, ref, equal_nan=True), (
+                        f"data-plane {a.kind} answer for arrival {seq} "
+                        "is not bitwise identical to its standalone run"
+                    )
+                    outcome.baseline_ms = solo_ms
+            rows.append(
+                {
+                    "batch_id": spec.batch_id,
+                    "graph": spec.graph,
+                    "version": spec.version,
+                    "kind": spec.kind,
+                    "width": spec.width,
+                    "sid": res.sid,
+                    "pid": res.pid,
+                    "wall_ms": res.wall_ms,
+                    "iterations": res.iterations,
+                }
+            )
+        return {
+            "backend": pool.backend,
+            "transport": pool.transport,
+            "processes": pool.processes,
+            "launches": rows,
+            "wall_ms_total": float(sum(r["wall_ms"] for r in rows)),
+        }
 
     def compare_placements(
         self,

@@ -1,0 +1,96 @@
+"""Adaptive per-round skip regression (engines/bit.py skip="auto"):
+across a fig6/7 suite subset, auto must (a) never change any result
+bit, and (b) never model a higher cost than always-on skip — dense
+rounds only fire at a certified active fraction of exactly 1, where the
+modeled costs agree.  The policy must also actually engage somewhere."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, connected_components, sssp
+from repro.bench.harness import suite_subset
+from repro.engines import BitEngine
+
+SUITE = suite_subset(8, max_n=512)
+
+
+def run_modes(graph, algo, **algo_kwargs):
+    """One (result, report, engine) per skip mode on a fresh engine."""
+    out = {}
+    for mode in (True, False, "auto"):
+        engine = BitEngine(graph, skip_inactive=mode)
+        result, report = algo(engine, **algo_kwargs)
+        out[mode] = (result, report, engine)
+    return out
+
+
+class TestAutoNeverChangesResults:
+    @pytest.mark.parametrize(
+        "entry", SUITE, ids=lambda e: e.name
+    )
+    def test_bfs_sssp_cc_bitwise_across_modes(self, entry):
+        g = entry.build()
+        src = int(entry.seed) % g.n
+        for algo, kwargs in (
+            (bfs, {"source": src}),
+            (sssp, {"source": src}),
+        ):
+            modes = run_modes(g, algo, **kwargs)
+            base = modes[True][0]
+            for mode in (False, "auto"):
+                assert np.array_equal(
+                    modes[mode][0], base, equal_nan=True
+                ), f"{algo.__name__} differs under skip={mode!r}"
+        sym = g.symmetrized()
+        cc_modes = run_modes(sym, connected_components)
+        base = cc_modes[True][0]
+        for mode in (False, "auto"):
+            assert np.array_equal(cc_modes[mode][0], base)
+
+
+class TestAutoNeverCostsMore:
+    @pytest.mark.parametrize(
+        "entry", SUITE, ids=lambda e: e.name
+    )
+    def test_auto_modeled_cost_le_always_skip(self, entry):
+        g = entry.build()
+        src = int(entry.seed) % g.n
+        for algo, kwargs in (
+            (bfs, {"source": src}),
+            (sssp, {"source": src}),
+        ):
+            modes = run_modes(g, algo, **kwargs)
+            skip_ms = modes[True][1].algorithm_ms
+            auto_ms = modes["auto"][1].algorithm_ms
+            assert auto_ms <= skip_ms + 1e-9, (
+                f"{algo.__name__} on {entry.name}: auto modeled "
+                f"{auto_ms} ms > always-skip {skip_ms} ms"
+            )
+
+
+class TestAutoEngages:
+    def test_dense_rounds_fire_somewhere(self):
+        total = 0
+        for entry in SUITE:
+            g = entry.build()
+            engine = BitEngine(g, skip_inactive="auto")
+            bfs(engine, source=int(entry.seed) % g.n)
+            sssp(engine, source=int(entry.seed) % g.n)
+            total += engine.auto_dense_rounds
+        assert total > 0, (
+            "the auto policy never chose a dense round across the "
+            "suite subset — the certificate path is dead"
+        )
+
+    def test_auto_is_default(self):
+        entry = SUITE[0]
+        engine = BitEngine(entry.build())
+        assert engine.skip_inactive == "auto"
+
+    def test_fixed_modes_never_auto_densify(self):
+        entry = SUITE[0]
+        g = entry.build()
+        for mode in (True, False):
+            engine = BitEngine(g, skip_inactive=mode)
+            bfs(engine, source=0)
+            assert engine.auto_dense_rounds == 0

@@ -1,8 +1,9 @@
 """Tests for the project-level lint layer (repro.lint.project): module
 naming, call-graph resolution (aliased imports, self/attr methods,
-cycles), the effect fixpoint, the four cross-module rules against
-violating / clean / suppressed fixtures (the violating hook-ordering and
-modeled-time-purity fixtures span two files), decorator-line
+cycles), the effect fixpoint, the five cross-module rules against
+violating / clean / suppressed fixtures (the violating hook-ordering,
+modeled-time-purity and worker-queue-discipline fixtures span two
+files), decorator-line
 suppressions, the on-disk cache (warm byte-identical, reverse-cone
 invalidation), and the --stats row."""
 
@@ -50,13 +51,14 @@ def write_tree(root, files):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_four_project_rules_registered(self):
+    def test_five_project_rules_registered(self):
         registered = rule_ids()
         for rid in (
             "hook-ordering",
             "estimator-hygiene",
             "modeled-time-purity",
             "shared-state-determinism",
+            "worker-queue-discipline",
         ):
             assert rid in registered
 
@@ -547,6 +549,138 @@ class TestSharedStateDeterminism:
             }
         )
         assert "shared-state-determinism" in ids(vs)
+
+
+# ----------------------------------------------------------------------
+# worker-queue-discipline
+# ----------------------------------------------------------------------
+class TestWorkerQueueDiscipline:
+    # One fixture, all three arms: a module-global write, a direct
+    # wall-clock read outside the timing hooks, and a call into a
+    # host-side module — all reachable from ``worker_main``.
+    VIOLATING = {
+        "src/repro/serving/workerized.py": (
+            "import time\n"
+            "from repro.serving.cluster import lookup_entry\n"
+            "COUNTER: dict = {}\n"
+            "def worker_main(wid, task_q):\n"
+            "    spec = task_q.get()\n"
+            "    _record(spec)\n"
+            "    return _stamp(), lookup_entry(spec)\n"
+            "def _record(spec):\n"
+            "    COUNTER[spec] = True\n"
+            "def _stamp():\n"
+            "    return time.time()\n"
+        ),
+        "src/repro/serving/cluster.py": (
+            "def lookup_entry(spec):\n"
+            "    return spec\n"
+        ),
+    }
+
+    def hits(self, srcs):
+        vs = lint_project_sources(srcs)
+        return [
+            v for v in active(vs) if v.rule == "worker-queue-discipline"
+        ]
+
+    def test_all_three_arms_flagged(self):
+        hits = self.hits(self.VIOLATING)
+        assert len(hits) == 3
+        assert all(
+            v.path == "src/repro/serving/workerized.py" for v in hits
+        )
+        msgs = sorted(v.message for v in hits)
+        assert any("mutates module-level state" in m for m in msgs)
+        assert any("reads the wall clock" in m for m in msgs)
+        assert any("host-side module" in m for m in msgs)
+        # every finding carries the chain back to the entry point
+        assert all("workerized.worker_main" in m for m in msgs)
+
+    def test_host_call_names_callee_and_module(self):
+        (v,) = [
+            v for v in self.hits(self.VIOLATING)
+            if "host-side module" in v.message
+        ]
+        assert "repro.serving.cluster.lookup_entry" in v.message
+        assert "repro.serving.cluster" in v.message
+
+    def test_host_module_itself_not_flagged(self):
+        assert not any(
+            v.path == "src/repro/serving/cluster.py"
+            for v in self.hits(self.VIOLATING)
+        )
+
+    def test_timing_hook_is_sanctioned(self):
+        hits = self.hits(
+            {
+                "src/repro/serving/workerized.py": (
+                    "import time\n"
+                    "def worker_main(wid, task_q):\n"
+                    "    return _wall_ms()\n"
+                    "def _wall_ms():\n"
+                    "    return time.perf_counter() * 1e3\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_off_worker_path_clean(self):
+        # Same hazards, but nothing named worker_main reaches them.
+        hits = self.hits(
+            {
+                "src/repro/serving/helpers.py": (
+                    "import time\n"
+                    "COUNTER: dict = {}\n"
+                    "def record(spec):\n"
+                    "    COUNTER[spec] = True\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_tests_exempt(self):
+        srcs = {
+            "tests/" + path.split("/")[-1]: text
+            for path, text in self.VIOLATING.items()
+        }
+        assert self.hits(srcs) == []
+
+    def test_suppressed(self):
+        hits = self.hits(
+            {
+                "src/repro/serving/workerized.py": (
+                    "COUNTER: dict = {}\n"
+                    "def worker_main(task_q):\n"
+                    "    _record(task_q.get())\n"
+                    "def _record(spec):\n"
+                    "    COUNTER[spec] = True"
+                    "  # repro-lint: ignore[worker-queue-discipline]"
+                    " — fixture\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_worker_reachable_index_and_path(self):
+        idx = index_of(self.VIOLATING)
+        root = "repro.serving.workerized.worker_main"
+        assert idx.worker_reachable[root] == (None, 0)
+        for helper in ("_record", "_stamp"):
+            assert (
+                f"repro.serving.workerized.{helper}"
+                in idx.worker_reachable
+            )
+        # reach crosses module boundaries into the host-side callee
+        assert (
+            "repro.serving.cluster.lookup_entry" in idx.worker_reachable
+        )
+        assert idx.worker_path("repro.serving.workerized._record") == [
+            "workerized.worker_main",
+            "workerized._record",
+        ]
 
 
 # ----------------------------------------------------------------------
