@@ -32,6 +32,15 @@ backend's answers are bitwise identical, that zero-copy's per-launch
 data-plane overhead beats pickle-per-launch at equal worker count, and
 (only on >= 4-CPU hosts) that 4 workers deliver >= 2x serial warm
 throughput.  Rows land in ``BENCH_parallel.json``.
+
+``--failures`` runs the fault-tolerance benches: a mid-flight server
+crash whose attainment dips through the outage and recovers after the
+server comes back (every query accounted, every served answer —
+including re-executed ones — bitwise verified; with ``--wallclock`` the
+same scenario SIGKILLs a real pinned worker), plus the elasticity pair
+(speed-aware placement beating speed-blind on a heterogeneous fleet,
+and attainment-driven autoscaling beating a fixed fleet under
+overload).  Rows land in ``BENCH_faults.json``.
 """
 
 import dataclasses
@@ -44,10 +53,12 @@ import pytest
 
 from benchmarks.conftest import write_artifact
 from repro.analysis.report import format_table
-from repro.datasets.generators import hybrid_pattern
+from repro.datasets.generators import hybrid_pattern, road_pattern
 from repro.formats.shm import shm_available
 from repro.gpusim import GTX1080
 from repro.serving import (
+    Autoscaler,
+    FaultPlan,
     GraphRegistry,
     LaunchSpec,
     PLACEMENTS,
@@ -412,3 +423,272 @@ def test_parallel_data_plane_wallclock(results_dir, json_report, wallclock):
               f"{ncpu} CPUs",
     )
     write_artifact(results_dir, "parallel_data_plane.txt", text)
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance and elasticity (--failures)
+# ----------------------------------------------------------------------
+FAULT_TILE = 16
+FAULT_SIZES = (256, 256)
+
+
+def _fault_registry(max_batch: int = 8) -> GraphRegistry:
+    reg = GraphRegistry(max_batch=max_batch)
+    builders = (hybrid_pattern, road_pattern)
+    for i, n in enumerate(FAULT_SIZES):
+        reg.add(
+            f"g{i}", builders[i % len(builders)](n, seed=3 + i),
+            tile_dim=FAULT_TILE,
+        )
+    return reg
+
+
+def _fault_stream(reg, *, rate_qps, requests, slo_ms=6.0,
+                  urgent_slo_ms=3.0, mix=(0.5, 0.4, 0.1), seed=2):
+    sizes = {name: reg[name].engine.n for name in reg.names}
+    return multi_graph_poisson_stream(
+        sizes, requests=requests, rate_qps=rate_qps, mix=mix,
+        slo_ms=slo_ms, urgent_slo_ms=urgent_slo_ms,
+        urgent_fraction=0.1, seed=seed,
+    )
+
+
+def _crash_window(outcomes, sid, before=None):
+    """Midpoint of the widest launch window served by ``sid`` in a
+    baseline run — a crash scheduled there lands mid-flight by
+    construction instead of by load tuning.  ``before`` restricts the
+    candidate windows to launches before that modeled instant, so the
+    crash (and its recovery) land while the stream is still arriving."""
+    wins = [
+        (o.launch_ms, o.finish_ms)
+        for o in outcomes
+        if o.server == sid and o.finish_ms > o.launch_ms
+        and (before is None or o.launch_ms < before)
+    ]
+    assert wins, f"baseline run never launched on server {sid}"
+    lo, hi = max(wins, key=lambda w: w[1] - w[0])
+    return (lo + hi) / 2.0, hi
+
+
+def _window_attainment(outcomes, lo, hi):
+    """SLO attainment among the queries *arriving* in [lo, hi)."""
+    phase = [o for o in outcomes if lo <= o.arrival.time_ms < hi]
+    assert phase, f"no arrivals in [{lo:.3f}, {hi:.3f}) ms"
+    return sum(o.slo_met for o in phase) / len(phase)
+
+
+def _assert_accounted(outcomes):
+    for o in outcomes:
+        assert (o.result is not None) ^ (o.failure is not None), o
+
+
+def _crash_scenario():
+    """Baseline + mid-flight-crash runs on the same stream; returns
+    (baseline outcomes/report, fault outcomes/report, crash_ms,
+    recover_ms)."""
+    reg = _fault_registry(max_batch=4)
+    router = Router(reg, n_servers=2, seed=0)
+    stream = _fault_stream(
+        reg, rate_qps=48000.0, requests=160, slo_ms=0.6,
+        urgent_slo_ms=0.25, mix=(0.3, 0.6, 0.1),
+    )
+    base = reg.estimator_state()
+    out0, rep0 = router.run(stream, placement="least-loaded", verify=True)
+    horizon = max(o.arrival.time_ms for o in out0)
+    at, hi = _crash_window(out0, 1, before=0.5 * horizon)
+    # A bounded outage well inside the stream: the surviving server
+    # carries the load alone through [at, recover_at), then the revived
+    # one rejoins while arrivals are still coming.
+    recover_at = min(max(hi, at + 2.0), 0.8 * horizon)
+    reg.restore_estimator_state(base)
+    plan = FaultPlan().crash(1, at=at).recover(1, at=recover_at)
+    out, rep = router.run(
+        stream, placement="least-loaded", verify=True, faults=plan
+    )
+    return out0, rep0, out, rep, at, recover_at
+
+
+def test_cluster_fault_recovery(results_dir, json_report, failures):
+    if not failures:
+        pytest.skip("fault-tolerance bench; enable with --failures")
+    out0, rep0, out, rep, at, recover_at = _crash_scenario()
+
+    # Zero queries lost without accounting: same stream length, every
+    # outcome either served or failed closed with a reason.
+    assert len(out) == len(out0)
+    _assert_accounted(out)
+    # The crash landed mid-flight: at least one batch was re-queued,
+    # and every served answer — the re-executed ones included — was
+    # re-checked bitwise against a solo run by verify=True.
+    assert rep.requeues >= 1, rep
+    assert rep.verified and rep0.verified
+    assert any(o.retries > 0 and o.result is not None for o in out)
+    kinds = [f.kind for f in rep.extra["faults"]]
+    assert kinds == ["crash", "recover"]
+    # Dip: the outage window attains less than the same window without
+    # the fault; recover: the post-recovery tail beats the outage and
+    # the revived server serves again.
+    dip = _window_attainment(out, at, recover_at)
+    dip0 = _window_attainment(out0, at, recover_at)
+    tail = _window_attainment(out, recover_at, float("inf"))
+    assert dip < dip0, (dip, dip0)
+    assert tail > dip, (tail, dip)
+    assert any(
+        o.server == 1 and o.result is not None
+        and o.launch_ms >= recover_at
+        for o in out
+    ), "revived server never served again"
+
+    config = {
+        "scenario": "crash-recover", "mode": "modeled", "servers": 2,
+        "placement": "least-loaded", "requests": len(out),
+    }
+    json_report.emit("faults", config, "attainment", rep.slo_attainment)
+    json_report.emit(
+        "faults", config, "attainment_no_fault", rep0.slo_attainment
+    )
+    json_report.emit("faults", config, "outage_attainment", dip)
+    json_report.emit("faults", config, "post_recovery_attainment", tail)
+    json_report.emit("faults", config, "requeues", float(rep.requeues))
+    json_report.emit("faults", config, "failed", float(rep.failed))
+
+    rows = [
+        ["no fault", f"{100 * rep0.slo_attainment:.1f}%",
+         f"{100 * dip0:.1f}%", "-", 0, 0, "yes"],
+        ["crash+recover", f"{100 * rep.slo_attainment:.1f}%",
+         f"{100 * dip:.1f}%", f"{100 * tail:.1f}%",
+         rep.requeues, rep.failed, "yes"],
+    ]
+    text = format_table(
+        ["scenario", "attainment", "outage window", "post-recovery",
+         "requeues", "failed", "verified"],
+        rows,
+        title=f"mid-flight server crash at {at:.2f} ms, recovery at "
+              f"{recover_at:.2f} ms: 2 servers, {len(out)} arrivals, "
+              f"every outcome accounted",
+    )
+    write_artifact(results_dir, "cluster_faults.txt", text)
+
+
+def test_cluster_fault_recovery_wallclock(json_report, failures, wallclock):
+    """The same crash replayed against the real data plane: the modeled
+    crash SIGKILLs the pinned worker process and recovery respawns it.
+    Wall-clock timing decides how many real launches die with it, so
+    the assertions are the timing-robust invariants only."""
+    if not failures:
+        pytest.skip("fault-tolerance bench; enable with --failures")
+    if not wallclock:
+        pytest.skip("real worker-process bench; enable with --wallclock")
+    if not shm_available():
+        pytest.skip("POSIX shared memory unavailable")
+    reg = _fault_registry()
+    router = Router(reg, n_servers=2, seed=0)
+    stream = _fault_stream(reg, rate_qps=8000.0, requests=48)
+    base = reg.estimator_state()
+    # verify=False: this run only derives the crash window; the fault
+    # run below re-checks every served answer.
+    out0, _ = router.run(stream, placement="least-loaded", verify=False)
+    at, hi = _crash_window(out0, 1)
+    reg.restore_estimator_state(base)
+    plan = FaultPlan().crash(1, at=at).recover(1, at=hi + 5.0)
+    with WorkerPool(reg, processes=2) as pool:
+        out, rep = router.run(
+            stream, placement="least-loaded", verify=True,
+            faults=plan, data_plane=pool,
+        )
+        _assert_accounted(out)
+        assert rep.verified
+        assert [f.kind for f in rep.extra["faults"]] == ["crash", "recover"]
+        plane = rep.extra["data_plane"]
+        assert plane["processes"] == 2
+        config = {
+            "scenario": "crash-recover", "mode": "wallclock",
+            "servers": 2, "placement": "least-loaded",
+            "requests": len(out),
+        }
+        json_report.emit(
+            "faults", config, "attainment", rep.slo_attainment
+        )
+        json_report.emit(
+            "faults", config, "reexecutions",
+            float(plane.get("reexecutions", 0)),
+        )
+        json_report.emit("faults", config, "failed", float(rep.failed))
+
+
+def test_cluster_elasticity(json_report, failures):
+    """Speed-aware placement beats speed-blind on a heterogeneous
+    fleet, and attainment-driven autoscaling beats a fixed fleet under
+    the same overload."""
+    if not failures:
+        pytest.skip("fault-tolerance bench; enable with --failures")
+    # --- heterogeneous fleet: two full-speed servers and one at 0.2x.
+    reg = _fault_registry(max_batch=4)
+    router = Router(reg, n_servers=3, seed=0)
+    stream = _fault_stream(
+        reg, rate_qps=48000.0, requests=96, slo_ms=0.6,
+        urgent_slo_ms=0.25, mix=(0.3, 0.6, 0.1),
+    )
+    speeds = {0: 1.0, 1: 1.0, 2: 0.2}
+    base = reg.estimator_state()
+    # verify=False: the speed-blind arm exists only as the attainment
+    # baseline; the speed-aware arm is the verified one.
+    _, blind = router.run(
+        stream, placement="least-loaded", speeds=speeds, verify=False
+    )
+    reg.restore_estimator_state(base)
+    out_aware, aware = router.run(
+        stream, placement="speed-aware", speeds=speeds, verify=True
+    )
+    _assert_accounted(out_aware)
+    assert aware.verified
+    assert aware.slo_attainment > blind.slo_attainment, (aware, blind)
+    config = {
+        "scenario": "speed-aware", "servers": 3,
+        "speeds": [1.0, 1.0, 0.2], "requests": 96,
+    }
+    json_report.emit(
+        "faults", config, "attainment_speed_blind", blind.slo_attainment
+    )
+    json_report.emit(
+        "faults", config, "attainment_speed_aware", aware.slo_attainment
+    )
+    json_report.emit(
+        "faults", config, "speed_utilization", aware.speed_utilization
+    )
+
+    # --- elasticity: one fixed server vs autoscaling up to four.
+    reg2 = _fault_registry(max_batch=4)
+    router2 = Router(reg2, n_servers=1, seed=0)
+    stream2 = _fault_stream(
+        reg2, rate_qps=48000.0, requests=96, slo_ms=0.6,
+        urgent_slo_ms=0.25, mix=(0.3, 0.6, 0.1),
+    )
+    base2 = reg2.estimator_state()
+    # verify=False: the fixed-fleet arm is the attainment baseline; the
+    # autoscaled arm is the verified one.
+    _, fixed = router2.run(stream2, placement="least-loaded", verify=False)
+    reg2.restore_estimator_state(base2)
+    scaler = Autoscaler(
+        min_servers=1, max_servers=4, interval_ms=0.1, window=8
+    )
+    out_scaled, scaled = router2.run(
+        stream2, placement="least-loaded", autoscaler=scaler, verify=True
+    )
+    _assert_accounted(out_scaled)
+    adds = [s for s in scaled.extra["scales"] if s.action == "add"]
+    assert adds, "overloaded fleet never upscaled"
+    assert scaled.slo_attainment > fixed.slo_attainment, (scaled, fixed)
+    config = {
+        "scenario": "autoscale", "min_servers": 1, "max_servers": 4,
+        "requests": 96,
+    }
+    json_report.emit(
+        "faults", config, "attainment_fixed", fixed.slo_attainment
+    )
+    json_report.emit(
+        "faults", config, "attainment_autoscaled", scaled.slo_attainment
+    )
+    json_report.emit(
+        "faults", config, "servers_added", float(len(adds))
+    )

@@ -47,6 +47,14 @@ def pytest_addoption(parser):
              "worker processes, timed with perf_counter rather than "
              "modeled ms); skipped by default",
     )
+    parser.addoption(
+        "--failures",
+        action="store_true",
+        default=False,
+        help="enable the fault-tolerance benches (mid-run server "
+             "crashes, re-queue, heterogeneous-fleet placement, "
+             "autoscaling); skipped by default",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -59,6 +67,12 @@ def algo(request) -> str:
 def wallclock(request) -> bool:
     """Whether the real wall-clock benches were enabled (``--wallclock``)."""
     return request.config.getoption("--wallclock")
+
+
+@pytest.fixture(scope="session")
+def failures(request) -> bool:
+    """Whether the fault-tolerance benches were enabled (``--failures``)."""
+    return request.config.getoption("--failures")
 
 
 @pytest.fixture(scope="session")

@@ -27,7 +27,8 @@ without writing Python:
   (numeric-cliff, b2sr-immutability, b2sr-from-tiles, seeded-rng,
   paper-faithful-skip, verify-contract, hot-path-scatter) plus
   cross-module call-graph rules (hook-ordering, estimator-hygiene,
-  modeled-time-purity, shared-state-determinism), with per-rule inline
+  modeled-time-purity, shared-state-determinism, failure-path-verify),
+  with per-rule inline
   suppressions, an mtime+hash warm-run cache, ``--baseline`` diffing
   and text/JSON/SARIF reports;
 * ``matrices`` — list the named paper-matrix stand-ins;
@@ -509,11 +510,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.serving import (
+        FaultPlan,
         GraphRegistry,
         PLACEMENTS,
         Router,
         WorkerPool,
         multi_graph_poisson_stream,
+        parse_speed_spec,
     )
 
     if args.requests < 1:
@@ -537,6 +540,29 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         return 2
     if not args.slack_factor >= 1.0:
         print("error: --slack-factor must be >= 1.0", file=sys.stderr)
+        return 2
+    faults = None
+    if args.fail or args.recover:
+        try:
+            faults = FaultPlan.from_specs(
+                fail=args.fail, recover=args.recover
+            )
+            faults.validate(args.servers)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    speeds: dict[int, float] = {}
+    try:
+        for spec in args.speed:
+            sid, factor = parse_speed_spec(spec)
+            if sid >= args.servers:
+                raise ValueError(
+                    f"speed spec {spec!r} targets server {sid} but "
+                    f"--servers is {args.servers}"
+                )
+            speeds[sid] = factor
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     device = device_by_name(args.device)
 
@@ -576,12 +602,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     )
     rows = []
     base_estimates = registry.estimator_state()
-    server_counts = [1] if args.servers == 1 else [1, args.servers]
+    # With faults or an explicit speed map, the 1-server comparison row
+    # is meaningless (the faults target the full fleet) — run only the
+    # requested fleet size.
+    if faults is not None or speeds:
+        server_counts = [args.servers]
+    else:
+        server_counts = [1] if args.servers == 1 else [1, args.servers]
     pool = (
         None if args.workers is None
         else WorkerPool(registry, processes=args.workers)
     )
     planes: list[dict] = []
+    fault_lines: list[str] = []
     try:
         for n_servers in server_counts:
             router = Router(
@@ -598,7 +631,15 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 _, rep = router.run(
                     stream, policy=args.policy, placement=name,
                     verify=verify, data_plane=pool,
+                    faults=faults, speeds=speeds or None,
                 )
+                if faults is not None or speeds:
+                    fault_lines.append(
+                        f"  {name}: faults={rep.faults} "
+                        f"requeues={rep.requeues} steals={rep.steals} "
+                        f"failed={rep.failed} "
+                        f"speed-norm util={100 * rep.speed_utilization:.1f}%"
+                    )
                 if "data_plane" in rep.extra:
                     planes.append(rep.extra["data_plane"])
                 graphs = " ".join(
@@ -637,16 +678,29 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             title=title,
         )
     )
+    if fault_lines:
+        print("fault tolerance (every served answer still verified):")
+        for line in fault_lines:
+            print(line)
     if planes:
         launches = sum(len(p["launches"]) for p in planes)
         wall = sum(p["wall_ms_total"] for p in planes)
+        reexec = sum(p.get("reexecutions", 0) for p in planes)
         p0 = planes[0]
         print(
             f"data plane: {p0['backend']} backend "
             f"({p0['processes']} workers, {p0['transport']} transport) "
             f"— {launches} real launches across {len(planes)} rows, "
             f"{wall:.1f} ms wall-clock kernel time"
+            + (f", {reexec} re-executions after worker loss"
+               if reexec else "")
         )
+        measured = planes[-1].get("measured_speeds") or {}
+        if measured and (faults is not None or speeds):
+            pairs = " ".join(
+                f"w{w}={f:.2f}x" for w, f in sorted(measured.items())
+            )
+            print(f"measured worker speeds (fleet-mean-normalized): {pairs}")
     return 0
 
 
@@ -1000,9 +1054,24 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--policy", default="slo",
                     choices=("slo", "flush", "fcfs"))
     sp.add_argument("--placement", default="all",
-                    choices=("all", "affinity", "least-loaded", "p2c"))
+                    choices=("all", "affinity", "least-loaded", "p2c",
+                             "speed-aware"))
     sp.add_argument("--no-verify", action="store_true",
                     help="skip the standalone bitwise-equality check")
+    sp.add_argument("--fail", action="append", default=[],
+                    metavar="SID@T_MS",
+                    help="crash server SID at modeled time T_MS "
+                         "(repeatable); with --workers the pinned worker "
+                         "process is SIGKILLed at the same instant")
+    sp.add_argument("--recover", action="append", default=[],
+                    metavar="SID@T_MS",
+                    help="bring a crashed server SID back at modeled "
+                         "time T_MS (repeatable)")
+    sp.add_argument("--speed", action="append", default=[],
+                    metavar="SID=F",
+                    help="server SID runs at speed factor F — a "
+                         "heterogeneous fleet (repeatable; pairs with "
+                         "--placement speed-aware)")
     sp.add_argument("--workers", type=int, default=None,
                     help="execute committed batches on N real worker "
                          "processes over zero-copy shared memory "
@@ -1059,7 +1128,8 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="invariant linter: per-file AST rules plus cross-module "
              "call-graph rules (hook-ordering, estimator-hygiene, "
-             "modeled-time-purity, shared-state-determinism)",
+             "modeled-time-purity, shared-state-determinism, "
+             "failure-path-verify)",
     )
     sp.add_argument("paths", nargs="*", default=["src"],
                     help="files or directories to lint (default: src); "

@@ -14,6 +14,7 @@ from repro.lint.core import Rule
 from repro.lint.rules.construction import B2SRFromTilesRule
 from repro.lint.rules.crossmodule import (
     EstimatorHygieneRule,
+    FailurePathVerifyRule,
     HookOrderingRule,
     ModeledTimePurityRule,
     SharedStateDeterminismRule,
@@ -40,6 +41,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ModeledTimePurityRule(),
     SharedStateDeterminismRule(),
     WorkerQueueDisciplineRule(),
+    FailurePathVerifyRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}
@@ -71,6 +73,7 @@ __all__ = [
     "B2SRFromTilesRule",
     "B2SRImmutabilityRule",
     "EstimatorHygieneRule",
+    "FailurePathVerifyRule",
     "HookOrderingRule",
     "HotPathScatterRule",
     "ModeledTimePurityRule",

@@ -2,7 +2,7 @@
 
 These are the contracts per-file pattern matching cannot see — each one
 is a property of a *path* through the call graph, witnessed across
-files.  All five ride :class:`repro.lint.project.ProjectRule`: they run
+files.  All six ride :class:`repro.lint.project.ProjectRule`: they run
 once per module against the whole-project :class:`ProjectIndex`, and
 their messages carry the offending call chain so a finding in
 ``serving/cluster.py`` can point at the wall-clock read three hops away.
@@ -33,13 +33,23 @@ their messages carry the offending call chain so a finding in
   owners (``serving/cluster``, ``serving/batcher``, ``serving/ingest``,
   ``repro.graph``) means the worker is touching objects that were never
   exported across the queue.
+* ``failure-path-verify`` — a serving function that re-queues or
+  re-executes work after a fault must feed a flush/install call that
+  spells ``verify=`` explicitly (itself, via its dispatch root, or in
+  a direct caller): a recovery path that silently drops verification
+  is exactly how a fault-masking wrong answer ships.
 """
 
 from __future__ import annotations
 
 from repro.lint.core import Rule, Violation
 from repro.lint.project import ProjectIndex, ProjectRule
-from repro.lint.summary import CALLS_DISPATCH, ModuleSummary, WALL_CLOCK
+from repro.lint.summary import (
+    CALLS_DISPATCH,
+    VERIFY_EXPLICIT,
+    ModuleSummary,
+    WALL_CLOCK,
+)
 
 
 def _chain_text(hops: list[str]) -> str:
@@ -341,8 +351,104 @@ class WorkerQueueDisciplineRule(ProjectRule):
         return out
 
 
+class FailurePathVerifyRule(ProjectRule):
+    id = "failure-path-verify"
+    description = (
+        "serving re-queue/re-execute recovery paths must reach a flush "
+        "or install call with an explicit verify= keyword"
+    )
+    hint = (
+        "route the recovered batch through the same verify=-explicit "
+        "flush/install call the first launch used (or pass verify= at "
+        "the re-execution site)"
+    )
+
+    #: Substrings that mark a function as a fault-recovery path.
+    _RECOVERY_MARKS = (
+        "requeue",
+        "re_queue",
+        "reexecute",
+        "re_execute",
+        "resubmit",
+        "re_submit",
+        "relaunch",
+        "re_launch",
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "serving/" in path and not Rule.in_tests(path)
+
+    def check_module(
+        self, project: ProjectIndex, module: ModuleSummary
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        callers: dict[str, list[str]] | None = None
+        for fn in module.functions.values():
+            name = fn.name.lower()
+            if not any(m in name for m in self._RECOVERY_MARKS):
+                continue
+            # (1) The recovery path itself reaches a verify=-explicit
+            # flush/install transitively.
+            if VERIFY_EXPLICIT in project.effects.get(fn.qualname, ()):
+                continue
+            # (2) The dispatch root it hangs off does: the re-queued
+            # batch goes back through the same launch path, and that
+            # path spells verify=.
+            root = self._dispatch_root(project, fn.qualname)
+            if root is not None and VERIFY_EXPLICIT in project.effects.get(
+                root, ()
+            ):
+                continue
+            # (3) A direct caller does: the caller installs the
+            # re-executed result itself, verify made explicit there.
+            if callers is None:
+                callers = {}
+                for src, outs in project.edges.items():
+                    for callee, _line in outs:
+                        callers.setdefault(callee, []).append(src)
+            if any(
+                VERIFY_EXPLICIT in project.effects.get(c, ())
+                for c in callers.get(fn.qualname, ())
+            ):
+                continue
+            out.append(
+                Violation(
+                    path=module.path,
+                    line=fn.line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"'{fn.qualname}' re-queues or re-executes work "
+                        "after a fault but neither it, its dispatch "
+                        "root, nor any direct caller reaches a "
+                        "verify=-explicit flush/install — recovered "
+                        "answers would skip the bitwise check"
+                    ),
+                    hint=self.hint,
+                )
+            )
+        return out
+
+    @staticmethod
+    def _dispatch_root(
+        project: ProjectIndex, qualname: str, limit: int = 32
+    ) -> str | None:
+        """The dispatch root ``qualname`` was first reached from, or
+        ``None`` when it is not dispatch-reachable."""
+        if qualname not in project.dispatch_reachable:
+            return None
+        current = qualname
+        for _ in range(limit):
+            parent, _line = project.dispatch_reachable[current]
+            if parent is None:
+                return current
+            current = parent
+        return current
+
+
 __all__ = [
     "EstimatorHygieneRule",
+    "FailurePathVerifyRule",
     "HookOrderingRule",
     "ModeledTimePurityRule",
     "SharedStateDeterminismRule",

@@ -18,7 +18,10 @@ Direct effects tagged here (transitive closure is the fixpoint's job):
 * :data:`MUTATES_B2SR` — ``setflags(write=True)`` or in-place writes
   through the frozen B2SR field names;
 * :data:`CALLS_DISPATCH` — any call whose callee is named ``dispatch``
-  (the EventLoop contract name, resolved or not).
+  (the EventLoop contract name, resolved or not);
+* :data:`VERIFY_EXPLICIT` — any call carrying an explicit ``verify=``
+  keyword (the serving flush/install contract: the caller decided,
+  visibly, whether this answer is bitwise-checked).
 
 Call resolution is deliberately the same altitude as
 :class:`repro.lint.resolve.AliasResolver`: static spellings only —
@@ -41,9 +44,16 @@ WALL_CLOCK = "reads-wall-clock"
 UNSEEDED_RNG = "consumes-unseeded-rng"
 MUTATES_B2SR = "mutates-frozen-b2sr"
 CALLS_DISPATCH = "calls-dispatch"
+VERIFY_EXPLICIT = "flushes-verify-explicit"
 
 #: Every effect the fixpoint propagates, in reporting order.
-ALL_EFFECTS = (WALL_CLOCK, UNSEEDED_RNG, MUTATES_B2SR, CALLS_DISPATCH)
+ALL_EFFECTS = (
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    MUTATES_B2SR,
+    CALLS_DISPATCH,
+    VERIFY_EXPLICIT,
+)
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -682,6 +692,14 @@ class _FunctionCollector(ast.NodeVisitor):
             self._record_mutation(
                 func.value.id, node, f".{func.attr}(...)"
             )
+        # Explicit verify= keyword — the flush/install contract spelling.
+        for kw in node.keywords:
+            if kw.arg == "verify":
+                callee = _callee_bare_name(func) or "<call>"
+                self._effect(
+                    VERIFY_EXPLICIT, node, f"{callee}(..., verify=...)"
+                )
+                break
         # setflags(write=True) — frozen-array re-enable.
         if isinstance(func, ast.Attribute) and func.attr == "setflags":
             for kw in node.keywords:
@@ -907,6 +925,7 @@ __all__ = [
     "MUTATING_METHODS",
     "ModuleSummary",
     "UNSEEDED_RNG",
+    "VERIFY_EXPLICIT",
     "WALL_CLOCK",
     "module_name",
     "summarize_module",

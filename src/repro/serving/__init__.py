@@ -33,9 +33,17 @@ gap in layers:
   through :mod:`repro.formats.shm`; ``Router.run(data_plane=...)``
   swaps it in under the modeled control plane.
 
+* :mod:`~repro.serving.faults` — declarative fault injection: a seeded
+  :class:`FaultPlan` of crash/recover/slow events replays through the
+  event loop deterministically; the router re-queues batches lost to a
+  crash, steals committed work off dead or backed-up servers, scores
+  placement by per-server speed, and (with an :class:`Autoscaler`)
+  grows or drains the fleet against observed SLO attainment.
+
 Every coalesced answer — single server or sharded cluster — is bitwise
 identical to the answer an isolated run would have produced;
-``verify=True`` enforces it on every launch.
+``verify=True`` enforces it on every launch, including answers
+re-executed after a mid-flight server loss.
 """
 
 from repro.serving.admission import (
@@ -60,17 +68,28 @@ from repro.serving.batcher import (
     QueryResult,
 )
 from repro.serving.cluster import (
+    Autoscaler,
     ClusterReport,
+    FaultRecord,
     GraphEntry,
     GraphRegistry,
     GraphStore,
     PLACEMENTS,
     PlacementPolicy,
     Router,
+    ScaleRecord,
+    StealRecord,
     SwapRecord,
     register_placement,
 )
 from repro.serving.estimator import ServiceEstimator
+from repro.serving.faults import (
+    FaultEvent,
+    FaultPlan,
+    chaos_plan,
+    parse_fail_spec,
+    parse_speed_spec,
+)
 from repro.serving.parallel import (
     LaunchResult,
     LaunchSpec,
@@ -93,10 +112,14 @@ __all__ = [
     "AdmissionContext",
     "AdmissionPolicy",
     "Arrival",
+    "Autoscaler",
     "Batch",
     "BatchReport",
     "ClusterReport",
     "EventLoop",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRecord",
     "GraphEntry",
     "GraphRegistry",
     "GraphStore",
@@ -116,13 +139,18 @@ __all__ = [
     "QueryOutcome",
     "QueryResult",
     "Router",
+    "ScaleRecord",
     "ScheduleReport",
     "Scheduler",
     "Server",
     "ServiceEstimator",
+    "StealRecord",
     "SwapRecord",
     "WorkerPool",
+    "chaos_plan",
     "multi_graph_poisson_stream",
+    "parse_fail_spec",
+    "parse_speed_spec",
     "poisson_stream",
     "register_placement",
     "register_policy",

@@ -48,6 +48,11 @@ class Batch:
     open batches on their admitted version — later arrivals (which see
     the new epoch) open fresh batches instead of joining, so a batch
     never mixes versions.
+
+    ``retries`` counts fault-driven re-queues: when the batch's server
+    crashes mid-flight the router withdraws the launch, bumps this
+    counter, and re-admits the batch (still on its admitted version)
+    until the retry budget runs out and its queries fail closed.
     """
 
     kind: str
@@ -58,6 +63,7 @@ class Batch:
     launch_at: float = 0.0
     sid: int | None = None
     version: int = 0
+    retries: int = 0
 
 
 @dataclass(frozen=True)

@@ -28,11 +28,28 @@ the same event core out:
   - ``"p2c"`` — power-of-two-choices: sample two servers with the
     router's RNG and take the less loaded — the classic randomized
     load balancer that needs no global state.
+  - ``"speed-aware"`` — earliest *speed-scaled* completion: score each
+    server by when it would finish this batch given its speed factor,
+    so heterogeneous fleets stop treating a half-speed machine as a
+    full slot.
 
-Exactness survives sharding: every launch flows through the owning
-graph's ``QueryBatcher``, so ``verify=True`` re-runs each query solo on
-that graph's engines and raises unless the clustered answer is bitwise
-identical — the same contract the single-server scheduler enforces.
+The cluster is fault-tolerant and elastic (``serving/faults.py``):
+:class:`~repro.serving.faults.FaultPlan` events crash/recover/slow
+servers at modeled times, interleaved deterministically with arrivals
+and epoch swaps through the same due-event cursor the versioned store
+uses.  A mid-flight crash withdraws the victim batch and re-queues it
+through admission with bounded retries (its queries re-land on
+survivors or fail closed with a :class:`QueryOutcome` failure reason);
+committed-but-unstarted batches are stolen off dead, draining, or —
+with ``steal=True`` — merely backed-up servers; an optional
+:class:`Autoscaler` adds or drains servers against observed SLO
+attainment (drain = stop-placing-then-finish).
+
+Exactness survives sharding *and* recovery: every launch flows through
+the owning graph's ``QueryBatcher``, so ``verify=True`` re-runs each
+query solo on that graph's engines and raises unless the clustered
+answer is bitwise identical — including answers that were re-queued or
+re-executed after a crash.
 """
 
 from __future__ import annotations
@@ -63,6 +80,7 @@ from repro.serving.arrivals import (
 from repro.serving.batcher import QueryBatcher
 from repro.serving.estimator import ServiceEstimator
 from repro.serving.events import EPS, EventLoop, QueryOutcome, Server
+from repro.serving.faults import FaultEvent, FaultPlan
 from repro.serving.parallel import LaunchSpec, solo_reference
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -469,6 +487,30 @@ class PowerOfTwoPlacement(PlacementPolicy):
         )
 
 
+class SpeedAwarePlacement(PlacementPolicy):
+    """Earliest speed-scaled completion: score each candidate by when
+    it would *finish* this batch — current availability plus the
+    batch's service estimate divided by the server's speed factor — so
+    a fast server keeps winning placements even while a slow one idles.
+    On a homogeneous fleet this degenerates to least-loaded."""
+
+    name = "speed-aware"
+
+    def place(
+        self,
+        batch: Batch,
+        servers: list[Server],
+        registry: GraphRegistry,
+        rng: np.random.Generator,
+    ) -> Server:
+        entry = registry.entry_for(batch.graph, batch.version)
+        est = entry.estimator.estimate_ms(batch.kind, len(batch.members))
+        return min(
+            servers,
+            key=lambda s: (s.free_at + est / s.speed, s.busy_ms, s.sid),
+        )
+
+
 #: Placement policies, by name.
 PLACEMENTS: dict[str, PlacementPolicy] = {}
 
@@ -484,6 +526,7 @@ def register_placement(placement: PlacementPolicy) -> PlacementPolicy:
 register_placement(AffinityPlacement())
 register_placement(LeastLoadedPlacement())
 register_placement(PowerOfTwoPlacement())
+register_placement(SpeedAwarePlacement())
 
 
 def resolve_placement(placement: str | PlacementPolicy) -> PlacementPolicy:
@@ -512,6 +555,88 @@ class SwapRecord:
     rebuilt_fraction: float
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied fault event: what hit which server, and what the
+    crash cost (members re-queued / failed closed at that instant)."""
+
+    time_ms: float
+    kind: str
+    sid: int
+    speed: float = 1.0
+    requeued: int = 0
+    failed_queries: int = 0
+
+
+@dataclass(frozen=True)
+class StealRecord:
+    """One committed-but-unstarted batch moved to another server."""
+
+    time_ms: float
+    graph: str
+    kind: str
+    width: int
+    from_sid: int
+    to_sid: int
+    reason: str  # "down" | "draining" | "backed-up"
+
+
+@dataclass(frozen=True)
+class ScaleRecord:
+    """One autoscaler action against observed attainment."""
+
+    time_ms: float
+    action: str  # "add" | "drain" | "drained"
+    sid: int
+    attainment: float
+    n_available: int
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """Attainment-driven elasticity policy for :meth:`Router.run`.
+
+    Every ``interval_ms`` of modeled time the router looks at the SLO
+    attainment of the last ``window`` finished queries: below
+    ``upscale_below`` it adds a server (preferring to re-activate a
+    drained one), at or above ``drain_above`` it marks the
+    highest-numbered available server *draining* — it finishes its
+    in-flight launch, receives no new placements, and counts as down
+    once idle (stop-placing-then-finish).  The fleet never shrinks
+    below ``min_servers`` available nor grows above ``max_servers``.
+    The policy object is immutable; all scaling state lives in the
+    run's controller, so one instance is reusable across runs.
+    """
+
+    min_servers: int = 1
+    max_servers: int = 8
+    interval_ms: float = 5.0
+    upscale_below: float = 0.90
+    drain_above: float = 0.995
+    window: int = 24
+
+    def validate(self) -> None:
+        if self.min_servers < 1:
+            raise ValueError("autoscaler min_servers must be >= 1")
+        if self.max_servers < self.min_servers:
+            raise ValueError(
+                "autoscaler max_servers must be >= min_servers"
+            )
+        if not self.interval_ms > 0.0:
+            raise ValueError("autoscaler interval_ms must be > 0")
+        if not 0.0 <= self.upscale_below <= 1.0:
+            raise ValueError("autoscaler upscale_below must be in [0, 1]")
+        if not 0.0 <= self.drain_above <= 1.0:
+            raise ValueError("autoscaler drain_above must be in [0, 1]")
+        if self.upscale_below > self.drain_above:
+            raise ValueError(
+                "autoscaler upscale_below must not exceed drain_above "
+                "(the policy would add and drain at once)"
+            )
+        if self.window < 1:
+            raise ValueError("autoscaler window must be >= 1")
+
+
 @dataclass
 class ClusterReport:
     """Aggregate accounting for one simulated stream on one cluster."""
@@ -536,6 +661,12 @@ class ClusterReport:
     server_launches: list[int]
     verified: bool = False
     swaps: int = 0
+    failed: int = 0
+    requeues: int = 0
+    steals: int = 0
+    scale_events: int = 0
+    faults: int = 0
+    server_speed: list[float] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -543,6 +674,25 @@ class ClusterReport:
         """Cluster busy fraction: total busy over N × the horizon."""
         denom = self.n_servers * self.makespan_ms
         return self.busy_ms / denom if denom else 0.0
+
+    @property
+    def speed_utilization(self) -> float:
+        """Speed-normalized busy fraction: each server's busy time is
+        weighted by its speed factor (what it actually processed, in
+        speed-1 service units) over the fleet's speed-weighted
+        capacity.  Equals :attr:`utilization` on a homogeneous fleet;
+        on a heterogeneous one it stops a busy half-speed machine from
+        masquerading as a fully-used full slot."""
+        if not self.server_speed or not self.makespan_ms:
+            return self.utilization
+        capacity = sum(self.server_speed) * self.makespan_ms
+        work = sum(
+            busy * speed
+            for busy, speed in zip(
+                self.server_busy_ms, self.server_speed, strict=True
+            )
+        )
+        return work / capacity if capacity else 0.0
 
     @property
     def imbalance(self) -> float:
@@ -568,6 +718,10 @@ class _RouterController:
         verify: bool,
         mutations: list[MutationBatch] | None = None,
         data_plane: WorkerPool | None = None,
+        faults: FaultPlan | None = None,
+        autoscaler: Autoscaler | None = None,
+        steal: bool = False,
+        max_requeues: int = 2,
     ) -> None:
         self.router = router
         self.registry = router.registry
@@ -598,6 +752,32 @@ class _RouterController:
         )
         self._next_mutation = 0
         self.swaps: list[SwapRecord] = []
+        # Fault injection + recovery bookkeeping.
+        self.fault_events: list[FaultEvent] = (
+            faults.sorted_events() if faults is not None else []
+        )
+        self._next_fault = 0
+        self.fault_records: list[FaultRecord] = []
+        self.steal = steal
+        self.steal_records: list[StealRecord] = []
+        self.max_requeues = max_requeues
+        self.requeues = 0
+        self.failed = 0
+        # sid -> (batch, data-plane spec id) for the launch occupying
+        # that server; entries go stale once the launch finishes (the
+        # crash path checks free_at before trusting one).
+        self.inflight: dict[int, tuple[Batch, int | None]] = {}
+        self.last_spec_id: int | None = None
+        # Data-plane launches whose modeled server crashed mid-flight:
+        # their results (if the worker even produced any) are ignored.
+        self.aborted_specs: set[int] = set()
+        self._crashed_sids: set[int] = set()
+        # Elasticity.
+        self.autoscaler = autoscaler
+        self.scale_records: list[ScaleRecord] = []
+        self._next_scale = (
+            autoscaler.interval_ms if autoscaler is not None else math.inf
+        )
 
     # -- epoch swaps ---------------------------------------------------
     def _apply_due_mutations(self, now: float) -> None:
@@ -633,8 +813,235 @@ class _RouterController:
                 )
             )
 
+    # -- fault injection + recovery ------------------------------------
+    def _apply_due_faults(self, now: float) -> None:
+        """Replay every fault event whose time has been crossed — the
+        same cursor pattern as epoch swaps, so crashes interleave
+        deterministically with arrivals, launches, and mutations."""
+        while (
+            self._next_fault < len(self.fault_events)
+            and self.fault_events[self._next_fault].time_ms <= now + EPS
+        ):
+            ev = self.fault_events[self._next_fault]
+            self._next_fault += 1
+            server = self.servers[ev.sid] if ev.sid < len(self.servers) else None
+            if server is None:
+                # The plan addressed a server the fleet never grew to
+                # (possible when elasticity decides the fleet size).
+                self.fault_records.append(
+                    FaultRecord(
+                        time_ms=ev.time_ms, kind=f"skipped-{ev.kind}",
+                        sid=ev.sid, speed=ev.speed,
+                    )
+                )
+                continue
+            if ev.kind == "crash":
+                self._apply_crash(ev, server, now)
+            elif ev.kind == "recover":
+                if not server.up:
+                    server.recover(now)
+                    self._crashed_sids.discard(server.sid)
+                    if self.pool is not None:
+                        self.pool.revive_worker(server.sid)
+                self.fault_records.append(
+                    FaultRecord(
+                        time_ms=ev.time_ms, kind="recover", sid=ev.sid,
+                        speed=server.speed,
+                    )
+                )
+                self._refresh_capacity()
+            else:  # "slow": new speed applies to launches started after now
+                server.speed = ev.speed
+                self.fault_records.append(
+                    FaultRecord(
+                        time_ms=ev.time_ms, kind="slow", sid=ev.sid,
+                        speed=ev.speed,
+                    )
+                )
+
+    def _apply_crash(
+        self, ev: FaultEvent, server: Server, now: float
+    ) -> None:
+        """Take a server down: abort and re-queue its in-flight batch
+        (bounded retries), leave its committed-but-unstarted batches for
+        the dispatch loop to steal onto survivors."""
+        requeued = failed = 0
+        if server.up:
+            if self.pool is not None:
+                # Kill the pinned worker process at the same modeled
+                # instant, so the modeled and real failure sets agree.
+                self.pool.kill_worker(server.sid)
+            was_busy = not server.idle(now)
+            server.crash(now)
+            self._crashed_sids.add(server.sid)
+            if was_busy:
+                requeued, failed = self._requeue_inflight(server.sid, now)
+        self.fault_records.append(
+            FaultRecord(
+                time_ms=ev.time_ms, kind="crash", sid=ev.sid,
+                requeued=requeued, failed_queries=failed,
+            )
+        )
+        self._refresh_capacity()
+
+    def _requeue_inflight(self, sid: int, now: float) -> tuple[int, int]:
+        """Withdraw the crashed server's in-flight batch and re-queue it
+        through admission, still pinned to its admitted version (the
+        re-landed launch flows through the same ``verify=`` flush as any
+        other).  Past the retry budget its queries fail closed instead.
+        Returns ``(members re-queued, members failed)``."""
+        entry = self.inflight.pop(sid, None)
+        if entry is None:
+            return 0, 0
+        batch, spec_id = entry
+        if spec_id is not None:
+            self.aborted_specs.add(spec_id)
+        # Withdraw the outcomes the launch recorded: the answers this
+        # server was computing died with it.
+        for seq, _ in batch.members:
+            self.outcomes.pop(seq, None)
+        batch.retries += 1
+        width = len(batch.members)
+        if batch.retries > self.max_requeues:
+            self._fail_batch(
+                batch, now, sid,
+                f"server {sid} crashed mid-flight; retry budget "
+                f"({self.max_requeues}) exhausted",
+            )
+            return 0, width
+        batch.sid = None
+        batch.launch_at = now
+        self.open_batches.append(batch)
+        self.requeues += 1
+        self.policy.refresh(self.open_batches, self.ctx)
+        return width, 0
+
+    def _fail_batch(
+        self, batch: Batch, now: float, sid: int, reason: str
+    ) -> None:
+        """Fail every member of ``batch`` closed at ``now``."""
+        width = len(batch.members)
+        for seq, a in batch.members:
+            self.outcomes[seq] = QueryOutcome(
+                arrival=a,
+                result=None,
+                launch_ms=now,
+                finish_ms=now,
+                batch_width=width,
+                joined=width > 1,
+                server=sid,
+                version=batch.version,
+                failure=reason,
+                retries=batch.retries,
+            )
+        self.failed += width
+
+    def _refresh_capacity(self) -> None:
+        """Re-point admission's contention reserve at the surviving
+        fleet size after any availability change."""
+        n_available = sum(1 for s in self.servers if s.available)
+        if max(1, n_available) != self.ctx.n_servers:
+            self.ctx = dataclasses.replace(
+                self.ctx, n_servers=max(1, n_available)
+            )
+            self.policy.refresh(self.open_batches, self.ctx)
+
+    def finalize(self, now: float) -> None:
+        """Fail closed whatever the loop could not serve (no surviving
+        capacity and no recovery event left) — every query in the
+        stream gets an outcome, served or not."""
+        for batch in list(self.open_batches):
+            self._fail_batch(
+                batch, now,
+                batch.sid if batch.sid is not None else -1,
+                "stranded: no available server and no recovery scheduled",
+            )
+        self.open_batches.clear()
+
+    # -- elasticity ----------------------------------------------------
+    def _recent_attainment(self, now: float) -> float | None:
+        """SLO attainment over the last ``window`` queries finished by
+        ``now`` (``None`` until anything finished)."""
+        assert self.autoscaler is not None
+        done = sorted(
+            (o.finish_ms, bool(o.slo_met))
+            for o in self.outcomes.values()
+            if o.finish_ms <= now + EPS
+        )
+        if not done:
+            return None
+        recent = done[-self.autoscaler.window:]
+        return float(np.mean([ok for _, ok in recent]))
+
+    def _autoscale(self, now: float) -> None:
+        scaler = self.autoscaler
+        if scaler is None:
+            return
+        # Drain completion: a draining server that went idle is done.
+        for s in self.servers:
+            if s.draining and s.up and s.idle(now):
+                s.up = False
+                s.draining = False
+                self.scale_records.append(
+                    ScaleRecord(
+                        time_ms=now, action="drained", sid=s.sid,
+                        attainment=self._recent_attainment(now) or 0.0,
+                        n_available=sum(
+                            1 for x in self.servers if x.available
+                        ),
+                    )
+                )
+        if now + EPS < self._next_scale:
+            return
+        while self._next_scale <= now + EPS:
+            self._next_scale += scaler.interval_ms
+        attainment = self._recent_attainment(now)
+        if attainment is None:
+            return
+        n_available = sum(1 for s in self.servers if s.available)
+        if attainment < scaler.upscale_below:
+            if n_available < scaler.max_servers:
+                sid = self._add_server(now)
+                self.scale_records.append(
+                    ScaleRecord(
+                        time_ms=now, action="add", sid=sid,
+                        attainment=attainment,
+                        n_available=n_available + 1,
+                    )
+                )
+        elif attainment >= scaler.drain_above:
+            if n_available > scaler.min_servers:
+                victim = max(
+                    (s for s in self.servers if s.available),
+                    key=lambda s: s.sid,
+                )
+                victim.draining = True
+                self.scale_records.append(
+                    ScaleRecord(
+                        time_ms=now, action="drain", sid=victim.sid,
+                        attainment=attainment,
+                        n_available=n_available - 1,
+                    )
+                )
+                self._refresh_capacity()
+
+    def _add_server(self, now: float) -> int:
+        """Grow capacity: re-activate a drained server if one exists
+        (crashed ones stay dead — recovery is the fault plan's call),
+        else append a brand-new one."""
+        for s in self.servers:
+            if not s.up and s.sid not in self._crashed_sids:
+                s.recover(now)
+                self._refresh_capacity()
+                return s.sid
+        s = Server(sid=len(self.servers), free_at=now)
+        self.servers.append(s)
+        self._refresh_capacity()
+        return s.sid
+
     # -- EventLoop controller hooks ------------------------------------
     def on_arrival(self, now: float, seq: int, arrival: Arrival) -> None:
+        self._apply_due_faults(now)
         self._apply_due_mutations(now)
         self.joins += self.policy.admit(
             arrival, seq, arrival.graph, self.open_batches, self.ctx
@@ -644,6 +1051,7 @@ class _RouterController:
         return (
             bool(self.open_batches)
             or self._next_mutation < len(self.mutations)
+            or self._next_fault < len(self.fault_events)
         )
 
     def next_timer(self, now: float) -> float:
@@ -658,25 +1066,83 @@ class _RouterController:
             nxt = self.mutations[self._next_mutation].time_ms
             if nxt > now + EPS:
                 timer = min(timer, nxt)
+        if self._next_fault < len(self.fault_events):
+            nxt = self.fault_events[self._next_fault].time_ms
+            if nxt > now + EPS:
+                timer = min(timer, nxt)
+        if (
+            self.autoscaler is not None
+            and self._next_scale > now + EPS
+            and (
+                self.open_batches
+                or any(s.free_at > now + EPS for s in self.servers)
+            )
+        ):
+            # Keep ticking only while work is queued or in flight, so
+            # an idle tail cannot spin the loop forever.
+            timer = min(timer, self._next_scale)
         return timer
 
     def dispatch(self, now: float) -> bool:
         """Launch the most overdue ready batch whose placed server is
-        idle; returns ``True`` when a launch happened."""
+        idle; returns ``True`` when a launch happened.  Placement only
+        considers available (up, not draining) servers; committed
+        batches are stolen off servers that died or started draining —
+        and, with stealing enabled, off backed-up servers while another
+        sits idle."""
+        self._apply_due_faults(now)
         self._apply_due_mutations(now)
+        self._autoscale(now)
         ready = [
             b for b in self.open_batches if b.launch_at <= now + EPS
         ]
         ready.sort(
             key=lambda b: (b.launch_at, b.lane != "urgent", b.created_ms)
         )
+        available = [s for s in self.servers if s.available]
         for batch in ready:
+            stolen_from: int | None = None
+            reason = ""
+            if batch.sid is not None:
+                committed = self.servers[batch.sid]
+                if not committed.available:
+                    stolen_from = batch.sid
+                    reason = "down" if not committed.up else "draining"
+                    batch.sid = None
+                elif (
+                    self.steal
+                    and not committed.idle(now)
+                    and any(
+                        s.idle(now) and s.sid != batch.sid
+                        for s in available
+                    )
+                ):
+                    stolen_from = batch.sid
+                    reason = "backed-up"
+                    batch.sid = None
             if batch.sid is None:
+                if not available:
+                    continue  # stranded until recovery (or finalize)
+                candidates = available
+                if reason == "backed-up":
+                    candidates = [s for s in available if s.idle(now)]
                 batch.sid = self.placement.place(
-                    batch, self.servers, self.registry, self.rng
+                    batch, candidates, self.registry, self.rng
                 ).sid
+                if stolen_from is not None and batch.sid != stolen_from:
+                    self.steal_records.append(
+                        StealRecord(
+                            time_ms=now,
+                            graph=batch.graph,
+                            kind=batch.kind,
+                            width=len(batch.members),
+                            from_sid=stolen_from,
+                            to_sid=batch.sid,
+                            reason=reason,
+                        )
+                    )
             server = self.servers[batch.sid]
-            if not server.idle(now):
+            if not server.available or not server.idle(now):
                 continue
             self.joins += self.policy.absorb(
                 batch, self.open_batches, self.ctx
@@ -685,6 +1151,7 @@ class _RouterController:
             service = self._launch(batch, now, server)
             self.widths.append(len(batch.members))
             server.start(now, service)
+            self.inflight[server.sid] = (batch, self.last_spec_id)
             # The launch changed the backlog (and the estimator):
             # remaining batches may now afford to wait longer.
             self.policy.refresh(self.open_batches, self.ctx)
@@ -700,6 +1167,7 @@ class _RouterController:
         *admitted* against — a swap between admission and launch never
         changes what a query answers over."""
         entry = self.registry.entry_for(batch.graph, batch.version)
+        self.last_spec_id = None
         if self.pool is not None:
             return self._launch_pool(batch, now, server, entry)
         submitted = [
@@ -711,7 +1179,9 @@ class _RouterController:
         )
         service = sum(rep.batched_ms for rep in reports)
         width = len(batch.members)
-        finish = now + service
+        # The estimator's books stay in speed-1 units; this server's
+        # speed factor scales the occupancy (Server.start agrees).
+        finish = now + service / server.speed
         for qid, seq, a in submitted:
             res = results[qid]
             self.outcomes[seq] = QueryOutcome(
@@ -724,6 +1194,7 @@ class _RouterController:
                 baseline_ms=res.baseline_ms,
                 server=server.sid,
                 version=batch.version,
+                retries=batch.retries,
             )
         entry.estimator.observe(batch.kind, width, service)
         return service
@@ -756,8 +1227,9 @@ class _RouterController:
         )
         self.pool.submit(server.sid, spec)
         self.pool_pending.append((spec, batch))
+        self.last_spec_id = spec.batch_id
         service = entry.estimator.estimate_ms(batch.kind, width)
-        finish = now + service
+        finish = now + service / server.speed
         for seq, a in batch.members:
             self.outcomes[seq] = QueryOutcome(
                 arrival=a,
@@ -768,6 +1240,7 @@ class _RouterController:
                 joined=width > 1,
                 server=server.sid,
                 version=batch.version,
+                retries=batch.retries,
             )
         return service
 
@@ -823,6 +1296,11 @@ class Router:
         verify: bool = False,
         mutations: list[MutationBatch] | None = None,
         data_plane: WorkerPool | None = None,
+        faults: FaultPlan | None = None,
+        speeds: dict[int, float] | list[float] | None = None,
+        autoscaler: Autoscaler | None = None,
+        steal: bool = False,
+        max_requeues: int = 2,
     ) -> tuple[list[QueryOutcome], ClusterReport]:
         """Simulate serving ``arrivals`` on the cluster.
 
@@ -850,6 +1328,17 @@ class Router:
         epoch they were admitted against, arrivals from the swap instant
         on are served on the new one, and no batch ever mixes epochs.
         The applied swaps land in ``report.extra["swaps"]``.
+
+        ``faults`` replays a :class:`~repro.serving.faults.FaultPlan`
+        against the fleet (crash / recover / slow at modeled times; in
+        real mode a crash SIGKILLs the pinned worker).  ``speeds`` sets
+        initial per-server speed factors (dict keyed by sid, or one
+        factor per server); ``autoscaler`` enables elasticity;
+        ``steal`` additionally re-places committed batches off merely
+        backed-up servers (dead/draining servers are always stolen
+        from); ``max_requeues`` bounds crash-driven re-queues per batch
+        before its queries fail closed.  Fault, steal, and scale records
+        land in ``report.extra``.
         """
         pol = resolve_policy(policy)
         placer = resolve_placement(
@@ -865,14 +1354,28 @@ class Router:
             for m in muts:
                 m.validate()
                 self.registry.resolve(m.graph)
+        if autoscaler is not None:
+            autoscaler.validate()
+        if faults is not None:
+            max_sids = self.n_servers if autoscaler is None else max(
+                self.n_servers, autoscaler.max_servers
+            )
+            faults.validate(max_sids)
+        if max_requeues < 0:
+            raise ValueError(
+                f"max_requeues must be >= 0, got {max_requeues}"
+            )
         stream = self._normalize(arrivals)
         servers = [Server(sid) for sid in range(self.n_servers)]
+        for sid, factor in self._normalize_speeds(speeds).items():
+            servers[sid].speed = factor
         controller = _RouterController(
             self, servers, pol, placer,
             np.random.default_rng(self.seed), verify, muts,
-            data_plane,
+            data_plane, faults, autoscaler, steal, max_requeues,
         )
-        EventLoop(servers).run(stream, controller)
+        end = EventLoop(servers).run(stream, controller)
+        controller.finalize(end)
         plane_extra = (
             None if data_plane is None
             else self._finish_pool(controller, data_plane, verify)
@@ -884,6 +1387,34 @@ class Router:
         if plane_extra is not None:
             report.extra["data_plane"] = plane_extra
         return ordered, report
+
+    def _normalize_speeds(
+        self, speeds: dict[int, float] | list[float] | None
+    ) -> dict[int, float]:
+        """Validate a speed config against the fleet size."""
+        if speeds is None:
+            return {}
+        if isinstance(speeds, dict):
+            items = dict(speeds)
+        else:
+            if len(speeds) != self.n_servers:
+                raise ValueError(
+                    f"speed list has {len(speeds)} entries for "
+                    f"{self.n_servers} servers"
+                )
+            items = dict(enumerate(speeds))
+        for sid, factor in items.items():
+            if not 0 <= sid < self.n_servers:
+                raise ValueError(
+                    f"speed config names server {sid}; fleet has "
+                    f"sids 0..{self.n_servers - 1}"
+                )
+            if not factor > 0.0:
+                raise ValueError(
+                    f"speed factor for server {sid} must be > 0, "
+                    f"got {factor}"
+                )
+        return {sid: float(f) for sid, f in items.items()}
 
     def _finish_pool(
         self,
@@ -897,55 +1428,170 @@ class Router:
         recorded at dispatch time; with ``verify`` each member is
         checked bitwise against its standalone run (memoized in the
         entry's ``singles_cache``, exactly like the in-process
-        verification path).  Returns the ``extra["data_plane"]``
-        payload: per-launch wall-clock rows plus backend facts."""
+        verification path).  Launches whose modeled server crashed were
+        aborted by the controller and are skipped here (their queries
+        were re-queued or failed closed in the modeled loop); launches a
+        *real* worker death lost are re-executed on surviving workers —
+        bounded by the same retry budget — and re-executed answers go
+        through the identical verification.  Queries still unanswered
+        after the budget fail closed.  Returns the
+        ``extra["data_plane"]`` payload: per-launch wall-clock rows,
+        failure rows, measured per-server speed factors, and backend
+        facts."""
         results = pool.drain()
         rows: list[dict] = []
-        for spec, batch in controller.pool_pending:
-            res = results.get(spec.batch_id)
-            if res is None or res.error is not None or res.columns is None:
-                why = res.error if res is not None else "no result"
-                raise RuntimeError(
-                    f"data plane lost batch {spec.batch_id} "
-                    f"({spec.kind} on {spec.graph!r} v{spec.version}): "
-                    f"{why}"
+        failed_rows: list[dict] = []
+        attempts: dict[int, int] = {}
+        reexecutions = 0
+        work = [
+            (spec, batch)
+            for spec, batch in controller.pool_pending
+            if spec.batch_id not in controller.aborted_specs
+        ]
+        while work:
+            retry: list[tuple[LaunchSpec, Batch]] = []
+            for spec, batch in work:
+                res = results.get(spec.batch_id)
+                tried = attempts.get(id(batch), 0)
+                if (
+                    res is None
+                    or res.error is not None
+                    or res.columns is None
+                ):
+                    why = res.error if res is not None else "no result"
+                    if tried < controller.max_requeues:
+                        attempts[id(batch)] = tried + 1
+                        new = self._reexecute_spec(
+                            controller, pool, spec, batch
+                        )
+                        if new is not None:
+                            reexecutions += 1
+                            retry.append((new, batch))
+                            continue
+                        why = f"{why}; no surviving worker to re-execute on"
+                    self._fail_pool_batch(
+                        controller, batch, spec, str(why),
+                        attempts.get(id(batch), 0),
+                    )
+                    failed_rows.append(
+                        {
+                            "batch_id": spec.batch_id,
+                            "graph": spec.graph,
+                            "version": spec.version,
+                            "kind": spec.kind,
+                            "width": spec.width,
+                            "error": str(why),
+                            "retries": attempts.get(id(batch), 0),
+                        }
+                    )
+                    continue
+                rows.append(
+                    self._install_pool_result(
+                        controller, spec, batch, res, tried,
+                        verify=verify,
+                    )
                 )
-            entry = self.registry.entry_for(batch.graph, batch.version)
-            cols = res.columns
-            for j, (seq, a) in enumerate(batch.members):
-                outcome = controller.outcomes[seq]
-                got = cols.copy() if spec.kind == "cc" else cols[:, j].copy()
-                outcome.result = got
-                if verify:
-                    ref, solo_ms = solo_reference(
-                        entry.engine, entry.cc_engine,
-                        a.kind, a.source, entry.singles_cache,
-                    )
-                    assert np.array_equal(got, ref, equal_nan=True), (
-                        f"data-plane {a.kind} answer for arrival {seq} "
-                        "is not bitwise identical to its standalone run"
-                    )
-                    outcome.baseline_ms = solo_ms
-            rows.append(
-                {
-                    "batch_id": spec.batch_id,
-                    "graph": spec.graph,
-                    "version": spec.version,
-                    "kind": spec.kind,
-                    "width": spec.width,
-                    "sid": res.sid,
-                    "pid": res.pid,
-                    "wall_ms": res.wall_ms,
-                    "iterations": res.iterations,
-                }
-            )
+            if retry:
+                # Wait out the re-executed launches before re-checking.
+                results.update(pool.drain())
+            work = retry
         return {
             "backend": pool.backend,
             "transport": pool.transport,
             "processes": pool.processes,
             "launches": rows,
+            "failed": failed_rows,
+            "reexecutions": reexecutions,
+            "measured_speeds": pool.measured_speeds(),
             "wall_ms_total": float(sum(r["wall_ms"] for r in rows)),
         }
+
+    def _install_pool_result(
+        self,
+        controller: _RouterController,
+        spec: LaunchSpec,
+        batch: Batch,
+        res,  # LaunchResult
+        retries: int,
+        *,
+        verify: bool,
+    ) -> dict:
+        """Install one real launch's columns into its member outcomes
+        (bitwise-verifying each against its standalone run when asked);
+        returns the launch's report row."""
+        entry = self.registry.entry_for(batch.graph, batch.version)
+        cols = res.columns
+        for j, (seq, a) in enumerate(batch.members):
+            outcome = controller.outcomes[seq]
+            got = cols.copy() if spec.kind == "cc" else cols[:, j].copy()
+            outcome.result = got
+            outcome.failure = None
+            outcome.retries = max(outcome.retries, retries)
+            if retries:
+                outcome.server = res.sid
+            if verify:
+                ref, solo_ms = solo_reference(
+                    entry.engine, entry.cc_engine,
+                    a.kind, a.source, entry.singles_cache,
+                )
+                assert np.array_equal(got, ref, equal_nan=True), (
+                    f"data-plane {a.kind} answer for arrival {seq} "
+                    "is not bitwise identical to its standalone run"
+                )
+                outcome.baseline_ms = solo_ms
+        return {
+            "batch_id": spec.batch_id,
+            "graph": spec.graph,
+            "version": spec.version,
+            "kind": spec.kind,
+            "width": spec.width,
+            "sid": res.sid,
+            "pid": res.pid,
+            "wall_ms": res.wall_ms,
+            "iterations": res.iterations,
+            "retries": retries,
+        }
+
+    def _reexecute_spec(
+        self,
+        controller: _RouterController,
+        pool: WorkerPool,
+        spec: LaunchSpec,
+        batch: Batch,
+    ) -> LaunchSpec | None:
+        """Re-submit a launch a dead worker lost onto a surviving
+        server (its answers re-enter :meth:`_install_pool_result`'s
+        ``verify=``-explicit path like any first-run launch).  Returns
+        the new spec, or ``None`` when no live worker remains."""
+        survivors = [
+            s for s in controller.servers
+            if s.up and pool.worker_alive(s.sid)
+        ]
+        if not survivors:
+            return None
+        target = min(survivors, key=lambda s: (s.busy_ms, s.sid))
+        new = dataclasses.replace(spec, batch_id=pool.next_batch_id())
+        pool.submit(target.sid, new)
+        return new
+
+    def _fail_pool_batch(
+        self,
+        controller: _RouterController,
+        batch: Batch,
+        spec: LaunchSpec,
+        why: str,
+        retries: int,
+    ) -> None:
+        """Fail a lost data-plane launch's queries closed."""
+        for seq, _ in batch.members:
+            outcome = controller.outcomes[seq]
+            outcome.result = None
+            outcome.failure = (
+                f"data plane lost batch {spec.batch_id} "
+                f"({spec.kind} on {spec.graph!r} v{spec.version}): {why}"
+            )
+            outcome.retries = max(outcome.retries, retries)
+        controller.failed += len(batch.members)
 
     def compare_placements(
         self,
@@ -1015,7 +1661,18 @@ class Router:
                 server_launches=[0] * len(servers),
                 verified=verified,
                 swaps=len(controller.swaps),
-                extra={"swaps": list(controller.swaps)},
+                failed=controller.failed,
+                requeues=controller.requeues,
+                steals=len(controller.steal_records),
+                scale_events=len(controller.scale_records),
+                faults=len(controller.fault_records),
+                server_speed=[s.speed for s in servers],
+                extra={
+                    "swaps": list(controller.swaps),
+                    "faults": list(controller.fault_records),
+                    "steals": list(controller.steal_records),
+                    "scales": list(controller.scale_records),
+                },
             )
         queue = np.array([o.queue_ms for o in outcomes])
         lane_attainment: dict[str, float] = {}
@@ -1037,7 +1694,10 @@ class Router:
             served=served,
             batches=len(controller.widths),
             joins=controller.joins,
-            mean_batch_width=float(np.mean(controller.widths)),
+            mean_batch_width=(
+                float(np.mean(controller.widths))
+                if controller.widths else 0.0
+            ),
             slo_attainment=float(np.mean([o.slo_met for o in outcomes])),
             lane_attainment=lane_attainment,
             graph_attainment=graph_attainment,
@@ -1055,13 +1715,26 @@ class Router:
             server_launches=[s.launches for s in servers],
             verified=verified,
             swaps=len(controller.swaps),
-            extra={"swaps": list(controller.swaps)},
+            failed=controller.failed,
+            requeues=controller.requeues,
+            steals=len(controller.steal_records),
+            scale_events=len(controller.scale_records),
+            faults=len(controller.fault_records),
+            server_speed=[s.speed for s in servers],
+            extra={
+                "swaps": list(controller.swaps),
+                "faults": list(controller.fault_records),
+                "steals": list(controller.steal_records),
+                "scales": list(controller.scale_records),
+            },
         )
 
 
 __all__ = [
     "AffinityPlacement",
+    "Autoscaler",
     "ClusterReport",
+    "FaultRecord",
     "GraphEntry",
     "GraphRegistry",
     "GraphStore",
@@ -1070,6 +1743,9 @@ __all__ = [
     "PlacementPolicy",
     "PowerOfTwoPlacement",
     "Router",
+    "ScaleRecord",
+    "SpeedAwarePlacement",
+    "StealRecord",
     "SwapRecord",
     "register_placement",
     "resolve_placement",

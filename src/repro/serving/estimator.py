@@ -36,12 +36,18 @@ class ServiceEstimator:
         self._est_ms: dict[str, float] = {}
 
     # ------------------------------------------------------------------
-    def estimate_ms(self, kind: str, width: int) -> float:
-        """Estimated service ms for a ``width``-wide batch of ``kind``."""
+    def estimate_ms(self, kind: str, width: int, speed: float = 1.0) -> float:
+        """Estimated service ms for a ``width``-wide batch of ``kind``.
+
+        ``speed`` is a per-server speed factor: the estimator's books
+        are kept in speed-1 units (so heterogeneous fleets share one
+        learned profile per graph), and a placement policy scoring a
+        concrete server divides by that server's factor here.
+        """
         per_plane = self._est_ms.get(kind)
         if per_plane is None:
             per_plane = self._calibrate(kind)
-        return per_plane * self.width_scale(kind, width)
+        return per_plane * self.width_scale(kind, width) / speed
 
     def observe(self, kind: str, width: int, service_ms: float) -> None:
         """Fold one launch's observed service time into the estimate."""

@@ -50,28 +50,74 @@ class Server:
     :data:`EPS`); :meth:`start` transitions it to busy until the modeled
     service completes, accumulating the busy-time and launch counters
     the reports aggregate.
+
+    ``speed`` is the per-server speed factor: a launch whose speed-1
+    service estimate is ``s`` occupies this server for ``s / speed``
+    modeled ms, so a 2.0 server is twice as fast and a 0.5 server twice
+    as slow.  ``up``/``draining`` carry the fault/elasticity state — a
+    crashed server refuses launches, a draining one finishes in-flight
+    work but receives no new placements (stop-placing-then-finish).
     """
 
     sid: int
     free_at: float = 0.0
     busy_ms: float = 0.0
     launches: int = 0
+    speed: float = 1.0
+    up: bool = True
+    draining: bool = False
+
+    @property
+    def available(self) -> bool:
+        """May new work be placed here?"""
+        return self.up and not self.draining
 
     def idle(self, now: float) -> bool:
         """Is the server free to start work at ``now``?"""
         return self.free_at <= now + EPS
 
     def start(self, now: float, service_ms: float) -> float:
-        """Begin a launch at ``now``; returns the completion instant."""
+        """Begin a launch at ``now``; returns the completion instant.
+
+        ``service_ms`` is in speed-1 units; the actual occupancy is
+        scaled by this server's speed factor.
+        """
+        if not self.up:
+            raise RuntimeError(
+                f"server {self.sid} is down, cannot start at {now}"
+            )
         if not self.idle(now):
             raise RuntimeError(
                 f"server {self.sid} is busy until {self.free_at}, "
                 f"cannot start at {now}"
             )
-        self.free_at = now + service_ms
-        self.busy_ms += service_ms
+        duration = service_ms / self.speed
+        self.free_at = now + duration
+        self.busy_ms += duration
         self.launches += 1
         return self.free_at
+
+    def crash(self, now: float) -> float:
+        """Take the server down at ``now``; returns the modeled ms of
+        in-flight work that was lost (0.0 if it was idle).
+
+        The lost remainder is refunded from ``busy_ms`` so utilization
+        only counts work that actually completed; the interrupted
+        batch's re-queue is the controller's job.
+        """
+        self.up = False
+        self.draining = False
+        lost = max(0.0, self.free_at - now)
+        if lost > 0.0:
+            self.busy_ms = max(0.0, self.busy_ms - lost)
+            self.free_at = now
+        return lost
+
+    def recover(self, now: float) -> None:
+        """Bring a crashed server back, idle, at ``now``."""
+        self.up = True
+        self.draining = False
+        self.free_at = max(self.free_at, now)
 
 
 class Controller(Protocol):
@@ -130,7 +176,11 @@ class EventLoop:
                 if frees:
                     wake.append(min(frees))
             target = min(wake)
-            if math.isinf(target):  # pragma: no cover - defensive
+            if math.isinf(target):
+                # No wake source left.  Reachable under fault injection
+                # when pending work has no surviving server and no
+                # recovery event is scheduled; the controller fails the
+                # stranded queries closed after the loop returns.
                 break
             if next_t <= target + EPS:
                 now = next_t
@@ -149,10 +199,16 @@ class QueryOutcome:
     ``version`` is the graph epoch the query was admitted against — under
     a versioned store, every member of a batch shares it (batches never
     mix versions across an epoch swap).
+
+    Under fault injection a query can *fail closed*: ``result`` is then
+    ``None`` and ``failure`` carries the reason (retry budget exhausted,
+    no surviving capacity).  Failed queries always count as SLO misses.
+    ``retries`` counts how many times the query's batch was re-queued or
+    re-executed before this outcome.
     """
 
     arrival: Arrival
-    result: np.ndarray
+    result: np.ndarray | None
     launch_ms: float
     finish_ms: float
     batch_width: int
@@ -160,6 +216,13 @@ class QueryOutcome:
     baseline_ms: float | None = None
     server: int = 0
     version: int = 0
+    failure: str | None = None
+    retries: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """Did the query fail closed instead of being served?"""
+        return self.failure is not None
 
     @property
     def queue_ms(self) -> float:
@@ -178,7 +241,10 @@ class QueryOutcome:
 
     @property
     def slo_met(self) -> bool:
-        """Did the query finish within its budget?"""
+        """Did the query finish within its budget?  Failed-closed
+        queries never meet their SLO."""
+        if self.failure is not None:
+            return False
         return self.finish_ms <= self.arrival.deadline_ms + EPS
 
 

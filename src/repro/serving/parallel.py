@@ -33,7 +33,9 @@ specs, same execution path, no processes.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
 import time
 import traceback
 import warnings
@@ -481,6 +483,13 @@ class WorkerPool:
         self._procs: list[Any] = []
         self._task_qs: list[Any] = []
         self._result_q: Any = None
+        # Fault-injection bookkeeping: each revive bumps the worker's
+        # incarnation so batches queued to a dead incarnation fail at
+        # drain instead of hanging; per-worker wall timings accumulate
+        # into online speed factors.
+        self._worker_epoch: list[int] = [0] * processes
+        self._launch_epoch: dict[int, int] = {}
+        self._wall_stats: dict[int, tuple[float, int]] = {}
         if self.backend == "process":
             ctx = mp.get_context("spawn")
             self._result_q = ctx.Queue()
@@ -625,6 +634,82 @@ class WorkerPool:
         (leak checks)."""
         return list_segments()
 
+    # -- fault injection -----------------------------------------------
+    def kill_worker(self, sid: int) -> bool:
+        """Fault injection: SIGKILL the worker process pinned to server
+        ``sid`` (``sid % processes`` — with fewer workers than servers
+        the kill hits every server sharing that worker).  The dead
+        worker's unanswered batches surface as ``error`` results at the
+        next :meth:`drain`; live workers are unaffected.  Returns
+        ``False`` on the serial backend (nothing to kill)."""
+        if self.backend != "process":
+            return False
+        proc = self._procs[sid % self.processes]
+        if proc.is_alive():
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=5.0)
+        return True
+
+    def revive_worker(self, sid: int) -> bool:
+        """Respawn a dead pinned worker with a *fresh* task queue and
+        re-send attaches for every still-published graph version.
+        Launches queued to the dead incarnation do not replay — they
+        fail at the next :meth:`drain` (the router's recovery path
+        re-executes them).  Returns ``True`` when a respawn happened."""
+        if self.backend != "process" or self._closed:
+            return False
+        wid = sid % self.processes
+        if self._procs[wid].is_alive():
+            return False
+        ctx = mp.get_context("spawn")
+        old_q = self._task_qs[wid]
+        tq = ctx.Queue()
+        proc = ctx.Process(
+            target=worker_main,
+            args=(wid, tq, self._result_q, self.transport),
+            daemon=True,
+            name=f"repro-worker-{wid}",
+        )
+        proc.start()
+        self._task_qs[wid] = tq
+        self._procs[wid] = proc
+        self._worker_epoch[wid] += 1
+        try:
+            old_q.close()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+        for key, exp in self._exports.items():
+            if exp.payload.transport != "serial":
+                tq.put(("attach", key, exp.payload))
+        return True
+
+    def worker_alive(self, sid: int) -> bool:
+        """Is the worker pinned to server ``sid`` alive?  (Serial
+        backend: always — launches run in-process.)"""
+        if self.backend != "process":
+            return True
+        return bool(self._procs[sid % self.processes].is_alive())
+
+    def measured_speeds(self) -> dict[int, float]:
+        """Per-worker speed factors measured online from the per-launch
+        wall timings: inverse mean wall ms per launch, normalized so
+        the fleet mean is 1.0 (higher = faster).  Feed the dict into
+        ``Router.run(speeds=...)`` to make the next run's placement
+        speed-aware.  Workers with no successful launches are omitted;
+        the estimate is coarse by construction (the launch mix is not
+        width-normalized)."""
+        means = {
+            wid: total / n
+            for wid, (total, n) in self._wall_stats.items()
+            if n > 0 and total > 0.0
+        }
+        if not means:
+            return {}
+        fleet = sum(means.values()) / len(means)
+        return {
+            wid: fleet / mean for wid, mean in sorted(means.items())
+        }
+
     # -- dispatch ------------------------------------------------------
     def next_batch_id(self) -> int:
         self._next_batch_id += 1
@@ -642,11 +727,14 @@ class WorkerPool:
             raise KeyError(f"graph version {key!r} was never published")
         self._specs[spec.batch_id] = spec
         if self.backend == "serial":
-            self._results[spec.batch_id] = self._serial.submit(spec)
+            res = self._serial.submit(spec)
+            self._results[spec.batch_id] = res
+            self._note_wall(res)
             return
         exp.inflight += 1
         wid = sid % self.processes
         self._assigned[spec.batch_id] = wid
+        self._launch_epoch[spec.batch_id] = self._worker_epoch[wid]
         if self.transport == "pickle":
             self._task_qs[wid].put(
                 ("launch", spec, exp.payload, exp.arrays, exp.cc_arrays)
@@ -688,6 +776,7 @@ class WorkerPool:
         results, self._results = self._results, {}
         self._specs.clear()
         self._assigned.clear()
+        self._launch_epoch.clear()
         # The run's launches have all resolved: retired epochs can now
         # release their segments.
         for key in [
@@ -699,6 +788,7 @@ class WorkerPool:
 
     def _record(self, res: LaunchResult) -> None:
         self._results[res.batch_id] = res
+        self._note_wall(res)
         spec = self._specs.get(res.batch_id)
         if spec is None:  # pragma: no cover - unknown batch
             return
@@ -706,15 +796,24 @@ class WorkerPool:
         if exp is not None:
             exp.inflight = max(0, exp.inflight - 1)
 
+    def _note_wall(self, res: LaunchResult) -> None:
+        """Fold one successful launch's wall timing into the per-worker
+        speed books (see :meth:`measured_speeds`)."""
+        if res.error is None and res.wall_ms > 0.0:
+            total, n = self._wall_stats.get(res.sid, (0.0, 0))
+            self._wall_stats[res.sid] = (total + res.wall_ms, n + 1)
+
     def _fail_dead_workers(self) -> None:
-        dead = {
-            wid for wid, proc in enumerate(self._procs)
-            if not proc.is_alive()
-        }
-        if not dead:
-            return
         for bid, wid in list(self._assigned.items()):
-            if wid in dead and bid not in self._results:
+            if bid in self._results:
+                continue
+            # A batch is lost when its worker died — or when the worker
+            # was revived since submission (the fresh incarnation never
+            # saw the old queue's messages).
+            stale = (
+                self._launch_epoch.get(bid, 0) != self._worker_epoch[wid]
+            )
+            if stale or not self._procs[wid].is_alive():
                 self._record(
                     LaunchResult(
                         batch_id=bid, sid=wid, pid=0, wall_ms=0.0,

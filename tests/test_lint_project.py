@@ -1,6 +1,6 @@
 """Tests for the project-level lint layer (repro.lint.project): module
 naming, call-graph resolution (aliased imports, self/attr methods,
-cycles), the effect fixpoint, the five cross-module rules against
+cycles), the effect fixpoint, the six cross-module rules against
 violating / clean / suppressed fixtures (the violating hook-ordering,
 modeled-time-purity and worker-queue-discipline fixtures span two
 files), decorator-line
@@ -51,7 +51,7 @@ def write_tree(root, files):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_five_project_rules_registered(self):
+    def test_six_project_rules_registered(self):
         registered = rule_ids()
         for rid in (
             "hook-ordering",
@@ -59,6 +59,7 @@ class TestRegistry:
             "modeled-time-purity",
             "shared-state-determinism",
             "worker-queue-discipline",
+            "failure-path-verify",
         ):
             assert rid in registered
 
@@ -681,6 +682,122 @@ class TestWorkerQueueDiscipline:
             "workerized.worker_main",
             "workerized._record",
         ]
+
+
+# ----------------------------------------------------------------------
+# failure-path-verify
+# ----------------------------------------------------------------------
+class TestFailurePathVerify:
+    # A recovery-named function (``requeue``/``reexecute``/… substring)
+    # in a serving module that never reaches a verify=-explicit
+    # flush/install — not itself, not via its dispatch root, not via a
+    # direct caller.
+    VIOLATING = {
+        "src/repro/serving/recover.py": (
+            "def flush(batch):\n"
+            "    return batch\n"
+            "def requeue_batch(batch):\n"
+            "    return flush(batch)\n"
+        ),
+    }
+
+    def hits(self, srcs):
+        vs = lint_project_sources(srcs)
+        return [v for v in active(vs) if v.rule == "failure-path-verify"]
+
+    def test_unverified_recovery_path_flagged(self):
+        hits = self.hits(self.VIOLATING)
+        assert len(hits) == 1
+        (v,) = hits
+        assert v.path == "src/repro/serving/recover.py"
+        assert v.line == 3
+        assert "recover.requeue_batch" in v.message
+        assert "bitwise check" in v.message
+
+    def test_transitive_verify_passes(self):
+        # The recovery path reaches flush(verify=...) through a helper;
+        # the effect propagates up the fixpoint.
+        hits = self.hits(
+            {
+                "src/repro/serving/recover.py": (
+                    "def flush(batch, verify=True):\n"
+                    "    return batch\n"
+                    "def _finish(batch):\n"
+                    "    return flush(batch, verify=True)\n"
+                    "def requeue_batch(batch):\n"
+                    "    return _finish(batch)\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_dispatch_root_verify_passes(self):
+        # The re-queued batch goes back through dispatch, whose launch
+        # path spells verify= — arm (2).
+        hits = self.hits(
+            {
+                "src/repro/serving/recover.py": (
+                    "def dispatch(batch):\n"
+                    "    if batch:\n"
+                    "        return _launch(batch)\n"
+                    "    return requeue_batch(batch)\n"
+                    "def _launch(batch):\n"
+                    "    return flush(batch, verify=True)\n"
+                    "def flush(batch, verify=True):\n"
+                    "    return batch\n"
+                    "def requeue_batch(batch):\n"
+                    "    return batch\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_direct_caller_verify_passes(self):
+        # The caller installs the re-executed result itself with an
+        # explicit verify= — arm (3).
+        hits = self.hits(
+            {
+                "src/repro/serving/recover.py": (
+                    "def flush(batch, verify=True):\n"
+                    "    return batch\n"
+                    "def recover(batch):\n"
+                    "    redone = requeue_batch(batch)\n"
+                    "    return flush(redone, verify=True)\n"
+                    "def requeue_batch(batch):\n"
+                    "    return batch\n"
+                ),
+            }
+        )
+        assert hits == []
+
+    def test_non_serving_module_exempt(self):
+        srcs = {
+            "src/repro/pipeline/recover.py": text
+            for text in self.VIOLATING.values()
+        }
+        assert self.hits(srcs) == []
+
+    def test_tests_exempt(self):
+        srcs = {
+            "tests/" + path.split("/")[-1]: text
+            for path, text in self.VIOLATING.items()
+        }
+        assert self.hits(srcs) == []
+
+    def test_suppressed(self):
+        hits = self.hits(
+            {
+                "src/repro/serving/recover.py": (
+                    "def flush(batch):\n"
+                    "    return batch\n"
+                    "def requeue_batch(batch):"
+                    "  # repro-lint: ignore[failure-path-verify]"
+                    " — fixture\n"
+                    "    return flush(batch)\n"
+                ),
+            }
+        )
+        assert hits == []
 
 
 # ----------------------------------------------------------------------

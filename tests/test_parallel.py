@@ -263,3 +263,130 @@ class TestCrashContainment:
         finally:
             pool.close()
         assert_no_segments()
+
+
+@needs_shm
+class TestFaultInjection:
+    def spec(self, pool, entry, kind="bfs", sources=(0,)):
+        return LaunchSpec(
+            batch_id=pool.next_batch_id(), graph=entry.name,
+            version=entry.version, kind=kind, sources=sources,
+            width=max(1, len(sources)),
+        )
+
+    def test_kill_and_revive_worker(self):
+        reg = GraphRegistry()
+        entry = reg.add("g", random_graph(4))
+        pool = WorkerPool(reg, processes=2, timeout_s=30.0)
+        try:
+            assert pool.kill_worker(1)
+            assert not pool.worker_alive(1)
+            assert pool.worker_alive(0)
+            dead = self.spec(pool, entry)
+            live = self.spec(pool, entry, sources=(1,))
+            pool.submit(1, dead)
+            pool.submit(0, live)
+            results = pool.drain()
+            assert results[dead.batch_id].error is not None
+            assert results[live.batch_id].error is None
+            # revive: the fresh incarnation re-attaches every published
+            # version and serves again
+            assert pool.revive_worker(1)
+            assert pool.worker_alive(1)
+            again = self.spec(pool, entry, sources=(2,))
+            pool.submit(1, again)
+            res = pool.drain()
+            assert res[again.batch_id].error is None
+            assert res[again.batch_id].columns is not None
+        finally:
+            pool.close()
+        assert_no_segments()
+
+    def test_revive_noop_on_live_worker(self):
+        reg = GraphRegistry()
+        reg.add("g", random_graph(4))
+        with WorkerPool(reg, processes=1, timeout_s=30.0) as pool:
+            assert not pool.revive_worker(0)  # alive: nothing to do
+        assert_no_segments()
+
+    def test_serial_backend_has_nothing_to_kill(self):
+        reg = GraphRegistry()
+        reg.add("g", random_graph(4))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with WorkerPool(reg, processes=0) as pool:
+                assert not pool.kill_worker(0)
+                assert not pool.revive_worker(0)
+                assert pool.worker_alive(0)
+
+    def test_stale_incarnation_batches_fail_not_hang(self):
+        reg = GraphRegistry()
+        entry = reg.add("g", random_graph(4))
+        pool = WorkerPool(reg, processes=1, timeout_s=30.0)
+        try:
+            pool.kill_worker(0)
+            lost = self.spec(pool, entry)
+            pool.submit(0, lost)  # queued to the dead incarnation
+            assert pool.revive_worker(0)
+            t0 = time.perf_counter()
+            results = pool.drain()
+            # the stale batch fails via the incarnation check — it must
+            # not wait out the full drain timeout
+            assert time.perf_counter() - t0 < 10.0
+            assert results[lost.batch_id].error is not None
+        finally:
+            pool.close()
+        assert_no_segments()
+
+    def test_crash_during_epoch_retire_unlinks_after_drain(self):
+        store = make_store()
+        pool = WorkerPool(store, processes=2, timeout_s=30.0)
+        try:
+            v0 = store["alpha"]
+            baseline = len(pool.segments() or [])
+            # in-flight launches against the soon-retired epoch: one on
+            # a live worker, one pinned to a worker we crash first (the
+            # dead incarnation can never answer, deterministically)
+            on_live = self.spec(pool, v0, kind="sssp", sources=(0, 3))
+            on_dead = self.spec(pool, v0, kind="sssp", sources=(1, 4))
+            pool.submit(0, on_live)
+            pool.kill_worker(1)
+            pool.submit(1, on_dead)
+            # epoch swap: publish v1, retire v0 while its batches fly
+            rng = np.random.default_rng(11)
+            ins = np.stack(
+                [rng.integers(0, 120, 24), rng.integers(0, 120, 24)],
+                axis=1,
+            )
+            v1, _ = store.mutate("alpha", inserts=ins)
+            pool.publish(v1)
+            assert len(pool.segments() or []) == baseline + 2
+            pool.retire("alpha", v0.version)
+            results = pool.drain()
+            # only the dead worker's batch failed
+            assert results[on_live.batch_id].error is None
+            assert results[on_dead.batch_id].error is not None
+            # the retired epoch still released its segments after the
+            # drain — a crash never wedges the unlink
+            assert len(pool.segments() or []) == baseline
+        finally:
+            pool.close()
+        assert_no_segments()
+
+    def test_measured_speeds_normalized(self):
+        reg = GraphRegistry()
+        entry = reg.add("g", random_graph(4))
+        pool = WorkerPool(reg, processes=2, timeout_s=30.0)
+        try:
+            for i in range(4):
+                pool.submit(i % 2, self.spec(pool, entry, sources=(i,)))
+            results = pool.drain()
+            assert all(r.error is None for r in results.values())
+            speeds = pool.measured_speeds()
+            assert set(speeds) == {0, 1}
+            assert all(f > 0 for f in speeds.values())
+            # normalized against the fleet mean: factors straddle 1.0
+            assert min(speeds.values()) <= 1.0 <= max(speeds.values())
+        finally:
+            pool.close()
+        assert_no_segments()
